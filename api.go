@@ -1,0 +1,244 @@
+package securadio
+
+import (
+	"errors"
+	"fmt"
+
+	"securadio/internal/adversary"
+	"securadio/internal/core"
+	"securadio/internal/graph"
+	"securadio/internal/groupkey"
+	"securadio/internal/msgopt"
+	"securadio/internal/radio"
+)
+
+// Pair is an ordered (sender, receiver) pair of node IDs — one entry of
+// the AME set E.
+type Pair = graph.Edge
+
+// Interferer is the adversary interface of the radio model: it may
+// transmit on up to t channels per round (jamming or spoofing) and
+// observes everything after each round. See NewJammer, NewSpoofer and
+// friends for ready-made strategies.
+type Interferer = radio.Adversary
+
+// Message is an arbitrary payload carried by the radio simulation.
+type Message = radio.Message
+
+// Regime selects the f-AME channel-usage strategy (the rows of the
+// paper's Figure 3).
+type Regime = core.Regime
+
+// Channel regimes (re-exported from the core protocol).
+const (
+	// RegimeAuto picks the fastest regime the spectrum supports.
+	RegimeAuto = core.RegimeAuto
+	// RegimeBase uses t+1 channels: O(|E| t^2 log n).
+	RegimeBase = core.RegimeBase
+	// Regime2T uses 2t channels: O(|E| log n).
+	Regime2T = core.Regime2T
+	// Regime2T2 uses C/t channels with parallel feedback: O(|E| log^2 n / t).
+	Regime2T2 = core.Regime2T2
+)
+
+// Network describes the simulated radio network: n nodes, C channels, an
+// adversary budget of t channels per round, a deterministic seed, and an
+// optional interferer.
+type Network struct {
+	// N is the number of honest nodes.
+	N int
+	// C is the number of channels (C >= 2).
+	C int
+	// T is the adversary budget (0 <= T < C). The paper's headline case
+	// is C = T+1, the minimum spectrum on which communication is possible.
+	T int
+	// Seed drives all randomness; runs are reproducible.
+	Seed int64
+	// Adversary is the interferer; nil means no interference.
+	Adversary Interferer
+}
+
+// ErrNoQuorum is returned by EstablishGroupKey when no leader key gathered
+// a reporter quorum (only possible outside the model's parameter bounds or
+// in the negligible-probability failure branch).
+var ErrNoQuorum = errors.New("securadio: group key establishment reached no quorum")
+
+// Options configure the exchange protocols.
+type Options struct {
+	// Regime selects the channel-usage strategy; zero value is RegimeAuto.
+	Regime Regime
+
+	// Direct disables surrogate relaying (the 2t-disruptable baseline /
+	// Byzantine-tolerant variant of Section 8).
+	Direct bool
+
+	// Kappa scales all with-high-probability repetition counts;
+	// non-positive selects the library default.
+	Kappa float64
+
+	// Cleanup enables the best-effort post-termination delivery extension
+	// (Section 8, open question 3): after the greedy strategy terminates,
+	// the nodes keep scheduling the surviving pairs (padded with fresh
+	// recruitment items) for up to Cleanup extra moves. Against anything
+	// short of a perfectly targeted jammer this usually empties the
+	// disruption graph entirely.
+	Cleanup int
+}
+
+func (o Options) fameParams(net Network) core.Params {
+	mode := core.ModeSurrogate
+	if o.Direct {
+		mode = core.ModeDirect
+	}
+	return core.Params{
+		N: net.N, C: net.C, T: net.T,
+		Mode:    mode,
+		Regime:  o.Regime,
+		Kappa:   o.Kappa,
+		Cleanup: o.Cleanup,
+	}
+}
+
+// ExchangeReport summarizes an ExchangeMessages run.
+type ExchangeReport struct {
+	// Delivered maps each successful pair to the authentic payload its
+	// destination output.
+	Delivered map[Pair]Message
+
+	// Failed lists the pairs that output fail. The minimum vertex cover
+	// of the failed set is at most t (Definition 1, Theorem 6).
+	Failed []Pair
+
+	// DisruptionCover is that minimum vertex cover size.
+	DisruptionCover int
+
+	// Rounds is the number of radio rounds consumed.
+	Rounds int
+
+	// GameRounds is the number of starred-edge-removal moves simulated.
+	GameRounds int
+}
+
+// ExchangeMessages runs the f-AME protocol: each pair (v, w) attempts to
+// deliver payloads[pair] from v to w, with authentication, sender
+// awareness, and t-disruptability, despite the network's adversary.
+func ExchangeMessages(net Network, pairs []Pair, payloads map[Pair]Message, opts Options) (*ExchangeReport, error) {
+	out, err := core.Exchange(opts.fameParams(net), pairs, payloads, net.Adversary, net.Seed)
+	if err != nil {
+		return nil, err
+	}
+	report := &ExchangeReport{
+		Delivered:       make(map[Pair]Message),
+		Failed:          out.Disruption.Edges(),
+		DisruptionCover: out.CoverSize,
+		Rounds:          out.Rounds,
+		GameRounds:      out.GameRounds,
+	}
+	for _, e := range pairs {
+		if !out.Disruption.Has(e) {
+			report.Delivered[e] = out.PerNode[e.Dst].Delivered[e]
+		}
+	}
+	return report, nil
+}
+
+// ExchangeMessagesCompact runs f-AME with the Section 5.6 message-size
+// optimization: payloads travel through an epoch-gossip phase and only
+// constant-size vector signatures ride the authenticated exchange.
+// Payloads must be strings (the optimization hashes them).
+func ExchangeMessagesCompact(net Network, pairs []Pair, payloads map[Pair]string, opts Options) (*ExchangeReport, error) {
+	p := msgopt.Params{Fame: opts.fameParams(net), EpochKappa: opts.Kappa}
+	out, err := msgopt.Exchange(p, pairs, payloads, net.Adversary, net.Seed)
+	if err != nil {
+		return nil, err
+	}
+	report := &ExchangeReport{
+		Delivered:       make(map[Pair]Message),
+		Failed:          out.Disruption.Edges(),
+		DisruptionCover: out.CoverSize,
+		Rounds:          out.Rounds,
+	}
+	for _, e := range pairs {
+		if !out.Disruption.Has(e) {
+			report.Delivered[e] = string(out.PerNode[e.Dst].Delivered[e])
+		}
+	}
+	return report, nil
+}
+
+// GroupKeyReport summarizes an EstablishGroupKey run.
+type GroupKeyReport struct {
+	// Keys holds each node's adopted group key (nil for the at-most-t
+	// nodes that correctly identified their lack of knowledge).
+	Keys []*[32]byte
+
+	// Leader is the leader whose key won.
+	Leader int
+
+	// Agreed is the number of nodes holding the winning key (at least
+	// n-t with high probability).
+	Agreed int
+
+	// Rounds is the number of radio rounds consumed (Theta(n t^3 log n)).
+	Rounds int
+}
+
+// EstablishGroupKey runs the Section 6 protocol end to end and returns the
+// per-node keys. No pre-shared secrets are assumed; secrecy rests on the
+// computational Diffie-Hellman assumption exactly as in the paper.
+func EstablishGroupKey(net Network, opts Options) (*GroupKeyReport, error) {
+	p := groupkey.Params{N: net.N, C: net.C, T: net.T, Kappa: opts.Kappa, Regime: opts.Regime}
+	out, err := groupkey.Establish(p, net.Adversary, net.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if out.Agreed == 0 {
+		return nil, fmt.Errorf("%w (n=%d t=%d)", ErrNoQuorum, net.N, net.T)
+	}
+	report := &GroupKeyReport{
+		Keys:   make([]*[32]byte, net.N),
+		Leader: out.Leader,
+		Agreed: out.Agreed,
+		Rounds: out.Rounds,
+	}
+	for i := range out.PerNode {
+		if k := out.PerNode[i].GroupKey; k != nil && out.PerNode[i].Leader == out.Leader {
+			kk := [32]byte(*k)
+			report.Keys[i] = &kk
+		}
+	}
+	return report, nil
+}
+
+// --- adversary constructors ---
+
+// NewJammer returns a model-compliant adversary that jams t random
+// channels each round.
+func NewJammer(net Network, seed int64) Interferer {
+	return adversary.NewRandomJammer(net.T, net.C, seed)
+}
+
+// NewSweepJammer returns a deterministic scanning jammer.
+func NewSweepJammer(net Network) Interferer {
+	return &adversary.SweepJammer{T: net.T, C: net.C}
+}
+
+// NewWorstCaseJammer returns the omniscient greedy jammer used for
+// worst-case protocol stress. It inspects the honest nodes' current-round
+// actions (strictly stronger than the paper's model) and always jams the
+// most damaging t channels.
+func NewWorstCaseJammer(net Network) Interferer {
+	return &adversary.GreedyJammer{T: net.T, C: net.C}
+}
+
+// NewSpoofer returns an adversary that injects forged payloads produced by
+// forge on idle channels with listeners.
+func NewSpoofer(net Network, forge func(round int) Message) Interferer {
+	return &adversary.IdleSpoofer{T: net.T, C: net.C, Forge: forge}
+}
+
+// NewReplayer returns an adversary that records overheard messages and
+// replays them.
+func NewReplayer(net Network, seed int64) Interferer {
+	return adversary.NewReplaySpoofer(net.T, net.C, seed)
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"securadio/internal/adversary"
+	"securadio/internal/core"
+	"securadio/internal/graph"
+	"securadio/internal/metrics"
+	"securadio/internal/radio"
+)
+
+// trianglePairs builds the Section 5 attack workload: the three directed
+// edges of each of t disjoint triples, plus cross pairs that keep the
+// protocol busy.
+func trianglePairs(t int, crossPairs int) []graph.Edge {
+	var pairs []graph.Edge
+	for _, tr := range adversary.Triples(t) {
+		pairs = append(pairs,
+			graph.Edge{Src: tr[0], Dst: tr[1]},
+			graph.Edge{Src: tr[1], Dst: tr[2]},
+			graph.Edge{Src: tr[2], Dst: tr[0]})
+	}
+	base := 3 * t
+	for i := 0; i < crossPairs; i++ {
+		pairs = append(pairs, graph.Edge{Src: base + 2*i, Dst: base + 2*i + 1})
+	}
+	return pairs
+}
+
+// expDirect2T regenerates the Section 5 separation: under the
+// triangle-isolation attack, direct (surrogate-free) exchange ends with a
+// disruption cover of exactly 2t, while the full f-AME stays within t.
+func expDirect2T(w io.Writer, cfg config) ([]*metrics.Table, error) {
+	ts := []int{1, 2, 3}
+	if cfg.Quick {
+		ts = []int{1, 2}
+	}
+	tb := metrics.NewTable(
+		"triangle attack: disruption cover, direct vs surrogate f-AME",
+		"t", "n", "C", "mode", "cover", "bound", "within bound")
+	for _, t := range ts {
+		p := core.Params{C: t + 1, T: t, Regime: core.RegimeBase}
+		p.N = p.MinNodes() + 3*t + 8
+		pairs := trianglePairs(t, 2)
+		values := make(map[graph.Edge]radio.Message, len(pairs))
+		for _, e := range pairs {
+			values[e] = fmt.Sprintf("m%v", e)
+		}
+
+		for _, mode := range []core.Mode{core.ModeDirect, core.ModeSurrogate} {
+			pm := p
+			pm.Mode = mode
+			adv := adversary.NewTriangle(t, t+1, adversary.Triples(t))
+			out, err := core.Exchange(pm, pairs, values, adv, cfg.Seed+int64(t))
+			if err != nil {
+				return nil, err
+			}
+			name, bound := "direct", 2*t
+			if mode == core.ModeSurrogate {
+				name, bound = "surrogate", t
+			}
+			tb.AddRow(t, pm.N, pm.C, name, out.CoverSize, bound, out.CoverSize <= bound)
+			if out.CoverSize > bound {
+				return nil, fmt.Errorf("t=%d mode=%s cover %d exceeds %d", t, name, out.CoverSize, bound)
+			}
+			if mode == core.ModeDirect && out.CoverSize != 2*t {
+				return nil, fmt.Errorf("t=%d direct cover = %d, attack should force exactly 2t", t, out.CoverSize)
+			}
+		}
+	}
+	return []*metrics.Table{tb}, nil
+}
+
+// expByzantine regenerates the Section 8 extension: the direct variant
+// ("surrogates eliminated, every rumor received directly from its
+// source") stays within 2t-disruptability against the worst-case jammer
+// on dense workloads.
+func expByzantine(w io.Writer, cfg config) ([]*metrics.Table, error) {
+	ts := []int{1, 2}
+	sizes := []int{6, 8}
+	if cfg.Quick {
+		sizes = []int{6}
+	}
+	tb := metrics.NewTable(
+		"Byzantine/direct variant under the worst-case jammer (complete workloads)",
+		"t", "n", "|E|", "cover", "bound 2t", "within", "rounds")
+	for _, t := range ts {
+		for _, m := range sizes {
+			p := core.Params{C: t + 1, T: t, Mode: core.ModeDirect, Regime: core.RegimeBase}
+			p.N = p.MinNodes() + m + 8
+			pairs := graph.Complete(m)
+			values := make(map[graph.Edge]radio.Message, len(pairs))
+			for _, e := range pairs {
+				values[e] = fmt.Sprintf("m%v", e)
+			}
+			adv := &adversary.GreedyJammer{T: t, C: t + 1}
+			out, err := core.Exchange(p, pairs, values, adv, cfg.Seed+int64(10*t+m))
+			if err != nil {
+				return nil, err
+			}
+			tb.AddRow(t, p.N, len(pairs), out.CoverSize, 2*t, out.CoverSize <= 2*t, out.Rounds)
+			if out.CoverSize > 2*t {
+				return nil, fmt.Errorf("t=%d cover %d exceeds 2t", t, out.CoverSize)
+			}
+		}
+	}
+	return []*metrics.Table{tb}, nil
+}

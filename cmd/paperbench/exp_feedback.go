@@ -1,0 +1,119 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"securadio/internal/adversary"
+	"securadio/internal/feedback"
+	"securadio/internal/metrics"
+	"securadio/internal/radio"
+)
+
+// fixedJammer jams channels 0..t-1 every round — the strongest
+// model-compliant strategy against the feedback routine, whose listeners
+// pick channels uniformly (any fixed or random t-subset leaves them a
+// (C-t)/C escape probability, exactly Lemma 5's setting).
+type fixedJammer struct{ t int }
+
+func (f *fixedJammer) Plan(int) []radio.Transmission {
+	out := make([]radio.Transmission, f.t)
+	for i := range out {
+		out[i] = radio.Transmission{Channel: i}
+	}
+	return out
+}
+func (f *fixedJammer) Observe(radio.RoundObservation) {}
+
+// expFeedback regenerates Lemma 5: the probability that
+// communication-feedback leaves any node with a wrong or disagreeing flag
+// decays exponentially with the repetition multiplier kappa.
+//
+// Two adversaries are measured. The fixed jammer is the model-compliant
+// worst case (listeners evade with probability (C-t)/C per round). The
+// omniscient jammer additionally sees the listeners' current-round channel
+// choices — strictly beyond the model — and therefore needs a larger
+// kappa before the failure rate collapses; the contrast quantifies how
+// much Lemma 5 leans on the model's information hiding.
+func expFeedback(w io.Writer, cfg config) ([]*metrics.Table, error) {
+	kappas := []float64{0.25, 0.5, 1, 2, 3}
+	trials := 60
+	if cfg.Quick {
+		kappas = []float64{0.5, 2}
+		trials = 20
+	}
+	const c, t = 4, 3
+	n := c*c + 8
+	witnesses := make([][]int, c)
+	id := 0
+	for i := range witnesses {
+		ws := make([]int, c)
+		for j := range ws {
+			ws[j] = id
+			id++
+		}
+		witnesses[i] = ws
+	}
+	wantFlags := []bool{true, false, true, true}
+
+	runTrials := func(kappa float64, mk func() radio.Adversary) (int, int) {
+		reps := feedback.Reps(n, c, t, kappa)
+		failures := 0
+		for trial := 0; trial < trials; trial++ {
+			results := make([][]bool, n)
+			procs := make([]radio.Process, n)
+			for i := 0; i < n; i++ {
+				i := i
+				procs[i] = func(e radio.Env) {
+					flag := false
+					if i < c*c {
+						flag = wantFlags[i/c]
+					}
+					d, err := feedback.Run(e, witnesses, flag, reps)
+					if err == nil {
+						results[i] = d
+					}
+				}
+			}
+			rcfg := radio.Config{
+				N: n, C: c, T: t,
+				Seed:      cfg.Seed + int64(trial) + int64(kappa*1000),
+				Adversary: mk(),
+			}
+			if _, err := radio.Run(rcfg, procs); err != nil {
+				failures++
+				continue
+			}
+			bad := false
+			for i := 0; i < n && !bad; i++ {
+				if results[i] == nil {
+					bad = true
+					break
+				}
+				for ch := range wantFlags {
+					if results[i][ch] != wantFlags[ch] {
+						bad = true
+						break
+					}
+				}
+			}
+			if bad {
+				failures++
+			}
+		}
+		return failures, reps
+	}
+
+	tb := metrics.NewTable(
+		fmt.Sprintf("feedback failure rate vs kappa (C=%d, t=%d, n=%d, %d trials each)", c, t, n, trials),
+		"kappa", "reps/channel", "rounds", "model jammer failures", "rate", "omniscient failures", "rate ")
+	for _, kappa := range kappas {
+		modelFail, reps := runTrials(kappa, func() radio.Adversary { return &fixedJammer{t: t} })
+		omniFail, _ := runTrials(kappa, func() radio.Adversary { return &adversary.GreedyJammer{T: t, C: c} })
+		tb.AddRow(kappa, reps, feedback.Rounds(c, reps),
+			modelFail, float64(modelFail)/float64(trials),
+			omniFail, float64(omniFail)/float64(trials))
+	}
+	tb.AddRow("theory", "", "", "", "~ n*C*((t/C)^reps)", "", "needs larger kappa")
+	return []*metrics.Table{tb}, nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"securadio/internal/adversary"
+	"securadio/internal/metrics"
+	"securadio/internal/radio"
+	"securadio/internal/secure"
+	"securadio/internal/wcrypto"
+)
+
+// expLongLived regenerates the Section 7 costs and guarantees: one
+// emulated round of the long-lived secure channel costs Theta(t log n)
+// real rounds; deliveries survive model-compliant jamming; injections and
+// replays are rejected.
+func expLongLived(w io.Writer, cfg config) ([]*metrics.Table, error) {
+	// Table 1: the slot cost Theta(t log n).
+	tb1 := metrics.NewTable(
+		"emulated-round cost (real rounds per emulated round)",
+		"n", "t", "slot rounds", "model (t+1)*log n", "slot/model")
+	for _, pt := range []struct{ n, t int }{{16, 1}, {64, 1}, {256, 1}, {64, 2}, {64, 3}} {
+		p := secure.Params{N: pt.n, C: pt.t + 1, T: pt.t}
+		model := float64(pt.t+1) * log2(pt.n)
+		tb1.AddRow(pt.n, pt.t, p.SlotRounds(), model, float64(p.SlotRounds())/model)
+	}
+
+	// Table 2: delivery and security under fire.
+	emRounds := 30
+	if cfg.Quick {
+		emRounds = 10
+	}
+	const n, c, t = 12, 3, 2
+	key := wcrypto.KeyFromBytes("paperbench", []byte("group"))
+	p := secure.Params{N: n, C: c, T: t}
+
+	scenario := func(adv radio.Adversary) (delivered, expected, rejected int, err error) {
+		received := make([][]int, n) // per node: emRounds delivered flags
+		procs := make([]radio.Process, n)
+		for i := 0; i < n; i++ {
+			i := i
+			procs[i] = func(e radio.Env) {
+				ch, aerr := secure.Attach(e, p, key)
+				if aerr != nil {
+					return
+				}
+				for em := 0; em < emRounds; em++ {
+					sender := em % n
+					var body []byte
+					if i == sender {
+						body = []byte(fmt.Sprintf("payload-%d", em))
+					}
+					got := ch.Step(body)
+					if i == sender {
+						continue
+					}
+					ok := 0
+					for _, r := range got {
+						if r.Sender == sender && string(r.Body) == fmt.Sprintf("payload-%d", em) {
+							ok = 1
+						}
+					}
+					received[i] = append(received[i], ok)
+				}
+			}
+		}
+		rcfg := radio.Config{N: n, C: c, T: t, Seed: cfg.Seed + 5, Adversary: adv}
+		res, rerr := radio.Run(rcfg, procs)
+		if rerr != nil {
+			return 0, 0, 0, rerr
+		}
+		for i := range received {
+			for _, ok := range received[i] {
+				expected++
+				delivered += ok
+			}
+		}
+		// Spoofed frames that physically reached a radio but were rejected
+		// by authentication.
+		rejected = res.SpoofDeliveries
+		return delivered, expected, rejected, nil
+	}
+
+	tb2 := metrics.NewTable(
+		fmt.Sprintf("long-lived channel under fire (n=%d, C=%d, t=%d, %d emulated rounds)", n, c, t, emRounds),
+		"adversary", "delivered", "expected", "rate", "spoofs on air (all rejected)")
+	advs := []struct {
+		name string
+		adv  radio.Adversary
+	}{
+		{"none", nil},
+		{"random jammer", adversary.NewRandomJammer(t, c, cfg.Seed+9)},
+		{"sweep jammer", &adversary.SweepJammer{T: t, C: c}},
+		{"spoofer", adversary.NewRandomSpoofer(t, c, cfg.Seed+10, func(round int) radio.Message {
+			return []byte("forged-frame")
+		})},
+		{"replayer", adversary.NewReplaySpoofer(t, c, cfg.Seed+11)},
+	}
+	for _, a := range advs {
+		delivered, expected, rejected, err := scenario(a.adv)
+		if err != nil {
+			return nil, err
+		}
+		rate := float64(delivered) / float64(expected)
+		tb2.AddRow(a.name, delivered, expected, rate, rejected)
+		if rate < 0.99 {
+			return nil, fmt.Errorf("delivery rate %.3f under %s below whp expectation", rate, a.name)
+		}
+	}
+	return []*metrics.Table{tb1, tb2}, nil
+}

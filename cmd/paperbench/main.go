@@ -1,0 +1,119 @@
+// Command paperbench regenerates every quantitative artifact of the paper
+// on the simulated radio network: the three rows of Figure 3 (f-AME's
+// complexity across channel regimes), the Theorem 2 lower-bound
+// demonstration, the Section 5 2t-attack on direct exchange, Theorem 4's
+// greedy-game bound, Lemma 5's feedback reliability, the Section 6 group
+// key cost, the Section 7 long-lived channel cost, the oblivious-gossip
+// baseline comparison, and the Section 5.6 message-size optimization.
+//
+// Run everything:
+//
+//	paperbench -exp all
+//
+// Run one experiment, with CSV output:
+//
+//	paperbench -exp fig3-base -csv
+//
+// The -quick flag shrinks the sweeps for fast smoke runs. EXPERIMENTS.md
+// records paper-vs-measured for a full run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"securadio/internal/metrics"
+)
+
+// config carries the harness-wide knobs into each experiment.
+type config struct {
+	Quick bool
+	Seed  int64
+	CSV   bool
+}
+
+// experiment is one regenerable artifact.
+type experiment struct {
+	id    string
+	title string
+	run   func(w io.Writer, cfg config) ([]*metrics.Table, error)
+}
+
+func registry() []experiment {
+	return []experiment{
+		{"fig3-base", "E1: Figure 3 row C=t+1 — f-AME O(|E| t^2 log n)", expFig3Base},
+		{"fig3-2t", "E2: Figure 3 row C>=2t — f-AME O(|E| log n)", expFig32T},
+		{"fig3-2t2", "E3: Figure 3 row C>=2t^2 — f-AME O(|E| log^2 n / t)", expFig32T2},
+		{"thm2", "E4: Theorem 2 — no protocol beats t-disruptability", expThm2},
+		{"direct-2t", "E5: Section 5 — triangle attack makes direct exchange 2t-disruptable", expDirect2T},
+		{"greedy", "E6: Theorem 4 — greedy removal finishes in O(|E|) moves", expGreedy},
+		{"feedback", "E7: Lemma 5 — feedback agreement vs repetition multiplier", expFeedback},
+		{"groupkey", "E8: Section 6 — group key in Theta(n t^3 log n) rounds", expGroupKey},
+		{"longlived", "E9: Section 7 — emulated round costs Theta(t log n)", expLongLived},
+		{"gossip", "E10: Section 2 — oblivious gossip baseline vs f-AME", expGossip},
+		{"msgopt", "E11: Section 5.6 — constant-size protocol messages", expMsgOpt},
+		{"byz", "E12: Section 8 ext. — Byzantine/direct variant is 2t-disruptable", expByzantine},
+		{"cleanup", "E13: Section 8 open q.3 — best-effort cleanup extension", expCleanup},
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exps  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		quick = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		seed  = flag.Int64("seed", 1, "master seed")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	reg := registry()
+	if *list {
+		for _, e := range reg {
+			fmt.Printf("%-10s %s\n", e.id, e.title)
+		}
+		return nil
+	}
+
+	want := map[string]bool{}
+	all := *exps == "all"
+	for _, id := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+
+	cfg := config{Quick: *quick, Seed: *seed, CSV: *csv}
+	ran := 0
+	for _, e := range reg {
+		if !all && !want[e.id] {
+			continue
+		}
+		ran++
+		fmt.Printf("=== %s ===\n", e.title)
+		tables, err := e.run(os.Stdout, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		for _, tb := range tables {
+			if cfg.CSV {
+				tb.RenderCSV(os.Stdout)
+			} else {
+				tb.Render(os.Stdout)
+			}
+			fmt.Println()
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiments matched %q (use -list)", *exps)
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package main
+
+// Harness regression tests: every registered experiment must run in quick
+// mode, produce non-empty tables, and uphold its own internal assertions
+// (the experiments fail loudly when a guarantee is violated, so running
+// them IS the test).
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRegistryIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range registry() {
+		if e.id == "" || e.title == "" || e.run == nil {
+			t.Fatalf("malformed experiment entry %+v", e)
+		}
+		if seen[e.id] {
+			t.Fatalf("duplicate experiment id %q", e.id)
+		}
+		seen[e.id] = true
+	}
+	if len(seen) < 13 {
+		t.Fatalf("only %d experiments registered", len(seen))
+	}
+}
+
+func TestAllExperimentsQuickMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness sweep")
+	}
+	cfg := config{Quick: true, Seed: 1}
+	for _, e := range registry() {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			t.Parallel()
+			tables, err := e.run(io.Discard, cfg)
+			if err != nil {
+				t.Fatalf("experiment %s: %v", e.id, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("experiment %s produced no tables", e.id)
+			}
+			for _, tb := range tables {
+				if tb.Len() == 0 {
+					t.Fatalf("experiment %s produced an empty table %q", e.id, tb.Title)
+				}
+				var sb strings.Builder
+				tb.Render(&sb)
+				if !strings.Contains(sb.String(), "-") {
+					t.Fatalf("experiment %s table %q rendered oddly", e.id, tb.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestTablesRenderAsCSV(t *testing.T) {
+	cfg := config{Quick: true, Seed: 1}
+	tables, err := expGreedy(io.Discard, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	tables[0].RenderCSV(&sb)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("csv too short:\n%s", sb.String())
+	}
+	if !strings.Contains(lines[0], ",") {
+		t.Fatalf("csv header missing commas: %q", lines[0])
+	}
+}

@@ -1,0 +1,159 @@
+// Command radiosim runs one protocol from the paper on a simulated
+// multi-channel radio network and prints the outcome.
+//
+// Examples:
+//
+//	radiosim -proto fame -n 20 -c 2 -t 1 -pairs 8 -adv worst
+//	radiosim -proto fame-compact -n 20 -c 2 -t 1 -pairs 6 -adv jam
+//	radiosim -proto groupkey -n 40 -c 3 -t 2 -adv jam
+//	radiosim -proto gossip -n 16 -c 3 -t 1 -rounds 8000
+//	radiosim -proto fame -regime 2t -n 64 -c 4 -t 2 -pairs 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"securadio"
+	"securadio/internal/gossip"
+	"securadio/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "radiosim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		proto   = flag.String("proto", "fame", "protocol: fame | fame-compact | fame-direct | groupkey | gossip | gossip-det")
+		n       = flag.Int("n", 20, "number of nodes")
+		c       = flag.Int("c", 2, "number of channels")
+		t       = flag.Int("t", 1, "adversary budget (channels per round)")
+		seed    = flag.Int64("seed", 1, "master seed")
+		advName = flag.String("adv", "none", "adversary: none | jam | sweep | worst | replay")
+		pairs   = flag.Int("pairs", 8, "number of random AME pairs (fame protocols)")
+		rounds  = flag.Int("rounds", 8000, "schedule length (gossip protocols)")
+		regime  = flag.String("regime", "auto", "f-AME regime: auto | base | 2t | 2t2")
+		cleanup = flag.Int("cleanup", 0, "best-effort cleanup move budget (extension)")
+		kappa   = flag.Float64("kappa", 0, "whp repetition multiplier (0 = default)")
+	)
+	flag.Parse()
+
+	net := securadio.Network{N: *n, C: *c, T: *t, Seed: *seed}
+	switch *advName {
+	case "none":
+	case "jam":
+		net.Adversary = securadio.NewJammer(net, *seed+1)
+	case "sweep":
+		net.Adversary = securadio.NewSweepJammer(net)
+	case "worst":
+		net.Adversary = securadio.NewWorstCaseJammer(net)
+	case "replay":
+		net.Adversary = securadio.NewReplayer(net, *seed+1)
+	default:
+		return fmt.Errorf("unknown adversary %q", *advName)
+	}
+
+	opts := securadio.Options{Kappa: *kappa, Cleanup: *cleanup}
+	switch *regime {
+	case "auto":
+		opts.Regime = securadio.RegimeAuto
+	case "base":
+		opts.Regime = securadio.RegimeBase
+	case "2t":
+		opts.Regime = securadio.Regime2T
+	case "2t2":
+		opts.Regime = securadio.Regime2T2
+	default:
+		return fmt.Errorf("unknown regime %q", *regime)
+	}
+
+	switch *proto {
+	case "fame", "fame-direct":
+		opts.Direct = *proto == "fame-direct"
+		return runFame(net, opts, *pairs, false)
+	case "fame-compact":
+		return runFame(net, opts, *pairs, true)
+	case "groupkey":
+		return runGroupKey(net, opts)
+	case "gossip", "gossip-det":
+		return runGossip(net, *rounds, *proto == "gossip-det")
+	default:
+		return fmt.Errorf("unknown protocol %q", *proto)
+	}
+}
+
+func runFame(net securadio.Network, opts securadio.Options, k int, compact bool) error {
+	rng := rand.New(rand.NewSource(net.Seed))
+	pairs := graph.RandomPairs(min(net.N, 12), k, rng.Intn)
+
+	var rep *securadio.ExchangeReport
+	var err error
+	if compact {
+		payloads := make(map[securadio.Pair]string, len(pairs))
+		for _, p := range pairs {
+			payloads[p] = fmt.Sprintf("m/%v", p)
+		}
+		rep, err = securadio.ExchangeMessagesCompact(net, pairs, payloads, opts)
+	} else {
+		payloads := make(map[securadio.Pair]securadio.Message, len(pairs))
+		for _, p := range pairs {
+			payloads[p] = fmt.Sprintf("m/%v", p)
+		}
+		rep, err = securadio.ExchangeMessages(net, pairs, payloads, opts)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pairs=%d delivered=%d failed=%d cover=%d rounds=%d gameMoves=%d\n",
+		len(pairs), len(rep.Delivered), len(rep.Failed), rep.DisruptionCover,
+		rep.Rounds, rep.GameRounds)
+	for _, p := range rep.Failed {
+		fmt.Printf("  failed: %v\n", p)
+	}
+	return nil
+}
+
+func runGroupKey(net securadio.Network, opts securadio.Options) error {
+	rep, err := securadio.EstablishGroupKey(net, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("leader=%d agreed=%d/%d rounds=%d\n", rep.Leader, rep.Agreed, net.N, rep.Rounds)
+	return nil
+}
+
+func runGossip(net securadio.Network, rounds int, deterministic bool) error {
+	bodies := make([]securadio.Message, net.N)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf("rumor-%d", i)
+	}
+	p := gossip.Params{N: net.N, C: net.C, T: net.T, Rounds: rounds}
+	var (
+		res *gossip.Result
+		err error
+	)
+	if deterministic {
+		res, err = gossip.RunDeterministic(p, net.Adversary, net.Seed, bodies)
+	} else {
+		res, err = gossip.Run(p, net.Adversary, net.Seed, bodies)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rounds=%d completedAt=%d deliveries=%d polluted=%d\n",
+		res.Rounds, res.CompletedAt, res.Deliveries(), res.Polluted)
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,32 @@
+// Package securadio is a from-scratch Go implementation of
+//
+//	Dolev, Gilbert, Guerraoui, Newport.
+//	"Secure Communication Over Radio Channels." PODC 2008.
+//
+// It provides secure (authenticated, reliable, eventually secret)
+// communication over a multi-channel single-hop radio network in the
+// presence of a malicious adversary that can jam and spoof on up to t of
+// the C channels per round — with no pre-shared secrets and no trusted
+// infrastructure.
+//
+// The package exposes four layers, mirroring the paper:
+//
+//   - ExchangeMessages: the f-AME protocol (the paper's core
+//     contribution) — a single-shot authenticated message exchange for an
+//     arbitrary pair set, optimally t-disruptable.
+//   - ExchangeMessagesCompact: f-AME with the Section 5.6 message-size
+//     optimization (constant AME values per protocol message).
+//   - EstablishGroupKey: the Section 6 protocol — Diffie-Hellman over a
+//     (t+1)-leader spanner via f-AME, leader-key dissemination on secret
+//     hopping sequences, and reporter-quorum agreement.
+//   - RunSecureGroup: the Section 7 long-lived service — an emulated
+//     reliable, secret, authenticated broadcast channel that applications
+//     drive one emulated round at a time.
+//
+// Everything runs on a deterministic discrete-event simulation of the
+// paper's synchronous radio model (internal/radio); the adversary zoo in
+// internal/adversary provides jamming, spoofing, replaying and
+// protocol-specific attack strategies for experiments. The cmd/paperbench
+// tool regenerates every quantitative claim in the paper; see DESIGN.md
+// and EXPERIMENTS.md.
+package securadio

@@ -1,0 +1,91 @@
+package securadio_test
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"securadio"
+)
+
+// ExampleExchangeMessages runs f-AME on a small jammed network. The run is
+// fully deterministic for a fixed seed.
+func ExampleExchangeMessages() {
+	net := securadio.Network{N: 20, C: 2, T: 1, Seed: 7}
+	net.Adversary = securadio.NewWorstCaseJammer(net)
+
+	pairs := []securadio.Pair{
+		{Src: 2, Dst: 5},
+		{Src: 3, Dst: 6},
+		{Src: 4, Dst: 7},
+	}
+	payloads := map[securadio.Pair]securadio.Message{
+		{Src: 2, Dst: 5}: "alpha",
+		{Src: 3, Dst: 6}: "bravo",
+		{Src: 4, Dst: 7}: "charlie",
+	}
+
+	report, err := securadio.ExchangeMessages(net, pairs, payloads, securadio.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, p := range pairs {
+		if msg, ok := report.Delivered[p]; ok {
+			fmt.Printf("%v: %v\n", p, msg)
+		} else {
+			fmt.Printf("%v: fail\n", p)
+		}
+	}
+	fmt.Println("cover within t:", report.DisruptionCover <= net.T)
+	// The worst-case jammer always claims its t-coverable share — here it
+	// manages to block one pair, and the sender knows it (Definition 1).
+	// Output:
+	// 2->5: fail
+	// 3->6: bravo
+	// 4->7: charlie
+	// cover within t: true
+}
+
+// ExampleEstablishGroupKey bootstraps a shared secret among 20 devices
+// with no pre-shared keys, under random jamming.
+func ExampleEstablishGroupKey() {
+	net := securadio.Network{N: 20, C: 2, T: 1, Seed: 1}
+	net.Adversary = securadio.NewJammer(net, 2)
+
+	report, err := securadio.EstablishGroupKey(net, securadio.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("leader:", report.Leader)
+	fmt.Println("quorum met:", report.Agreed >= net.N-net.T)
+	// Output:
+	// leader: 0
+	// quorum met: true
+}
+
+// ExampleRunSecureGroup sends one authenticated broadcast over the
+// long-lived emulated channel.
+func ExampleRunSecureGroup() {
+	net := securadio.Network{N: 20, C: 2, T: 1, Seed: 5}
+
+	var heardBy atomic.Int64 // the app callback runs once per node, concurrently
+	app := func(s securadio.Session) {
+		var body []byte
+		if s.ID() == 3 {
+			body = []byte("rendezvous at dawn")
+		}
+		for _, d := range s.Step(body) {
+			if d.Sender == 3 && string(d.Body) == "rendezvous at dawn" {
+				heardBy.Add(1)
+			}
+		}
+	}
+	if _, err := securadio.RunSecureGroup(net, securadio.Options{}, app); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("all listeners heard the broadcast:", heardBy.Load() == int64(net.N-1))
+	// Output:
+	// all listeners heard the broadcast: true
+}

@@ -1,0 +1,63 @@
+// Group-key establishment (Section 6 of the paper): forty devices with no
+// pre-shared secrets and no PKI derive a common secret group key over a
+// jammed 3-channel spectrum.
+//
+// The protocol runs Diffie-Hellman over f-AME on a (t+1)-leader spanner,
+// disseminates leader keys on secret channel-hopping patterns, and agrees
+// on one key via a reporter quorum. At least n-t nodes end with the same
+// key; the rest correctly know they missed it.
+//
+//	go run ./examples/groupkey
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"securadio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "groupkey:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	net := securadio.Network{N: 40, C: 3, T: 2, Seed: 11}
+	// A model-compliant jammer: it cannot predict current-round choices,
+	// which is exactly the property the keyed channel hopping exploits.
+	net.Adversary = securadio.NewJammer(net, 99)
+
+	fmt.Printf("establishing a group key: n=%d nodes, C=%d channels, t=%d jammed per round\n",
+		net.N, net.C, net.T)
+
+	report, err := securadio.EstablishGroupKey(net, securadio.Options{})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nsetup complete in %d radio rounds\n", report.Rounds)
+	fmt.Printf("winning leader: node %d\n", report.Leader)
+	fmt.Printf("nodes holding the group key: %d / %d (guarantee: >= n-t = %d)\n",
+		report.Agreed, net.N, net.N-net.T)
+
+	missing := 0
+	for id, k := range report.Keys {
+		if k == nil {
+			fmt.Printf("  node %2d: no key (correctly identified its lack of knowledge)\n", id)
+			missing++
+		}
+	}
+	if missing == 0 {
+		fmt.Println("  every node obtained the key this run")
+	}
+	for _, k := range report.Keys {
+		if k != nil {
+			fmt.Printf("\nshared key fingerprint: %x...\n", k[:8])
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+// Regimes: the three rows of the paper's Figure 3 on one workload. The
+// same 14 message pairs are exchanged at t=2 with the spectrum the paper
+// assigns each regime — C = t+1 (minimal), C = 2t, and C = 2t² — under a
+// worst-case jammer, showing how extra spectrum buys rounds.
+//
+//	go run ./examples/regimes
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"securadio"
+	"securadio/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "regimes:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const t = 2
+	rng := rand.New(rand.NewSource(5))
+	pairs := graph.RandomPairs(12, 14, rng.Intn)
+	payloads := make(map[securadio.Pair]securadio.Message, len(pairs))
+	for _, p := range pairs {
+		payloads[p] = fmt.Sprintf("m%v", p)
+	}
+
+	fmt.Printf("f-AME, |E|=%d pairs, t=%d, worst-case jammer\n\n", len(pairs), t)
+	fmt.Printf("%-8s %-4s %-6s %-8s %-12s %-10s\n", "regime", "C", "n", "rounds", "game moves", "cover")
+
+	for _, row := range []struct {
+		regime securadio.Regime
+		c      int
+		label  string
+	}{
+		{securadio.RegimeBase, t + 1, "base"},
+		{securadio.Regime2T, 2 * t, "2t"},
+		{securadio.Regime2T2, 2 * t * t, "2t^2"},
+	} {
+		net := securadio.Network{N: 130, C: row.c, T: t, Seed: 7}
+		net.Adversary = securadio.NewWorstCaseJammer(net)
+		rep, err := securadio.ExchangeMessages(net, pairs, payloads, securadio.Options{Regime: row.regime})
+		if err != nil {
+			return fmt.Errorf("regime %s: %w", row.label, err)
+		}
+		fmt.Printf("%-8s %-4d %-6d %-8d %-12d %-10d\n",
+			row.label, row.c, net.N, rep.Rounds, rep.GameRounds, rep.DisruptionCover)
+	}
+
+	fmt.Println("\npaper's Figure 3: O(|E| t² log n)  →  O(|E| log n)  →  O(|E| log² n / t)")
+	fmt.Println("every regime keeps the disruption cover within t — spectrum buys speed, not safety")
+	return nil
+}

@@ -1,0 +1,103 @@
+// Secure chat over the long-lived communication service (Section 7):
+// after bootstrapping a group key with f-AME, the nodes emulate a
+// reliable, secret, authenticated broadcast channel and hold a short
+// conversation on it — while an adversary jams and a replay attacker
+// re-injects everything it overhears.
+//
+// Every emulated round costs Theta(t log n) real radio rounds; messages
+// from non-members and replays from earlier rounds are rejected by
+// authentication.
+//
+//	go run ./examples/securechat
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"securadio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "securechat:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	net := securadio.Network{N: 20, C: 2, T: 1, Seed: 3}
+	// The replayer records every frame it hears and re-broadcasts it —
+	// the round-bound nonces make all of it bounce off.
+	net.Adversary = securadio.NewReplayer(net, 123)
+
+	script := []struct {
+		speaker int
+		line    string
+	}{
+		{2, "anyone on this spectrum?"},
+		{5, "loud and clear — who else made it?"},
+		{9, "node 9 here, key in hand"},
+		{2, "good. rendezvous plan follows"},
+	}
+
+	var mu sync.Mutex
+	transcript := make(map[int][]string) // node -> heard lines
+
+	app := func(s securadio.Session) {
+		for em, entry := range script {
+			var body []byte
+			if s.ID() == entry.speaker {
+				body = []byte(entry.line)
+			}
+			for _, d := range s.Step(body) {
+				mu.Lock()
+				transcript[s.ID()] = append(transcript[s.ID()],
+					fmt.Sprintf("[em %d] node %d: %s", em, d.Sender, d.Body))
+				mu.Unlock()
+			}
+		}
+	}
+
+	report, err := securadio.RunSecureGroup(net, securadio.Options{}, app)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("setup: %d rounds; each emulated round: %d real rounds; key holders: %d/%d\n\n",
+		report.SetupRounds, report.SlotRounds, report.KeyHolders, net.N)
+
+	// Show one listener's view of the chat.
+	ids := make([]int, 0, len(transcript))
+	for id := range transcript {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if id != 0 {
+			continue
+		}
+		fmt.Printf("transcript as heard by node %d:\n", id)
+		for _, line := range transcript[id] {
+			fmt.Println(" ", line)
+		}
+	}
+
+	// Tally delivery of each scripted line.
+	fmt.Println("\ndelivery tally (listeners that authenticated each line):")
+	for em, entry := range script {
+		count := 0
+		want := fmt.Sprintf("[em %d] node %d: %s", em, entry.speaker, entry.line)
+		for _, lines := range transcript {
+			for _, l := range lines {
+				if l == want {
+					count++
+				}
+			}
+		}
+		fmt.Printf("  %-45q %d/%d\n", entry.line, count, net.N-1)
+	}
+	return nil
+}

@@ -1,0 +1,339 @@
+// Package adversary implements the malicious-interferer strategies used to
+// stress the protocols: jammers (random, sweeping, omniscient-greedy),
+// spoofers (random, replaying, omniscient idle-channel), the
+// distribution-mirroring "simulating" adversary of the Theorem 2 lower
+// bound, and combinators.
+//
+// All strategies respect the model's information structure unless they
+// embed radio.OmniscientAdversary semantics, which the engine treats as a
+// strictly-stronger-than-model adversary for worst-case testing (see the
+// radio package documentation).
+package adversary
+
+import (
+	"math/rand"
+
+	"securadio/internal/radio"
+)
+
+// Silent never transmits.
+type Silent struct{}
+
+var _ radio.Adversary = Silent{}
+
+// Plan implements radio.Adversary.
+func (Silent) Plan(int) []radio.Transmission { return nil }
+
+// Observe implements radio.Adversary.
+func (Silent) Observe(radio.RoundObservation) {}
+
+// RandomJammer transmits noise on t channels chosen uniformly at random
+// each round.
+type RandomJammer struct {
+	T   int
+	C   int
+	Rng *rand.Rand
+}
+
+var _ radio.Adversary = (*RandomJammer)(nil)
+
+// NewRandomJammer returns a jammer with budget t over c channels.
+func NewRandomJammer(t, c int, seed int64) *RandomJammer {
+	return &RandomJammer{T: t, C: c, Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Plan implements radio.Adversary.
+func (j *RandomJammer) Plan(int) []radio.Transmission {
+	perm := j.Rng.Perm(j.C)
+	out := make([]radio.Transmission, 0, j.T)
+	for i := 0; i < j.T && i < len(perm); i++ {
+		out = append(out, radio.Transmission{Channel: perm[i]})
+	}
+	return out
+}
+
+// Observe implements radio.Adversary.
+func (j *RandomJammer) Observe(radio.RoundObservation) {}
+
+// SweepJammer jams a rotating window of t channels, modeling a scanning
+// interferer.
+type SweepJammer struct {
+	T int
+	C int
+}
+
+var _ radio.Adversary = (*SweepJammer)(nil)
+
+// Plan implements radio.Adversary.
+func (j *SweepJammer) Plan(round int) []radio.Transmission {
+	out := make([]radio.Transmission, 0, j.T)
+	for i := 0; i < j.T; i++ {
+		out = append(out, radio.Transmission{Channel: (round + i) % j.C})
+	}
+	return out
+}
+
+// Observe implements radio.Adversary.
+func (j *SweepJammer) Observe(radio.RoundObservation) {}
+
+// GreedyJammer is an omniscient worst-case jammer: each round it inspects
+// the honest nodes' committed actions and jams the t busiest channels,
+// ranking channels by (single honest transmitter first, then listener
+// count). Against protocols whose transmission schedule is deterministic
+// this is exactly as strong as a model-compliant adversary that recomputes
+// the schedule; against randomized phases it is strictly stronger, making
+// it a conservative stress test.
+type GreedyJammer struct {
+	T int
+	C int
+}
+
+var (
+	_ radio.Adversary           = (*GreedyJammer)(nil)
+	_ radio.OmniscientAdversary = (*GreedyJammer)(nil)
+)
+
+// Plan implements radio.Adversary (unused: the engine prefers
+// PlanOmniscient).
+func (j *GreedyJammer) Plan(int) []radio.Transmission { return nil }
+
+// PlanOmniscient implements radio.OmniscientAdversary.
+func (j *GreedyJammer) PlanOmniscient(_ int, pending []radio.NodeAction) []radio.Transmission {
+	type chanInfo struct {
+		transmitters int
+		listeners    int
+	}
+	info := make([]chanInfo, j.C)
+	for _, a := range pending {
+		switch a.Op {
+		case radio.OpTransmit:
+			info[a.Channel].transmitters++
+		case radio.OpListen:
+			info[a.Channel].listeners++
+		}
+	}
+	score := func(c int) int {
+		// Channels with exactly one honest transmitter are live deliveries:
+		// jamming them destroys a message; prefer larger audiences. Idle or
+		// already-colliding channels gain nothing from a jam (transmitting
+		// nil on an idle channel just delivers silence), so their score is
+		// zero and the budget is saved for spoofing combinators.
+		if info[c].transmitters == 1 {
+			return 1 + info[c].listeners
+		}
+		return 0
+	}
+	order := make([]int, j.C)
+	for i := range order {
+		order[i] = i
+	}
+	// Selection sort by score (C is tiny).
+	for i := 0; i < len(order); i++ {
+		best := i
+		for k := i + 1; k < len(order); k++ {
+			if score(order[k]) > score(order[best]) {
+				best = k
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	out := make([]radio.Transmission, 0, j.T)
+	for i := 0; i < j.T && i < len(order); i++ {
+		if score(order[i]) == 0 {
+			break
+		}
+		out = append(out, radio.Transmission{Channel: order[i]})
+	}
+	return out
+}
+
+// Observe implements radio.Adversary.
+func (j *GreedyJammer) Observe(radio.RoundObservation) {}
+
+// Forge produces a spoofed payload for a given round; spoofers call it
+// whenever they are about to inject a message. Protocol-specific tests
+// supply forgers that craft plausible protocol messages from observed
+// history.
+type Forge func(round int) radio.Message
+
+// RandomSpoofer transmits forged messages on random channels, hoping to
+// land on idle channels with listeners.
+type RandomSpoofer struct {
+	T     int
+	C     int
+	Rng   *rand.Rand
+	Forge Forge
+}
+
+var _ radio.Adversary = (*RandomSpoofer)(nil)
+
+// NewRandomSpoofer returns a spoofer with budget t over c channels.
+func NewRandomSpoofer(t, c int, seed int64, forge Forge) *RandomSpoofer {
+	return &RandomSpoofer{T: t, C: c, Rng: rand.New(rand.NewSource(seed)), Forge: forge}
+}
+
+// Plan implements radio.Adversary.
+func (s *RandomSpoofer) Plan(round int) []radio.Transmission {
+	perm := s.Rng.Perm(s.C)
+	out := make([]radio.Transmission, 0, s.T)
+	for i := 0; i < s.T && i < len(perm); i++ {
+		out = append(out, radio.Transmission{Channel: perm[i], Msg: s.Forge(round)})
+	}
+	return out
+}
+
+// Observe implements radio.Adversary.
+func (s *RandomSpoofer) Observe(radio.RoundObservation) {}
+
+// IdleSpoofer is an omniscient spoofer: it injects forged messages only on
+// channels that are idle this round but have listeners — the only channels
+// where a spoof can actually be delivered.
+type IdleSpoofer struct {
+	T     int
+	C     int
+	Forge Forge
+}
+
+var (
+	_ radio.Adversary           = (*IdleSpoofer)(nil)
+	_ radio.OmniscientAdversary = (*IdleSpoofer)(nil)
+)
+
+// Plan implements radio.Adversary.
+func (s *IdleSpoofer) Plan(int) []radio.Transmission { return nil }
+
+// PlanOmniscient implements radio.OmniscientAdversary.
+func (s *IdleSpoofer) PlanOmniscient(round int, pending []radio.NodeAction) []radio.Transmission {
+	transmitters := make([]int, s.C)
+	listeners := make([]int, s.C)
+	for _, a := range pending {
+		switch a.Op {
+		case radio.OpTransmit:
+			transmitters[a.Channel]++
+		case radio.OpListen:
+			listeners[a.Channel]++
+		}
+	}
+	out := make([]radio.Transmission, 0, s.T)
+	for c := 0; c < s.C && len(out) < s.T; c++ {
+		if transmitters[c] == 0 && listeners[c] > 0 {
+			out = append(out, radio.Transmission{Channel: c, Msg: s.Forge(round)})
+		}
+	}
+	return out
+}
+
+// Observe implements radio.Adversary.
+func (s *IdleSpoofer) Observe(radio.RoundObservation) {}
+
+// ReplaySpoofer records every delivered message it overhears and replays a
+// random one on a random channel each round — the classic replay attack
+// against unauthenticated protocols.
+type ReplaySpoofer struct {
+	T    int
+	C    int
+	Rng  *rand.Rand
+	seen []radio.Message
+}
+
+var _ radio.Adversary = (*ReplaySpoofer)(nil)
+
+// NewReplaySpoofer returns a replaying adversary with budget t.
+func NewReplaySpoofer(t, c int, seed int64) *ReplaySpoofer {
+	return &ReplaySpoofer{T: t, C: c, Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Plan implements radio.Adversary.
+func (s *ReplaySpoofer) Plan(int) []radio.Transmission {
+	if len(s.seen) == 0 {
+		return nil
+	}
+	perm := s.Rng.Perm(s.C)
+	out := make([]radio.Transmission, 0, s.T)
+	for i := 0; i < s.T && i < len(perm); i++ {
+		msg := s.seen[s.Rng.Intn(len(s.seen))]
+		out = append(out, radio.Transmission{Channel: perm[i], Msg: msg})
+	}
+	return out
+}
+
+// Observe implements radio.Adversary.
+func (s *ReplaySpoofer) Observe(obs radio.RoundObservation) {
+	for _, m := range obs.Delivered {
+		if m != nil {
+			s.seen = append(s.seen, m)
+		}
+	}
+}
+
+// Mirror is the "simulating adversary" of the Theorem 2 lower bound: for
+// each of the fake identities it simulates, it draws a channel from the
+// same distribution an honest randomized sender would use (uniform over C)
+// and broadcasts that identity's fake message. To a receiver, an execution
+// with t honest senders plus Mirror is statistically indistinguishable
+// from one where the roles are swapped.
+type Mirror struct {
+	C     int
+	Rng   *rand.Rand
+	Fakes []radio.Message // one fake message per simulated identity
+}
+
+var _ radio.Adversary = (*Mirror)(nil)
+
+// NewMirror returns a simulating adversary for the given fake messages.
+func NewMirror(c int, seed int64, fakes []radio.Message) *Mirror {
+	return &Mirror{C: c, Rng: rand.New(rand.NewSource(seed)), Fakes: fakes}
+}
+
+// Plan implements radio.Adversary.
+func (m *Mirror) Plan(int) []radio.Transmission {
+	out := make([]radio.Transmission, 0, len(m.Fakes))
+	for _, fake := range m.Fakes {
+		out = append(out, radio.Transmission{Channel: m.Rng.Intn(m.C), Msg: fake})
+	}
+	return out
+}
+
+// Observe implements radio.Adversary.
+func (m *Mirror) Observe(radio.RoundObservation) {}
+
+// Combo splits the budget between an omniscient greedy jammer and an
+// omniscient idle-channel spoofer: jam live channels first, spend leftover
+// budget on spoofing idle ones. This is the strongest generic adversary in
+// the zoo.
+type Combo struct {
+	T     int
+	C     int
+	Forge Forge
+}
+
+var (
+	_ radio.Adversary           = (*Combo)(nil)
+	_ radio.OmniscientAdversary = (*Combo)(nil)
+)
+
+// Plan implements radio.Adversary.
+func (a *Combo) Plan(int) []radio.Transmission { return nil }
+
+// PlanOmniscient implements radio.OmniscientAdversary.
+func (a *Combo) PlanOmniscient(round int, pending []radio.NodeAction) []radio.Transmission {
+	jam := (&GreedyJammer{T: a.T, C: a.C}).PlanOmniscient(round, pending)
+	if len(jam) >= a.T || a.Forge == nil {
+		return jam
+	}
+	used := make(map[int]bool, len(jam))
+	for _, tx := range jam {
+		used[tx.Channel] = true
+	}
+	spoofs := (&IdleSpoofer{T: a.T - len(jam), C: a.C, Forge: a.Forge}).
+		PlanOmniscient(round, pending)
+	for _, tx := range spoofs {
+		if !used[tx.Channel] {
+			jam = append(jam, tx)
+		}
+	}
+	return jam
+}
+
+// Observe implements radio.Adversary.
+func (a *Combo) Observe(radio.RoundObservation) {}

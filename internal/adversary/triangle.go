@@ -1,0 +1,90 @@
+package adversary
+
+import "securadio/internal/radio"
+
+// Triangle implements the attack from Section 5 that shows direct
+// (surrogate-free) exchange cannot beat 2t-disruptability: the adversary
+// fixes t disjoint triples of nodes and jams every channel on which a
+// transmission stays inside one triple (its transmitter and a listener
+// belong to the same triple). Under a vertex-disjoint schedule at most one
+// within-triple edge is live per round, so the t-budget always suffices,
+// and the edges inside the triples — t edge-disjoint triangles, minimum
+// vertex cover 2t — never get delivered.
+//
+// Against the surrogate-based f-AME the attack collapses: relays pull the
+// transmitter outside the triple, the trigger never fires, and the
+// adversary jams nothing.
+type Triangle struct {
+	T      int
+	C      int
+	triple map[int]int // node -> triple index
+}
+
+var (
+	_ radio.Adversary           = (*Triangle)(nil)
+	_ radio.OmniscientAdversary = (*Triangle)(nil)
+)
+
+// NewTriangle builds the attack for the given disjoint triples.
+func NewTriangle(t, c int, triples [][3]int) *Triangle {
+	m := make(map[int]int, 3*len(triples))
+	for i, tr := range triples {
+		for _, v := range tr {
+			m[v] = i
+		}
+	}
+	return &Triangle{T: t, C: c, triple: m}
+}
+
+// Triples returns the canonical t disjoint triples over nodes [0, 3t).
+func Triples(t int) [][3]int {
+	out := make([][3]int, t)
+	for i := 0; i < t; i++ {
+		out[i] = [3]int{3 * i, 3*i + 1, 3*i + 2}
+	}
+	return out
+}
+
+// Plan implements radio.Adversary (unused; the engine prefers
+// PlanOmniscient).
+func (a *Triangle) Plan(int) []radio.Transmission { return nil }
+
+// PlanOmniscient implements radio.OmniscientAdversary.
+func (a *Triangle) PlanOmniscient(_ int, pending []radio.NodeAction) []radio.Transmission {
+	transmitter := make(map[int]int, a.C) // channel -> transmitting node
+	count := make(map[int]int, a.C)
+	for id, act := range pending {
+		if act.Op == radio.OpTransmit {
+			transmitter[act.Channel] = id
+			count[act.Channel]++
+		}
+	}
+	out := make([]radio.Transmission, 0, a.T)
+	for id, act := range pending {
+		if act.Op != radio.OpListen || len(out) >= a.T {
+			continue
+		}
+		tx, ok := transmitter[act.Channel]
+		if !ok || count[act.Channel] != 1 {
+			continue
+		}
+		txTriple, txIn := a.triple[tx]
+		lsTriple, lsIn := a.triple[id]
+		if txIn && lsIn && txTriple == lsTriple && !alreadyJamming(out, act.Channel) {
+			out = append(out, radio.Transmission{Channel: act.Channel})
+		}
+	}
+	return out
+}
+
+// Observe implements radio.Adversary.
+func (a *Triangle) Observe(radio.RoundObservation) {}
+
+func alreadyJamming(txs []radio.Transmission, channel int) bool {
+	for _, tx := range txs {
+		if tx.Channel == channel {
+			return true
+		}
+	}
+	return false
+}

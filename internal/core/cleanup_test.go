@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"securadio/internal/adversary"
+	"securadio/internal/game"
+	"securadio/internal/graph"
+)
+
+// straggler workload: eight edges out of node 0 plus one odd pair, which
+// the paper-faithful greedy strategy strands (it cannot form a final
+// proposal of t+1 items for the lone pair).
+func stragglerWorkload() []graph.Edge {
+	var pairs []graph.Edge
+	for dst := 1; dst <= 8; dst++ {
+		pairs = append(pairs, graph.Edge{Src: 0, Dst: dst})
+	}
+	return append(pairs, graph.Edge{Src: 9, Dst: 10})
+}
+
+func TestCleanupDeliversResidueWithoutAdversary(t *testing.T) {
+	pairs := stragglerWorkload()
+	values := valuesFor(pairs)
+
+	plain, err := Exchange(Params{N: 20, C: 2, T: 1}, pairs, values, nil, 3)
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if plain.Disruption.Len() == 0 {
+		t.Fatal("expected a stranded pair in the paper-faithful run")
+	}
+
+	cleaned, err := Exchange(Params{N: 20, C: 2, T: 1, Cleanup: 8}, pairs, values, nil, 3)
+	if err != nil {
+		t.Fatalf("Exchange with cleanup: %v", err)
+	}
+	if cleaned.Disruption.Len() != 0 {
+		t.Fatalf("cleanup left failures: %v", cleaned.Disruption.Edges())
+	}
+	checkDeliveries(t, cleaned, pairs, values)
+	if cleaned.PerNode[0].CleanupMoves == 0 {
+		t.Fatal("cleanup moves not recorded")
+	}
+}
+
+func TestCleanupNeverWorsensDisruption(t *testing.T) {
+	pairs := stragglerWorkload()
+	values := valuesFor(pairs)
+	for seed := int64(1); seed <= 4; seed++ {
+		adv := adversary.NewRandomJammer(1, 2, seed)
+		plain, err := Exchange(Params{N: 20, C: 2, T: 1}, pairs, values, adv, seed)
+		if err != nil {
+			t.Fatalf("Exchange: %v", err)
+		}
+		adv2 := adversary.NewRandomJammer(1, 2, seed)
+		cleaned, err := Exchange(Params{N: 20, C: 2, T: 1, Cleanup: 12}, pairs, values, adv2, seed)
+		if err != nil {
+			t.Fatalf("Exchange with cleanup: %v", err)
+		}
+		if cleaned.Disruption.Len() > plain.Disruption.Len() {
+			t.Fatalf("seed %d: cleanup increased failures %d -> %d",
+				seed, plain.Disruption.Len(), cleaned.Disruption.Len())
+		}
+		if cleaned.CoverSize > 1 {
+			t.Fatalf("seed %d: cover grew beyond t after cleanup", seed)
+		}
+		checkDeliveries(t, cleaned, pairs, values)
+	}
+}
+
+func TestCleanupBudgetBounded(t *testing.T) {
+	// Against a worst-case jammer that owns the straggler's channel every
+	// move, cleanup burns at most its budget and stops.
+	pairs := stragglerWorkload()
+	values := valuesFor(pairs)
+	adv := &adversary.GreedyJammer{T: 1, C: 2}
+	budget := 5
+	out, err := Exchange(Params{N: 20, C: 2, T: 1, Cleanup: budget}, pairs, values, adv, 7)
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if out.PerNode[0].CleanupMoves > budget {
+		t.Fatalf("cleanup ran %d moves, budget %d", out.PerNode[0].CleanupMoves, budget)
+	}
+	if out.CoverSize > 1 {
+		t.Fatalf("cover %d exceeds t", out.CoverSize)
+	}
+}
+
+func TestCleanupProposalLegality(t *testing.T) {
+	// Whatever the residue, cleanup proposals must satisfy the game's
+	// restrictions (they are scheduled like any other move).
+	p := Params{N: 20, C: 2, T: 1}
+	g, err := graph.FromEdges(20, []graph.Edge{{Src: 9, Dst: 10}, {Src: 11, Dst: 10}, {Src: 9, Dst: 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := game.NewState(g, 1)
+	items := cleanupProposal(p, st)
+	if items == nil {
+		t.Fatal("no cleanup proposal for non-empty residue")
+	}
+	if err := st.CheckProposalRelaxed(items, p.T+1, p.LiveChannels()); err != nil {
+		t.Fatalf("cleanup proposal illegal: %v", err)
+	}
+}
+
+func TestCleanupProposalEmptyGraph(t *testing.T) {
+	p := Params{N: 20, C: 2, T: 1}
+	g, err := graph.FromEdges(20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cleanupProposal(p, game.NewState(g, 1)); got != nil {
+		t.Fatalf("cleanup proposal on empty graph: %v", got)
+	}
+}
+
+func TestCleanupRoundsCost(t *testing.T) {
+	// Cleanup must cost rounds proportional to the moves it plays, not
+	// blow up the execution.
+	pairs := stragglerWorkload()
+	values := valuesFor(pairs)
+	plain, err := Exchange(Params{N: 20, C: 2, T: 1}, pairs, values, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleaned, err := Exchange(Params{N: 20, C: 2, T: 1, Cleanup: 8}, pairs, values, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extraMoves := cleaned.GameRounds - plain.GameRounds
+	if extraMoves <= 0 {
+		t.Fatalf("no extra moves recorded (%d vs %d)", cleaned.GameRounds, plain.GameRounds)
+	}
+	perMove := plain.Rounds / plain.GameRounds
+	if cleaned.Rounds > plain.Rounds+2*extraMoves*perMove {
+		t.Fatalf("cleanup cost %d rounds for %d extra moves (per-move %d)",
+			cleaned.Rounds-plain.Rounds, extraMoves, perMove)
+	}
+}

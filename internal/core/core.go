@@ -1,0 +1,258 @@
+// Package core implements f-AME — fast Authenticated Message Exchange —
+// the primary contribution of Dolev, Gilbert, Guerraoui and Newport,
+// "Secure Communication Over Radio Channels" (PODC 2008), Sections 5.4-5.5.
+//
+// f-AME distributedly simulates the (G,t)-starred-edge removal game: every
+// node keeps an identical replica of the game state, derives the same
+// greedy proposal, the same transmission schedule (channels, surrogates,
+// witnesses), transmits accordingly for one round, and then runs
+// communication-feedback so that all nodes agree on which channels were
+// disrupted — which is exactly the referee's response. Because the
+// schedule is deterministic and every live channel carries an honest
+// broadcaster, the adversary can jam but never spoof: authenticity is
+// structural. When the greedy strategy terminates, the remaining
+// (disruption) graph has a vertex cover of at most t — optimal resilience
+// (Theorem 6).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"securadio/internal/graph"
+	"securadio/internal/radio"
+)
+
+// Mode selects the protocol variant.
+type Mode int
+
+// Protocol variants.
+const (
+	// ModeSurrogate is the paper's f-AME: starred nodes recruit surrogate
+	// relays, achieving optimal t-disruptability.
+	ModeSurrogate Mode = iota + 1
+
+	// ModeDirect eliminates surrogates: every message is transmitted
+	// directly by its source, and proposals are vertex-disjoint edge
+	// matchings. This is the strawman of Section 5 (insight 1) and the
+	// Byzantine-tolerant variant sketched in Section 8, extension (1); it
+	// achieves 2t- but not t-disruptability.
+	ModeDirect
+)
+
+// Regime selects the channel-usage strategy (the rows of Figure 3).
+type Regime int
+
+// Channel regimes.
+const (
+	// RegimeAuto picks the fastest regime the spectrum supports.
+	RegimeAuto Regime = iota
+	// RegimeBase uses t+1 channels: O(|E| t^2 log n) rounds.
+	RegimeBase
+	// Regime2T uses 2t channels (requires C >= 2t): O(|E| log n) rounds.
+	Regime2T
+	// Regime2T2 uses C/t proposal channels with parallel-prefix feedback
+	// (requires C >= 2t^2): O(|E| log^2 n / t) rounds.
+	Regime2T2
+)
+
+// String names the regime.
+func (r Regime) String() string {
+	switch r {
+	case RegimeAuto:
+		return "auto"
+	case RegimeBase:
+		return "base"
+	case Regime2T:
+		return "2t"
+	case Regime2T2:
+		return "2t2"
+	default:
+		return fmt.Sprintf("regime(%d)", int(r))
+	}
+}
+
+// Params configures an f-AME execution.
+type Params struct {
+	// N, C, T mirror the radio network parameters.
+	N, C, T int
+
+	// Mode selects surrogate (paper) or direct (baseline) operation.
+	// Zero value selects ModeSurrogate.
+	Mode Mode
+
+	// Regime selects the channel-usage strategy. Zero value (RegimeAuto)
+	// picks the fastest regime the spectrum supports.
+	Regime Regime
+
+	// Kappa is the feedback repetition multiplier (the whp constant);
+	// non-positive selects feedback.DefaultKappa.
+	Kappa float64
+
+	// MaxGameRounds caps the number of simulated game moves as a
+	// divergence guard; 0 derives a bound from |E|.
+	MaxGameRounds int
+
+	// Cleanup enables the best-effort post-termination extension
+	// addressing open question (3) of Section 8 ("can we make some
+	// progress with the disrupted nodes?"): after the greedy strategy
+	// terminates — which may strand a sub-threshold residue of pairs —
+	// the nodes keep scheduling the survivors, padding proposals with
+	// fresh recruitment items to stay above the t+1 channel floor, for up
+	// to Cleanup extra moves. The t-disruptability guarantee is already
+	// in hand at that point; cleanup only ever improves delivery. Zero
+	// disables the extension (paper-faithful behaviour).
+	Cleanup int
+}
+
+// Errors reported by the protocol.
+var (
+	ErrBadParams = errors.New("core: invalid f-AME parameters")
+	ErrDiverged  = errors.New("core: replicas diverged (feedback whp failure)")
+	ErrSchedule  = errors.New("core: schedule construction failed")
+)
+
+// EffectiveRegime resolves RegimeAuto against the spectrum.
+func (p Params) EffectiveRegime() Regime {
+	if p.Regime != RegimeAuto {
+		return p.Regime
+	}
+	switch {
+	// The parallel regime only pays off for t >= 2; at t = 1 it
+	// degenerates to the 2t regime with extra machinery.
+	case p.T >= 2 && p.C >= 2*p.T*p.T && p.C/p.T >= 2*p.T:
+		return Regime2T2
+	case p.T >= 1 && p.C >= 2*p.T:
+		return Regime2T
+	default:
+		return RegimeBase
+	}
+}
+
+// LiveChannels returns the number of proposal channels the regime uses.
+func (p Params) LiveChannels() int {
+	switch p.EffectiveRegime() {
+	case Regime2T:
+		return 2 * p.T
+	case Regime2T2:
+		return p.C / p.T
+	default:
+		return p.T + 1
+	}
+}
+
+// WitnessesPerChannel returns the per-live-channel witness pool size: at
+// least 3L so that surrogate selection always succeeds (the paper's
+// 3(t+1) for the base regime) and at least C so the sequential feedback
+// routine can man every physical channel.
+func (p Params) WitnessesPerChannel() int {
+	l := p.LiveChannels()
+	w := 3 * l
+	if p.EffectiveRegime() != Regime2T2 && w < p.C {
+		w = p.C
+	}
+	return w
+}
+
+// MinNodes returns the smallest n the configuration supports: live-channel
+// participants (broadcaster + destination per channel), surrogate slack,
+// and the witness pools. For the base regime this reduces to the paper's
+// n > 3(t+1)^2 + 2(t+1) bound plus an L-node slack from our conservative
+// reservation of idle starred sources (see DESIGN.md).
+func (p Params) MinNodes() int {
+	l := p.LiveChannels()
+	return l*p.WitnessesPerChannel() + 3*l
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.T < 0 {
+		return fmt.Errorf("%w: T = %d", ErrBadParams, p.T)
+	}
+	if p.C < 2 || p.T >= p.C {
+		return fmt.Errorf("%w: need 0 <= T < C and C >= 2 (got C=%d T=%d)", ErrBadParams, p.C, p.T)
+	}
+	switch p.EffectiveRegime() {
+	case RegimeBase:
+		if p.C < p.T+1 {
+			return fmt.Errorf("%w: base regime needs C >= t+1", ErrBadParams)
+		}
+	case Regime2T:
+		if p.C < 2*p.T || p.T < 1 {
+			return fmt.Errorf("%w: 2t regime needs C >= 2t >= 2 (got C=%d T=%d)", ErrBadParams, p.C, p.T)
+		}
+	case Regime2T2:
+		if p.T < 1 || p.C < 2*p.T*p.T || p.C/p.T < 2*p.T {
+			return fmt.Errorf("%w: 2t^2 regime needs C >= 2t^2 (got C=%d T=%d)", ErrBadParams, p.C, p.T)
+		}
+	default:
+		return fmt.Errorf("%w: unknown regime", ErrBadParams)
+	}
+	if p.Mode != 0 && p.Mode != ModeSurrogate && p.Mode != ModeDirect {
+		return fmt.Errorf("%w: unknown mode %d", ErrBadParams, int(p.Mode))
+	}
+	if p.Cleanup < 0 || p.MaxGameRounds < 0 {
+		return fmt.Errorf("%w: negative move budgets", ErrBadParams)
+	}
+	if p.N < p.MinNodes() {
+		return fmt.Errorf("%w: N = %d below the model bound %d for C=%d T=%d (regime %v)",
+			ErrBadParams, p.N, p.MinNodes(), p.C, p.T, p.EffectiveRegime())
+	}
+	return nil
+}
+
+// mode resolves the zero value.
+func (p Params) mode() Mode {
+	if p.Mode == 0 {
+		return ModeSurrogate
+	}
+	return p.Mode
+}
+
+// VectorMsg is the transmission-phase payload: the Owner's complete vector
+// of AME values, keyed by destination. Receivers must treat the map as
+// immutable (it is shared by reference across the simulated network).
+// Section 5.6's optimization replaces these with constant-size digests;
+// see the msgopt package.
+type VectorMsg struct {
+	Owner  int
+	Values map[int]radio.Message
+}
+
+// Result is one node's view of a completed f-AME execution.
+type Result struct {
+	// Delivered holds, for every in-edge (v, me) that succeeded, the
+	// authentic message m_{v,me}.
+	Delivered map[graph.Edge]radio.Message
+
+	// SenderOK holds, for every out-edge (me, w), whether the message was
+	// delivered (the sender-awareness guarantee of Definition 1).
+	SenderOK map[graph.Edge]bool
+
+	// Failed lists the edges that remain in this node's replica of the
+	// disruption graph at termination (the pairs that output fail).
+	Failed []graph.Edge
+
+	// GameRounds is the number of simulated game moves (including any
+	// cleanup moves).
+	GameRounds int
+
+	// CleanupMoves is the number of best-effort extension moves played
+	// after the greedy strategy terminated (0 unless Params.Cleanup > 0).
+	CleanupMoves int
+
+	// Starred is the final starred set size (surrogate recruitment count).
+	Starred int
+
+	// TotalRounds is the number of radio rounds this node spent inside
+	// the protocol (transmission phases plus feedback phases).
+	TotalRounds int
+
+	// FeedbackRounds is the share of TotalRounds spent in feedback — the
+	// dominant term of the Figure 3 complexity (each game move costs one
+	// transmission round plus a whole feedback phase).
+	FeedbackRounds int
+
+	// Err reports a local protocol failure (e.g. replica divergence).
+	Err error
+}

@@ -1,0 +1,389 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"securadio/internal/adversary"
+	"securadio/internal/feedback"
+	"securadio/internal/graph"
+	"securadio/internal/radio"
+)
+
+// valuesFor gives every pair a distinctive payload.
+func valuesFor(pairs []graph.Edge) map[graph.Edge]radio.Message {
+	out := make(map[graph.Edge]radio.Message, len(pairs))
+	for _, e := range pairs {
+		out[e] = fmt.Sprintf("msg:%d->%d", e.Src, e.Dst)
+	}
+	return out
+}
+
+func checkDeliveries(t *testing.T, out *Outcome, pairs []graph.Edge, values map[graph.Edge]radio.Message) {
+	t.Helper()
+	for _, e := range pairs {
+		got, ok := out.PerNode[e.Dst].Delivered[e]
+		if out.Disruption.Has(e) {
+			if ok {
+				t.Fatalf("pair %v failed but destination holds %v", e, got)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("pair %v succeeded but destination holds nothing", e)
+		}
+		if got != values[e] {
+			t.Fatalf("pair %v delivered %v, want %v (authenticity violated)", e, got, values[e])
+		}
+	}
+}
+
+func TestExchangeNoAdversary(t *testing.T) {
+	p := Params{N: 20, C: 2, T: 1}
+	pairs := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, {Src: 3, Dst: 4}, {Src: 4, Dst: 3}}
+	values := valuesFor(pairs)
+	out, err := Exchange(p, pairs, values, nil, 1)
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if out.Disruption.Len() != 0 {
+		t.Fatalf("failed pairs with no adversary: %v", out.Disruption.Edges())
+	}
+	checkDeliveries(t, out, pairs, values)
+}
+
+func TestExchangeWorstCaseJammerIsTDisruptable(t *testing.T) {
+	for _, tt := range []int{1, 2} {
+		tt := tt
+		t.Run(fmt.Sprintf("t=%d", tt), func(t *testing.T) {
+			c := tt + 1
+			p := Params{N: 8 * (tt + 1) * (tt + 1), C: c, T: tt, Regime: RegimeBase}
+			if p.N < p.MinNodes() {
+				p.N = p.MinNodes()
+			}
+			rng := newTestRand(42)
+			pairs := graph.RandomPairs(12, 14, rng.Intn)
+			values := valuesFor(pairs)
+			adv := &adversary.GreedyJammer{T: tt, C: c}
+			out, err := Exchange(p, pairs, values, adv, 7)
+			if err != nil {
+				t.Fatalf("Exchange: %v", err)
+			}
+			if out.CoverSize > tt {
+				t.Fatalf("disruption cover = %d, exceeds t = %d (edges %v)",
+					out.CoverSize, tt, out.Disruption.Edges())
+			}
+			checkDeliveries(t, out, pairs, values)
+		})
+	}
+}
+
+func TestExchangeSpooferCannotForge(t *testing.T) {
+	// The adversary spends its budget injecting plausible VectorMsg forgeries
+	// claiming to come from node 0 with poisoned payloads.
+	p := Params{N: 40, C: 3, T: 2}
+	pairs := []graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 3, Dst: 4}, {Src: 5, Dst: 6}, {Src: 7, Dst: 8}}
+	values := valuesFor(pairs)
+	forge := func(round int) radio.Message {
+		return &VectorMsg{Owner: 0, Values: map[int]radio.Message{
+			1: "FORGED", 2: "FORGED", 4: "FORGED", 6: "FORGED", 8: "FORGED",
+		}}
+	}
+	for name, adv := range map[string]radio.Adversary{
+		"random":     adversary.NewRandomSpoofer(2, 3, 5, forge),
+		"omniscient": &adversary.IdleSpoofer{T: 2, C: 3, Forge: forge},
+		"combo":      &adversary.Combo{T: 2, C: 3, Forge: forge},
+	} {
+		adv := adv
+		t.Run(name, func(t *testing.T) {
+			out, err := Exchange(p, pairs, values, adv, 11)
+			if err != nil {
+				t.Fatalf("Exchange: %v", err)
+			}
+			for id := range out.PerNode {
+				for e, m := range out.PerNode[id].Delivered {
+					if m == "FORGED" {
+						t.Fatalf("node %d accepted forged value on %v", id, e)
+					}
+				}
+			}
+			if out.CoverSize > p.T {
+				t.Fatalf("cover = %d exceeds t", out.CoverSize)
+			}
+			checkDeliveries(t, out, pairs, values)
+		})
+	}
+}
+
+func TestExchangeSenderAwareness(t *testing.T) {
+	p := Params{N: 20, C: 2, T: 1}
+	pairs := []graph.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}, {Src: 4, Dst: 5}}
+	values := valuesFor(pairs)
+	adv := &adversary.GreedyJammer{T: 1, C: 2}
+	out, err := Exchange(p, pairs, values, adv, 3)
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	// Exchange cross-validates sender views internally; double-check the
+	// senders report a decision for every out-edge.
+	for _, e := range pairs {
+		if _, ok := out.PerNode[e.Src].SenderOK[e]; !ok {
+			t.Fatalf("sender %d has no verdict for %v", e.Src, e)
+		}
+	}
+}
+
+func TestExchangeRegime2T(t *testing.T) {
+	tt := 2
+	p := Params{N: 64, C: 2 * tt, T: tt, Regime: Regime2T}
+	rng := newTestRand(9)
+	pairs := graph.RandomPairs(10, 12, rng.Intn)
+	values := valuesFor(pairs)
+	adv := &adversary.GreedyJammer{T: tt, C: 2 * tt}
+	out, err := Exchange(p, pairs, values, adv, 13)
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if out.CoverSize > tt {
+		t.Fatalf("cover = %d exceeds t = %d", out.CoverSize, tt)
+	}
+	checkDeliveries(t, out, pairs, values)
+}
+
+func TestExchangeRegime2T2(t *testing.T) {
+	tt := 2
+	c := 2 * tt * tt
+	p := Params{N: 64, C: c, T: tt, Regime: Regime2T2}
+	rng := newTestRand(10)
+	pairs := graph.RandomPairs(10, 12, rng.Intn)
+	values := valuesFor(pairs)
+	adv := &adversary.GreedyJammer{T: tt, C: c}
+	out, err := Exchange(p, pairs, values, adv, 17)
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if out.CoverSize > tt {
+		t.Fatalf("cover = %d exceeds t = %d", out.CoverSize, tt)
+	}
+	checkDeliveries(t, out, pairs, values)
+}
+
+func TestRegimeAutoSelection(t *testing.T) {
+	cases := []struct {
+		c, t int
+		want Regime
+	}{
+		{2, 1, Regime2T},   // C = 2t exactly
+		{3, 2, RegimeBase}, // too narrow for 2t
+		{4, 2, Regime2T},
+		{8, 2, Regime2T2}, // C = 2t^2
+		{9, 3, Regime2T},  // 2t <= C < 2t^2
+		{5, 0, RegimeBase},
+	}
+	for _, tc := range cases {
+		p := Params{C: tc.c, T: tc.t}
+		if got := p.EffectiveRegime(); got != tc.want {
+			t.Errorf("C=%d t=%d: regime = %v, want %v", tc.c, tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestModeDirectTriangleAttackGives2T(t *testing.T) {
+	// E5: the Section 5 lower-bound attack on direct exchange. Two triples
+	// {0,1,2} and {3,4,5}; the disruption graph must end up with both
+	// triangles intact: cover exactly 2t = 4 > t = 2.
+	tt := 2
+	p := Params{N: 40, C: tt + 1, T: tt, Mode: ModeDirect, Regime: RegimeBase}
+	var pairs []graph.Edge
+	for _, tr := range adversary.Triples(tt) {
+		pairs = append(pairs,
+			graph.Edge{Src: tr[0], Dst: tr[1]},
+			graph.Edge{Src: tr[1], Dst: tr[2]},
+			graph.Edge{Src: tr[2], Dst: tr[0]})
+	}
+	// Cross pairs keep the matching above the termination threshold long
+	// enough for the protocol to do real work.
+	pairs = append(pairs,
+		graph.Edge{Src: 6, Dst: 7}, graph.Edge{Src: 8, Dst: 9},
+		graph.Edge{Src: 10, Dst: 11}, graph.Edge{Src: 12, Dst: 13})
+	values := valuesFor(pairs)
+	adv := adversary.NewTriangle(tt, tt+1, adversary.Triples(tt))
+	out, err := Exchange(p, pairs, values, adv, 23)
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if out.CoverSize != 2*tt {
+		t.Fatalf("direct-mode cover = %d, want exactly 2t = %d (disruption %v)",
+			out.CoverSize, 2*tt, out.Disruption.Edges())
+	}
+	// The cross pairs must have been delivered: only the triangles fail.
+	for _, e := range pairs[6:] {
+		if out.Disruption.Has(e) {
+			t.Fatalf("cross pair %v should have been delivered", e)
+		}
+	}
+}
+
+func TestModeSurrogateDefeatsTriangleAttack(t *testing.T) {
+	// The same attack against the real f-AME: surrogate relays break the
+	// within-triple trigger and the cover stays within t.
+	tt := 2
+	p := Params{N: 40, C: tt + 1, T: tt, Mode: ModeSurrogate, Regime: RegimeBase}
+	var pairs []graph.Edge
+	for _, tr := range adversary.Triples(tt) {
+		pairs = append(pairs,
+			graph.Edge{Src: tr[0], Dst: tr[1]},
+			graph.Edge{Src: tr[1], Dst: tr[2]},
+			graph.Edge{Src: tr[2], Dst: tr[0]})
+	}
+	pairs = append(pairs, graph.Edge{Src: 6, Dst: 7}, graph.Edge{Src: 8, Dst: 9})
+	values := valuesFor(pairs)
+	adv := adversary.NewTriangle(tt, tt+1, adversary.Triples(tt))
+	out, err := Exchange(p, pairs, values, adv, 29)
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if out.CoverSize > tt {
+		t.Fatalf("surrogate-mode cover = %d, want <= t = %d", out.CoverSize, tt)
+	}
+	checkDeliveries(t, out, pairs, values)
+}
+
+func TestExchangeDeterministic(t *testing.T) {
+	p := Params{N: 20, C: 2, T: 1}
+	pairs := []graph.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}, {Src: 4, Dst: 5}}
+	values := valuesFor(pairs)
+	adv1 := adversary.NewRandomJammer(1, 2, 99)
+	adv2 := adversary.NewRandomJammer(1, 2, 99)
+	out1, err1 := Exchange(p, pairs, values, adv1, 31)
+	out2, err2 := Exchange(p, pairs, values, adv2, 31)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("Exchange: %v / %v", err1, err2)
+	}
+	if out1.Rounds != out2.Rounds || out1.GameRounds != out2.GameRounds ||
+		out1.Disruption.Len() != out2.Disruption.Len() {
+		t.Fatalf("same seed diverged: %+v vs %+v", out1, out2)
+	}
+}
+
+func TestExchangeTooFewPairsFailsSafely(t *testing.T) {
+	// With |E| < t+1 the greedy strategy cannot even form one proposal;
+	// everything fails, which is consistent with Definition 1's |E| >= d
+	// requirement (the cover is still <= t).
+	p := Params{N: 20, C: 2, T: 1}
+	pairs := []graph.Edge{{Src: 0, Dst: 1}}
+	out, err := Exchange(p, pairs, valuesFor(pairs), nil, 1)
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if out.GameRounds != 0 || out.Disruption.Len() != 1 {
+		t.Fatalf("got %d game rounds, %d failures; want 0 and 1", out.GameRounds, out.Disruption.Len())
+	}
+	if out.CoverSize > p.T {
+		t.Fatalf("cover = %d exceeds t", out.CoverSize)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+	}{
+		{"negative t", Params{N: 50, C: 3, T: -1}},
+		{"t >= c", Params{N: 50, C: 3, T: 3}},
+		{"too few nodes", Params{N: 10, C: 3, T: 2}},
+		{"2t regime without spectrum", Params{N: 100, C: 3, T: 2, Regime: Regime2T}},
+		{"2t2 regime without spectrum", Params{N: 100, C: 4, T: 2, Regime: Regime2T2}},
+		{"bad mode", Params{N: 50, C: 2, T: 1, Mode: Mode(9)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.p.Validate(); !errors.Is(err, ErrBadParams) {
+				t.Fatalf("Validate = %v, want ErrBadParams", err)
+			}
+		})
+	}
+	good := Params{N: 20, C: 2, T: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+}
+
+func TestExchangeRejectsBadPairs(t *testing.T) {
+	p := Params{N: 20, C: 2, T: 1}
+	bad := [][]graph.Edge{
+		{{Src: 0, Dst: 0}},
+		{{Src: -1, Dst: 3}},
+		{{Src: 0, Dst: 99}},
+	}
+	for _, pairs := range bad {
+		if _, err := Exchange(p, pairs, nil, nil, 1); !errors.Is(err, ErrBadParams) {
+			t.Fatalf("pairs %v accepted", pairs)
+		}
+	}
+}
+
+func TestMinNodesBaseMatchesPaperShape(t *testing.T) {
+	// Base regime: L = t+1, omega = max(3(t+1), C=t+1) = 3(t+1); MinNodes
+	// = 3(t+1)^2 + 3(t+1) — the paper's bound plus our documented L slack.
+	p := Params{C: 4, T: 3, Regime: RegimeBase}
+	want := 3*4*4 + 3*4
+	if got := p.MinNodes(); got != want {
+		t.Fatalf("MinNodes = %d, want %d", got, want)
+	}
+}
+
+// TestRoundAccountingIdentity: with a workload whose proposals are always
+// full (L = t+1 items), the total round count decomposes exactly into
+// moves x (1 transmission round + L x reps feedback rounds) — the
+// arithmetic behind Figure 3's first row.
+func TestRoundAccountingIdentity(t *testing.T) {
+	p := Params{N: 20, C: 2, T: 1}
+	pairs := []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 2, Dst: 3}, {Src: 4, Dst: 5}, {Src: 6, Dst: 7},
+	}
+	values := valuesFor(pairs)
+	out, err := Exchange(p, pairs, values, nil, 41)
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	reps := feedback.Reps(p.N, p.C, p.T, p.Kappa)
+	perMove := 1 + p.LiveChannels()*reps
+	if want := out.GameRounds * perMove; out.Rounds != want {
+		t.Fatalf("rounds = %d, want moves(%d) x perMove(%d) = %d",
+			out.Rounds, out.GameRounds, perMove, want)
+	}
+	r0 := out.PerNode[0]
+	if r0.TotalRounds != out.Rounds {
+		t.Fatalf("node view %d != network view %d", r0.TotalRounds, out.Rounds)
+	}
+	if r0.FeedbackRounds != r0.TotalRounds-r0.GameRounds {
+		t.Fatalf("feedback accounting: %d vs %d-%d", r0.FeedbackRounds, r0.TotalRounds, r0.GameRounds)
+	}
+	if r0.FeedbackRounds < 9*r0.GameRounds {
+		t.Fatalf("feedback (%d rounds) should dominate transmission (%d)", r0.FeedbackRounds, r0.GameRounds)
+	}
+}
+
+// TestExchangeLargerScale exercises a bigger configuration end to end.
+func TestExchangeLargerScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale run")
+	}
+	tt := 3
+	p := Params{C: tt + 1, T: tt, Regime: RegimeBase}
+	p.N = p.MinNodes() + 10
+	rng := newTestRand(61)
+	pairs := graph.RandomPairs(12, 40, rng.Intn)
+	values := valuesFor(pairs)
+	adv := &adversary.GreedyJammer{T: tt, C: tt + 1}
+	out, err := Exchange(p, pairs, values, adv, 71)
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if out.CoverSize > tt {
+		t.Fatalf("cover %d exceeds t=%d", out.CoverSize, tt)
+	}
+	checkDeliveries(t, out, pairs, values)
+}

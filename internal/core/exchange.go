@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"securadio/internal/graph"
+	"securadio/internal/radio"
+)
+
+// Outcome is the network-wide result of an f-AME execution, assembled from
+// the per-node results by Exchange.
+type Outcome struct {
+	// PerNode holds each node's local Result, indexed by node ID.
+	PerNode []Result
+
+	// Disruption is the final disruption graph: the pairs that output
+	// fail. Per Theorem 6 its minimum vertex cover is at most t in
+	// ModeSurrogate (2t in ModeDirect) with high probability.
+	Disruption *graph.DSet
+
+	// CoverSize is the minimum vertex cover of the disruption graph — the
+	// d of Definition 1's d-disruptability.
+	CoverSize int
+
+	// Rounds is the total number of radio rounds consumed.
+	Rounds int
+
+	// GameRounds is the number of simulated game moves.
+	GameRounds int
+
+	// Radio carries the raw engine statistics.
+	Radio radio.Result
+}
+
+// ErrInconsistent is returned when nodes disagree about the outcome — the
+// whp failure mode of the feedback routine, which should not be observed
+// at sensible kappa.
+var ErrInconsistent = errors.New("core: nodes disagree on the exchange outcome")
+
+// Exchange runs a complete f-AME execution on a fresh simulated network:
+// pairs is the AME set E, values assigns each pair its message, adv is the
+// interferer (nil for none), and seed drives all randomness. It validates
+// cross-node consistency before returning.
+func Exchange(p Params, pairs []graph.Edge, values map[graph.Edge]radio.Message, adv radio.Adversary, seed int64) (*Outcome, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	for _, e := range pairs {
+		if e.Src < 0 || e.Src >= p.N || e.Dst < 0 || e.Dst >= p.N || e.Src == e.Dst {
+			return nil, fmt.Errorf("%w: bad pair %v", ErrBadParams, e)
+		}
+	}
+
+	results := make([]Result, p.N)
+	procs := make([]radio.Process, p.N)
+	for i := 0; i < p.N; i++ {
+		myValues := make(map[int]radio.Message)
+		for _, e := range pairs {
+			if e.Src == i {
+				myValues[e.Dst] = values[e]
+			}
+		}
+		procs[i] = Proc(p, pairs, myValues, &results[i])
+	}
+
+	cfg := radio.Config{N: p.N, C: p.C, T: p.T, Seed: seed, Adversary: adv}
+	radioRes, err := radio.Run(cfg, procs)
+	if err != nil {
+		return nil, fmt.Errorf("core: radio run: %w", err)
+	}
+
+	out := &Outcome{
+		PerNode: results,
+		Rounds:  radioRes.Rounds,
+		Radio:   radioRes,
+	}
+	for i := range results {
+		if results[i].Err != nil {
+			return out, fmt.Errorf("core: node %d: %w", i, results[i].Err)
+		}
+	}
+
+	// Cross-node consistency: every replica must report the same failed
+	// set and game length (Invariant 1).
+	out.GameRounds = results[0].GameRounds
+	failed := results[0].Failed
+	for i := 1; i < len(results); i++ {
+		if results[i].GameRounds != out.GameRounds || !sameEdges(results[i].Failed, failed) {
+			return out, fmt.Errorf("%w: node %d diverges from node 0", ErrInconsistent, i)
+		}
+	}
+
+	disruption, err := graph.FromEdges(p.N, failed)
+	if err != nil {
+		return out, fmt.Errorf("core: disruption graph: %w", err)
+	}
+	out.Disruption = disruption
+	out.CoverSize = disruption.MinVertexCover()
+
+	// Sender awareness must match receiver reality.
+	for _, e := range pairs {
+		senderSawOK := results[e.Src].SenderOK[e]
+		_, delivered := results[e.Dst].Delivered[e]
+		if senderSawOK != delivered {
+			return out, fmt.Errorf("%w: pair %v sender/receiver views differ", ErrInconsistent, e)
+		}
+		if delivered != !disruption.Has(e) {
+			return out, fmt.Errorf("%w: pair %v delivery disagrees with disruption graph", ErrInconsistent, e)
+		}
+	}
+	return out, nil
+}
+
+// DeliveredCount returns how many pairs succeeded.
+func (o *Outcome) DeliveredCount(pairs []graph.Edge) int {
+	n := 0
+	for _, e := range pairs {
+		if !o.Disruption.Has(e) {
+			n++
+		}
+	}
+	return n
+}
+
+func sameEdges(a, b []graph.Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,180 @@
+package core
+
+// Property-based invariant tests: for random workloads, adversaries and
+// seeds, every f-AME execution must uphold Definition 1 (authentication,
+// sender awareness, t-disruptability) plus the replication invariants of
+// Theorem 6. Exchange already cross-validates sender awareness and
+// replica agreement internally; these tests drive it through randomized
+// space.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"securadio/internal/adversary"
+	"securadio/internal/graph"
+	"securadio/internal/radio"
+)
+
+// pickAdversary derives one of the zoo from a seed.
+func pickAdversary(rng *rand.Rand, c, t int) radio.Adversary {
+	switch rng.Intn(6) {
+	case 0:
+		return nil
+	case 1:
+		return adversary.NewRandomJammer(t, c, rng.Int63())
+	case 2:
+		return &adversary.SweepJammer{T: t, C: c}
+	case 3:
+		return &adversary.GreedyJammer{T: t, C: c}
+	case 4:
+		return adversary.NewReplaySpoofer(t, c, rng.Int63())
+	default:
+		forge := func(round int) radio.Message {
+			return &VectorMsg{Owner: round % 8, Values: map[int]radio.Message{
+				(round + 1) % 8: "FORGED",
+			}}
+		}
+		return &adversary.Combo{T: t, C: c, Forge: forge}
+	}
+}
+
+func TestExchangeInvariantsProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized sweep")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tt := 1 + rng.Intn(2)
+		p := Params{C: tt + 1, T: tt, Regime: RegimeBase}
+		p.N = p.MinNodes() + rng.Intn(8)
+		numPairs := 4 + rng.Intn(10)
+		pairs := graph.RandomPairs(10, numPairs, rng.Intn)
+		values := make(map[graph.Edge]radio.Message, len(pairs))
+		for _, e := range pairs {
+			values[e] = fmt.Sprintf("v%v", e)
+		}
+		adv := pickAdversary(rng, p.C, p.T)
+		out, err := Exchange(p, pairs, values, adv, seed)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// t-disruptability.
+		if out.CoverSize > tt {
+			t.Logf("seed %d: cover %d > t=%d", seed, out.CoverSize, tt)
+			return false
+		}
+		// Authentication: only authentic payloads, only at destinations.
+		for id := range out.PerNode {
+			for e, v := range out.PerNode[id].Delivered {
+				if e.Dst != id || v != values[e] {
+					t.Logf("seed %d: node %d holds %v for %v", seed, id, v, e)
+					return false
+				}
+			}
+		}
+		// Completeness of the output relation.
+		for _, e := range pairs {
+			_, delivered := out.PerNode[e.Dst].Delivered[e]
+			if delivered == out.Disruption.Has(e) {
+				t.Logf("seed %d: pair %v inconsistent", seed, e)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeInvariantsPropertyWideRegimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized sweep")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tt := 2
+		regime := Regime2T
+		c := 2 * tt
+		if rng.Intn(2) == 0 {
+			regime = Regime2T2
+			c = 2 * tt * tt
+		}
+		p := Params{C: c, T: tt, Regime: regime}
+		p.N = p.MinNodes() + rng.Intn(6)
+		pairs := graph.RandomPairs(10, 6+rng.Intn(8), rng.Intn)
+		values := make(map[graph.Edge]radio.Message, len(pairs))
+		for _, e := range pairs {
+			values[e] = fmt.Sprintf("v%v", e)
+		}
+		adv := pickAdversary(rng, p.C, p.T)
+		out, err := Exchange(p, pairs, values, adv, seed)
+		if err != nil {
+			t.Logf("seed %d (%v): %v", seed, regime, err)
+			return false
+		}
+		return out.CoverSize <= tt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStarredNodesHaveSurrogateVectors checks Invariant 2 observably: in
+// an unjammed run every starred node's vector reached its witnesses, so
+// surrogate scheduling never fails even on dense shared-source workloads.
+func TestStarredNodesHaveSurrogateVectors(t *testing.T) {
+	p := Params{N: 40, C: 3, T: 2}
+	// Every edge shares source 0 or 1 and nodes 0/1 also receive: maximal
+	// surrogate pressure.
+	pairs := []graph.Edge{
+		{Src: 0, Dst: 3}, {Src: 0, Dst: 4}, {Src: 0, Dst: 1}, {Src: 0, Dst: 2},
+		{Src: 1, Dst: 5}, {Src: 1, Dst: 6}, {Src: 1, Dst: 0}, {Src: 1, Dst: 7},
+		{Src: 2, Dst: 8}, {Src: 2, Dst: 9}, {Src: 2, Dst: 0},
+	}
+	values := valuesFor(pairs)
+	out, err := Exchange(p, pairs, values, nil, 31)
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	checkDeliveries(t, out, pairs, values)
+	if out.PerNode[0].Starred < 3 {
+		t.Fatalf("starred = %d, want all three sources starred", out.PerNode[0].Starred)
+	}
+	if out.Disruption.Len() > 2 {
+		t.Fatalf("unjammed run stranded %d pairs", out.Disruption.Len())
+	}
+}
+
+// TestGameRoundsMatchAcrossNodesUnderChaos: Invariant 1 under an
+// aggressive combo adversary — every replica plays the same number of
+// moves (Exchange verifies the failed sets; this adds per-node move
+// equality on a longer workload).
+func TestGameRoundsMatchAcrossNodesUnderChaos(t *testing.T) {
+	p := Params{N: 22, C: 2, T: 1}
+	rng := rand.New(rand.NewSource(8))
+	pairs := graph.RandomPairs(12, 20, rng.Intn)
+	values := valuesFor(pairs)
+	forge := func(round int) radio.Message {
+		return &VectorMsg{Owner: round % 12, Values: map[int]radio.Message{0: "X"}}
+	}
+	adv := &adversary.Combo{T: 1, C: 2, Forge: forge}
+	out, err := Exchange(p, pairs, values, adv, 12)
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	for i := 1; i < p.N; i++ {
+		if out.PerNode[i].GameRounds != out.PerNode[0].GameRounds {
+			t.Fatalf("node %d played %d moves, node 0 played %d",
+				i, out.PerNode[i].GameRounds, out.PerNode[0].GameRounds)
+		}
+		if out.PerNode[i].Starred != out.PerNode[0].Starred {
+			t.Fatalf("node %d starred %d, node 0 starred %d",
+				i, out.PerNode[i].Starred, out.PerNode[0].Starred)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"securadio/internal/adversary"
+	"securadio/internal/graph"
+)
+
+func TestScheduleAwareJammerMatchesOmniscientStrength(t *testing.T) {
+	// The model-compliant replica jammer must slow the protocol exactly
+	// like the omniscient jammer on the deterministic transmission phase:
+	// one granted item per move, so the same order of game rounds.
+	for _, tt := range []int{1, 2} {
+		tt := tt
+		p := Params{C: tt + 1, T: tt, Regime: RegimeBase}
+		p.N = p.MinNodes() + 6
+		rng := newTestRand(17)
+		pairs := graph.RandomPairs(10, 12, rng.Intn)
+		values := valuesFor(pairs)
+
+		replica, err := NewScheduleAwareJammer(p, pairs)
+		if err != nil {
+			t.Fatalf("NewScheduleAwareJammer: %v", err)
+		}
+		outReplica, err := Exchange(p, pairs, values, replica, 5)
+		if err != nil {
+			t.Fatalf("Exchange(replica): %v", err)
+		}
+		outOmni, err := Exchange(p, pairs, values, &adversary.GreedyJammer{T: tt, C: tt + 1}, 5)
+		if err != nil {
+			t.Fatalf("Exchange(omniscient): %v", err)
+		}
+		outSilent, err := Exchange(p, pairs, values, nil, 5)
+		if err != nil {
+			t.Fatalf("Exchange(silent): %v", err)
+		}
+
+		if outReplica.CoverSize > tt {
+			t.Fatalf("t=%d: replica jammer broke t-disruptability: cover %d", tt, outReplica.CoverSize)
+		}
+		checkDeliveries(t, outReplica, pairs, values)
+
+		// The replica jammer forces one item per move, like the
+		// omniscient one; both must far exceed the unjammed game length.
+		if outReplica.GameRounds < outOmni.GameRounds {
+			t.Fatalf("t=%d: replica jammer weaker than omniscient: %d vs %d moves",
+				tt, outReplica.GameRounds, outOmni.GameRounds)
+		}
+		if outReplica.GameRounds <= outSilent.GameRounds {
+			t.Fatalf("t=%d: replica jammer had no effect: %d vs silent %d moves",
+				tt, outReplica.GameRounds, outSilent.GameRounds)
+		}
+	}
+}
+
+func TestScheduleAwareJammerPrefersEdges(t *testing.T) {
+	// With t=1 and a proposal holding one edge and one node item, the
+	// jammer must deny the edge, not the starring.
+	p := Params{N: 20, C: 2, T: 1}
+	pairs := []graph.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}, {Src: 4, Dst: 5}}
+	values := valuesFor(pairs)
+	replica, err := NewScheduleAwareJammer(p, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Exchange(p, pairs, values, replica, 9)
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	// All sources get starred quickly, but edge deliveries are fought for;
+	// exactly a t-coverable residue must fail.
+	if out.CoverSize != 1 {
+		t.Fatalf("cover = %d, want the full t = 1 disruption", out.CoverSize)
+	}
+}
+
+func TestScheduleAwareJammerValidates(t *testing.T) {
+	if _, err := NewScheduleAwareJammer(Params{N: 2, C: 2, T: 1}, nil); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	p := Params{N: 20, C: 2, T: 1}
+	if _, err := NewScheduleAwareJammer(p, []graph.Edge{{Src: 0, Dst: 0}}); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestScheduleAwareJammerGoesQuietAfterTermination(t *testing.T) {
+	p := Params{N: 20, C: 2, T: 1}
+	pairs := []graph.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}}
+	replica, err := NewScheduleAwareJammer(p, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := valuesFor(pairs)
+	if _, err := Exchange(p, pairs, values, replica, 3); err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	// After its replica terminated the jammer must stop transmitting.
+	if txs := replica.Plan(1 << 20); txs != nil {
+		t.Fatalf("jammer still transmitting after termination: %v", txs)
+	}
+}

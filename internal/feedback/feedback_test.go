@@ -1,0 +1,434 @@
+package feedback
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"securadio/internal/adversary"
+	"securadio/internal/radio"
+)
+
+// buildWitnesses assigns, for each of monitored channels, `size` distinct
+// witness nodes: channel i gets nodes [i*size, (i+1)*size).
+func buildWitnesses(monitored, size int) [][]int {
+	out := make([][]int, monitored)
+	id := 0
+	for i := range out {
+		ws := make([]int, size)
+		for j := range ws {
+			ws[j] = id
+			id++
+		}
+		out[i] = ws
+	}
+	return out
+}
+
+// runFeedback executes Run on every node and returns the per-node results.
+func runFeedback(t *testing.T, n, c, tt int, adv radio.Adversary, witnesses [][]int, flags []bool, reps int) ([][]bool, []error) {
+	t.Helper()
+	results := make([][]bool, n)
+	errs := make([]error, n)
+	procs := make([]radio.Process, n)
+	for i := 0; i < n; i++ {
+		i := i
+		procs[i] = func(e radio.Env) {
+			myFlag := false
+			for ch, ws := range witnesses {
+				for _, w := range ws {
+					if w == i {
+						myFlag = flags[ch]
+					}
+				}
+			}
+			results[i], errs[i] = Run(e, witnesses, myFlag, reps)
+		}
+	}
+	cfg := radio.Config{N: n, C: c, T: tt, Seed: 7, Adversary: adv}
+	if _, err := radio.Run(cfg, procs); err != nil {
+		t.Fatalf("radio.Run: %v", err)
+	}
+	return results, errs
+}
+
+func checkAgreement(t *testing.T, results [][]bool, errs []error, want []bool) {
+	t.Helper()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", id, err)
+		}
+	}
+	for id, d := range results {
+		if len(d) != len(want) {
+			t.Fatalf("node %d returned %d flags, want %d", id, len(d), len(want))
+		}
+		for ch := range want {
+			if d[ch] != want[ch] {
+				t.Fatalf("node %d channel %d: got %v, want %v", id, ch, d[ch], want[ch])
+			}
+		}
+	}
+}
+
+func TestRunAgreementNoAdversary(t *testing.T) {
+	const c, tt = 3, 2
+	witnesses := buildWitnesses(c, c)
+	flags := []bool{true, false, true}
+	n := c*c + 6
+	results, errs := runFeedback(t, n, c, tt, nil, witnesses, flags, Reps(n, c, tt, DefaultKappa))
+	checkAgreement(t, results, errs, flags)
+}
+
+func TestRunAgreementUnderWorstCaseJamming(t *testing.T) {
+	const c, tt = 4, 3
+	witnesses := buildWitnesses(c, c)
+	flags := []bool{true, true, false, false}
+	n := c*c + 8
+	adv := &adversary.GreedyJammer{T: tt, C: c}
+	results, errs := runFeedback(t, n, c, tt, adv, witnesses, flags, Reps(n, c, tt, DefaultKappa))
+	checkAgreement(t, results, errs, flags)
+}
+
+func TestRunSpoofImmune(t *testing.T) {
+	// Every flag is false; the adversary spends its entire budget spoofing
+	// plausible <true, ch> messages. Because witnesses occupy every
+	// channel in every feedback round, the spoofs only collide and no node
+	// ever reports a true flag.
+	const c, tt = 3, 2
+	witnesses := buildWitnesses(c, c)
+	flags := []bool{false, false, false}
+	n := c*c + 6
+	forge := func(round int) radio.Message {
+		return Msg{True: true, Channel: round % c}
+	}
+	adv := adversary.NewRandomSpoofer(tt, c, 3, forge)
+	results, errs := runFeedback(t, n, c, tt, adv, witnesses, flags, Reps(n, c, tt, DefaultKappa))
+	checkAgreement(t, results, errs, flags)
+}
+
+func TestRunSpoofImmuneOmniscient(t *testing.T) {
+	// Even an omniscient spoofer finds no idle channel during feedback.
+	const c, tt = 3, 2
+	witnesses := buildWitnesses(c, c)
+	flags := []bool{false, true, false}
+	n := c*c + 6
+	adv := &adversary.IdleSpoofer{T: tt, C: c, Forge: func(int) radio.Message {
+		return Msg{True: true, Channel: 0}
+	}}
+	results, errs := runFeedback(t, n, c, tt, adv, witnesses, flags, Reps(n, c, tt, DefaultKappa))
+	checkAgreement(t, results, errs, flags)
+}
+
+func TestRunConsumesExactRounds(t *testing.T) {
+	const c, tt = 3, 2
+	witnesses := buildWitnesses(c, c)
+	flags := []bool{true, false, false}
+	n := c*c + 4
+	reps := Reps(n, c, tt, DefaultKappa)
+	rounds := -1
+	procs := make([]radio.Process, n)
+	for i := 0; i < n; i++ {
+		i := i
+		procs[i] = func(e radio.Env) {
+			myFlag := i < c && false // witnesses of channel 0 are nodes 0..c-1
+			if i < c {
+				myFlag = flags[0]
+			}
+			_, _ = Run(e, witnesses, myFlag, reps)
+			if i == 0 {
+				rounds = e.Round()
+			}
+		}
+	}
+	cfg := radio.Config{N: n, C: c, T: tt, Seed: 1}
+	res, err := radio.Run(cfg, procs)
+	if err != nil {
+		t.Fatalf("radio.Run: %v", err)
+	}
+	want := Rounds(c, reps)
+	if rounds != want || res.Rounds != want {
+		t.Fatalf("consumed %d rounds (engine %d), want %d", rounds, res.Rounds, want)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	procs := make([]radio.Process, 8)
+	witnessErrs := make([]error, 3)
+	for i := range procs {
+		i := i
+		procs[i] = func(e radio.Env) {
+			switch i {
+			case 0: // wrong witness-set size
+				_, witnessErrs[0] = Run(e, [][]int{{0, 1}}, false, 4)
+			case 1: // overlapping witness sets
+				_, witnessErrs[1] = Run(e, [][]int{{0, 1, 2}, {2, 3, 4}}, false, 4)
+			case 2: // bad reps
+				_, witnessErrs[2] = Run(e, [][]int{{0, 1, 2}}, false, 0)
+			}
+		}
+	}
+	cfg := radio.Config{N: 8, C: 3, T: 1, Seed: 1}
+	if _, err := radio.Run(cfg, procs); err != nil {
+		t.Fatalf("radio.Run: %v", err)
+	}
+	for i, err := range witnessErrs {
+		if !errors.Is(err, ErrBadWitnesses) {
+			t.Fatalf("case %d: err = %v, want ErrBadWitnesses", i, err)
+		}
+	}
+}
+
+func TestRepsFormula(t *testing.T) {
+	// C = t+1: reps ~ kappa * (t+1) * log2(n).
+	if got := Reps(16, 4, 3, 1); got != 16 {
+		t.Fatalf("Reps(16,4,3,1) = %d, want 16", got)
+	}
+	// C = 2t: factor C/(C-t) = 2.
+	if got := Reps(16, 6, 3, 1); got != 8 {
+		t.Fatalf("Reps(16,6,3,1) = %d, want 8", got)
+	}
+	// Minimum of 1 and default kappa fallback.
+	if got := Reps(2, 2, 0, -1); got < 1 {
+		t.Fatalf("Reps lower bound violated: %d", got)
+	}
+	// Monotone in kappa.
+	if Reps(64, 4, 3, 4) <= Reps(64, 4, 3, 1) {
+		t.Fatal("Reps not monotone in kappa")
+	}
+}
+
+func TestMergeRepsFormula(t *testing.T) {
+	if got := MergeReps(16, 1); got != 8 {
+		t.Fatalf("MergeReps(16,1) = %d, want 8", got)
+	}
+	if got := MergeReps(2, -1); got < 1 {
+		t.Fatalf("MergeReps lower bound violated: %d", got)
+	}
+}
+
+// --- parallel variant ---
+
+func runParallel(t *testing.T, n, c, tt int, adv radio.Adversary, witnesses [][]int, flags []bool, mergeReps, finalReps int) ([][]bool, []error) {
+	t.Helper()
+	results := make([][]bool, n)
+	errs := make([]error, n)
+	procs := make([]radio.Process, n)
+	for i := 0; i < n; i++ {
+		i := i
+		procs[i] = func(e radio.Env) {
+			myFlag := false
+			for ch, ws := range witnesses {
+				for _, w := range ws {
+					if w == i {
+						myFlag = flags[ch]
+					}
+				}
+			}
+			results[i], errs[i] = RunParallel(e, witnesses, myFlag, mergeReps, finalReps)
+		}
+	}
+	cfg := radio.Config{N: n, C: c, T: tt, Seed: 11, Adversary: adv}
+	if _, err := radio.Run(cfg, procs); err != nil {
+		t.Fatalf("radio.Run: %v", err)
+	}
+	return results, errs
+}
+
+func TestRunParallelAgreementNoAdversary(t *testing.T) {
+	const tt, c = 2, 8 // C = 2t^2
+	L := c / tt        // 4 monitored channels
+	witnesses := buildWitnesses(L, 2*tt)
+	flags := []bool{true, false, true, true}
+	n := L*2*tt + 8
+	results, errs := runParallel(t, n, c, tt, nil, witnesses, flags,
+		MergeReps(n, DefaultKappa), Reps(n, c, tt, DefaultKappa))
+	checkAgreement(t, results, errs, flags)
+}
+
+func TestRunParallelAgreementUnderJamming(t *testing.T) {
+	const tt, c = 2, 8
+	L := c / tt
+	witnesses := buildWitnesses(L, 2*tt)
+	flags := []bool{false, true, true, false}
+	n := L*2*tt + 8
+	adv := &adversary.GreedyJammer{T: tt, C: c}
+	results, errs := runParallel(t, n, c, tt, adv, witnesses, flags,
+		MergeReps(n, DefaultKappa), Reps(n, c, tt, DefaultKappa))
+	checkAgreement(t, results, errs, flags)
+}
+
+func TestRunParallelFocusedJammer(t *testing.T) {
+	// The attack that motivates 2t-wide bands: a jammer that concentrates
+	// its whole budget on the first band. With t of 2t channels jammed,
+	// the merge must still complete.
+	const tt, c = 2, 8
+	L := c / tt
+	witnesses := buildWitnesses(L, 2*tt)
+	flags := []bool{true, true, false, true}
+	n := L*2*tt + 8
+	adv := &focusedJammer{t: tt}
+	results, errs := runParallel(t, n, c, tt, adv, witnesses, flags,
+		MergeReps(n, DefaultKappa), Reps(n, c, tt, DefaultKappa))
+	checkAgreement(t, results, errs, flags)
+}
+
+type focusedJammer struct{ t int }
+
+func (f *focusedJammer) Plan(int) []radio.Transmission {
+	out := make([]radio.Transmission, f.t)
+	for i := range out {
+		out[i] = radio.Transmission{Channel: i}
+	}
+	return out
+}
+func (f *focusedJammer) Observe(radio.RoundObservation) {}
+
+func TestRunParallelConsumesExactRounds(t *testing.T) {
+	const tt, c = 2, 8
+	L := c / tt
+	witnesses := buildWitnesses(L, 2*tt)
+	flags := make([]bool, L)
+	n := L*2*tt + 4
+	mergeReps := MergeReps(n, 1)
+	finalReps := Reps(n, c, tt, 1)
+	rounds := -1
+	procs := make([]radio.Process, n)
+	for i := 0; i < n; i++ {
+		i := i
+		procs[i] = func(e radio.Env) {
+			_, _ = RunParallel(e, witnesses, false, mergeReps, finalReps)
+			if i == 0 {
+				rounds = e.Round()
+			}
+		}
+	}
+	cfg := radio.Config{N: n, C: c, T: tt, Seed: 2}
+	if _, err := radio.Run(cfg, procs); err != nil {
+		t.Fatalf("radio.Run: %v", err)
+	}
+	want := ParallelRounds(L, mergeReps, finalReps)
+	if rounds != want {
+		t.Fatalf("consumed %d rounds, want %d", rounds, want)
+	}
+	if len(flags) != L {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestRunParallelValidation(t *testing.T) {
+	errs := make([]error, 4)
+	procs := make([]radio.Process, 20)
+	for i := range procs {
+		i := i
+		procs[i] = func(e radio.Env) {
+			switch i {
+			case 0: // no monitored channels
+				_, errs[0] = RunParallel(e, nil, false, 4, 4)
+			case 1: // witness set smaller than the band
+				_, errs[1] = RunParallel(e, [][]int{{0, 1}}, false, 4, 4)
+			case 2: // overlapping sets
+				_, errs[2] = RunParallel(e, [][]int{{0, 1, 2, 3}, {3, 4, 5, 6}}, false, 4, 4)
+			case 3: // bad reps
+				_, errs[3] = RunParallel(e, [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}, false, 0, 4)
+			}
+		}
+	}
+	cfg := radio.Config{N: 20, C: 4, T: 2, Seed: 1}
+	if _, err := radio.Run(cfg, procs); err != nil {
+		t.Fatalf("radio.Run: %v", err)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, ErrBadWitnesses) {
+			t.Fatalf("case %d: err = %v, want ErrBadWitnesses", i, err)
+		}
+	}
+}
+
+func TestParallelRoundsFormula(t *testing.T) {
+	// 4 groups -> 2 levels of 2*mergeReps, plus finalReps.
+	if got := ParallelRounds(4, 10, 7); got != 47 {
+		t.Fatalf("ParallelRounds(4,10,7) = %d, want 47", got)
+	}
+	// Single group -> dissemination only.
+	if got := ParallelRounds(1, 10, 7); got != 7 {
+		t.Fatalf("ParallelRounds(1,10,7) = %d, want 7", got)
+	}
+	// 3 groups -> levels: 3 -> 2 -> 1 = 2 levels.
+	if got := ParallelRounds(3, 1, 1); got != 5 {
+		t.Fatalf("ParallelRounds(3,1,1) = %d, want 5", got)
+	}
+}
+
+// TestRunPropertyRandomLayouts: random witness layouts, random flags,
+// random model-compliant jamming — every node must agree on the true
+// flags.
+func TestRunPropertyRandomLayouts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized sweep")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := 2 + rng.Intn(3)   // 2..4 channels
+		tt := rng.Intn(c)      // 0..c-1 jam budget
+		mon := 1 + rng.Intn(c) // monitored channels
+		n := mon*c + 4 + rng.Intn(6)
+
+		// Random disjoint witness assignment over a shuffled ID space.
+		perm := rng.Perm(n)
+		witnesses := make([][]int, mon)
+		idx := 0
+		for i := range witnesses {
+			witnesses[i] = perm[idx : idx+c]
+			idx += c
+		}
+		flags := make([]bool, mon)
+		for i := range flags {
+			flags[i] = rng.Intn(2) == 0
+		}
+
+		results := make([][]bool, n)
+		procs := make([]radio.Process, n)
+		reps := Reps(n, c, tt, DefaultKappa)
+		for i := 0; i < n; i++ {
+			i := i
+			procs[i] = func(e radio.Env) {
+				myFlag := false
+				for ch, ws := range witnesses {
+					for _, w := range ws {
+						if w == i {
+							myFlag = flags[ch]
+						}
+					}
+				}
+				d, err := Run(e, witnesses, myFlag, reps)
+				if err == nil {
+					results[i] = d
+				}
+			}
+		}
+		var adv radio.Adversary
+		if tt > 0 {
+			adv = adversary.NewRandomJammer(tt, c, seed+1)
+		}
+		cfg := radio.Config{N: n, C: c, T: tt, Seed: seed, Adversary: adv}
+		if _, err := radio.Run(cfg, procs); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if results[i] == nil {
+				return false
+			}
+			for ch := range flags {
+				if results[i][ch] != flags[ch] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

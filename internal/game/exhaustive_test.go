@@ -1,0 +1,126 @@
+package game
+
+// Exhaustive adversarial search: on small graphs, explore EVERY referee
+// strategy (every non-empty subset response at every move) and verify
+// that the greedy player always terminates within the Theorem 4 move
+// bound with a vertex cover of at most t — i.e. the guarantee holds on
+// every branch of the game tree, not just against sampled referees.
+
+import (
+	"testing"
+
+	"securadio/internal/graph"
+)
+
+// exploreAll walks every referee response from the given state and checks
+// the terminal condition on each leaf. Returns the number of leaves and
+// the maximum depth.
+func exploreAll(t *testing.T, st *State, minSize, maxSize, depth, maxDepth int) (leaves, deepest int) {
+	t.Helper()
+	if depth > maxDepth {
+		t.Fatalf("game exceeded depth bound %d", maxDepth)
+	}
+	proposal := st.Greedy(minSize, maxSize)
+	if proposal == nil {
+		if !st.G.VertexCoverAtMost(st.T) {
+			t.Fatalf("terminal state has cover > t: edges %v, starred %v", st.G.Edges(), st.S)
+		}
+		return 1, depth
+	}
+	if err := st.CheckProposalRelaxed(proposal, minSize, maxSize); err != nil {
+		t.Fatalf("greedy produced illegal proposal at depth %d: %v", depth, err)
+	}
+	// Every non-empty subset of the proposal.
+	total := 0
+	for mask := 1; mask < 1<<len(proposal); mask++ {
+		chosen := make([]Item, 0, len(proposal))
+		for i, it := range proposal {
+			if mask&(1<<i) != 0 {
+				chosen = append(chosen, it)
+			}
+		}
+		child := st.Clone()
+		child.Apply(chosen)
+		l, d := exploreAll(t, child, minSize, maxSize, depth+1, maxDepth)
+		total += l
+		if d > deepest {
+			deepest = d
+		}
+	}
+	return total, deepest
+}
+
+func TestExhaustiveGameTreeSmallGraphs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive game tree")
+	}
+	cases := []struct {
+		name  string
+		n     int
+		t     int
+		edges []graph.Edge
+	}{
+		{"path", 6, 1, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}}},
+		{"shared source", 6, 1, []graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 3, Dst: 4}}},
+		{"cycle", 5, 1, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}}},
+		{"bidirectional", 6, 1, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}, {Src: 2, Dst: 3}, {Src: 3, Dst: 2}}},
+		{"t2 triangle pair", 8, 2, []graph.Edge{
+			{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, {Src: 3, Dst: 4}}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := graph.FromEdges(tc.n, tc.edges)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := NewState(g, tc.t)
+			bound := len(tc.edges) + len(g.Sources()) + 1
+			leaves, deepest := exploreAll(t, st, tc.t+1, tc.t+1, 0, bound)
+			if leaves == 0 {
+				t.Fatal("no terminal states explored")
+			}
+			t.Logf("explored %d terminal states, max depth %d (bound %d)", leaves, deepest, bound)
+		})
+	}
+}
+
+// TestExhaustiveMatchingVariant does the same for the direct/Byzantine
+// proposals: every branch ends with cover <= 2t.
+func TestExhaustiveMatchingVariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive game tree")
+	}
+	g, err := graph.FromEdges(8, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 2, Dst: 3}, {Src: 4, Dst: 5}, {Src: 0, Dst: 3}, {Src: 6, Dst: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tt = 1
+	var walk func(st *State, depth int)
+	walk = func(st *State, depth int) {
+		if depth > 16 {
+			t.Fatal("matching game exceeded depth bound")
+		}
+		proposal := st.GreedyMatchingProposal(tt+1, tt+1)
+		if proposal == nil {
+			if !st.G.VertexCoverAtMost(2 * tt) {
+				t.Fatalf("terminal matching state has cover > 2t: %v", st.G.Edges())
+			}
+			return
+		}
+		for mask := 1; mask < 1<<len(proposal); mask++ {
+			chosen := make([]Item, 0, len(proposal))
+			for i, it := range proposal {
+				if mask&(1<<i) != 0 {
+					chosen = append(chosen, it)
+				}
+			}
+			child := st.Clone()
+			child.Apply(chosen)
+			walk(child, depth+1)
+		}
+	}
+	walk(NewState(g, tt), 0)
+}

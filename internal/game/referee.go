@@ -1,0 +1,91 @@
+package game
+
+import "math/rand"
+
+// FirstItemReferee always grants exactly the first proposal item — the
+// slowest legal referee with a deterministic tie-break.
+type FirstItemReferee struct{}
+
+// Choose implements Referee.
+func (FirstItemReferee) Choose(_ *State, proposal []Item) []Item {
+	return proposal[:1]
+}
+
+// AllItemsReferee grants the whole proposal — the fastest referee (an
+// adversary that never jams).
+type AllItemsReferee struct{}
+
+// Choose implements Referee.
+func (AllItemsReferee) Choose(_ *State, proposal []Item) []Item {
+	return proposal
+}
+
+// RandomSubsetReferee grants a uniformly random non-empty subset, modeling
+// haphazard interference.
+type RandomSubsetReferee struct {
+	Rng *rand.Rand
+}
+
+// Choose implements Referee.
+func (r RandomSubsetReferee) Choose(_ *State, proposal []Item) []Item {
+	var out []Item
+	for _, it := range proposal {
+		if r.Rng.Intn(2) == 0 {
+			out = append(out, it)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, proposal[r.Rng.Intn(len(proposal))])
+	}
+	return out
+}
+
+// JammerReferee models the distributed reality: the adversary can disrupt
+// at most t channels, so at least len(proposal)-t items are granted. It
+// denies the first t items, preferring to deny edge deliveries over node
+// starrings (denying progress on real messages is the most damaging
+// choice available to it).
+type JammerReferee struct {
+	T int
+}
+
+// Choose implements Referee.
+func (r JammerReferee) Choose(_ *State, proposal []Item) []Item {
+	if len(proposal) <= r.T {
+		// The distributed protocol never offers the adversary a chance to
+		// jam everything; mirror that by always granting one item.
+		return proposal[len(proposal)-1:]
+	}
+	denied := 0
+	var out []Item
+	// Deny edges first.
+	for _, it := range proposal {
+		if it.IsEdge && denied < r.T {
+			denied++
+			continue
+		}
+		out = append(out, it)
+	}
+	// Any remaining budget denies node items from the front.
+	for denied < r.T && len(out) > 1 {
+		out = out[1:]
+		denied++
+	}
+	return out
+}
+
+// StallReferee grants exactly one item per move, preferring node items
+// (starring) over edge removals: starring never removes an edge, so this
+// referee maximizes the number of moves the player needs. It is the
+// worst case used by the Theorem 4 bound experiments.
+type StallReferee struct{}
+
+// Choose implements Referee.
+func (StallReferee) Choose(_ *State, proposal []Item) []Item {
+	for _, it := range proposal {
+		if !it.IsEdge {
+			return []Item{it}
+		}
+	}
+	return proposal[:1]
+}

@@ -1,0 +1,234 @@
+// Package gossip implements the oblivious gossip baseline the paper
+// compares against (Section 2; Dolev, Gilbert, Guerraoui, Newport,
+// "Gossiping in a multi-channel radio network", DISC 2007): nodes follow a
+// schedule of (channel, transmit-or-listen) choices that does not adapt to
+// the execution, and success means *almost gossip* — all but t rumors
+// reach all but t nodes.
+//
+// Two variants are provided. The randomized oblivious protocol draws its
+// schedule uniformly; it eventually completes against any t-jammer but
+// offers no authentication whatsoever — a spoofing adversary freely
+// poisons the rumor store, which is the qualitative gap that motivates
+// AME. The deterministic round-robin variant illustrates the paper's
+// conjecture that deterministic schedules are hopeless: an adversary that
+// knows the schedule silences it forever.
+package gossip
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"securadio/internal/radio"
+)
+
+// Rumor is one gossip payload: the originator's ID and its body. Nothing
+// binds Body to Origin — that is the point of the baseline.
+type Rumor struct {
+	Origin int
+	Body   radio.Message
+}
+
+// Params configures a gossip run.
+type Params struct {
+	// N, C, T mirror the radio configuration.
+	N, C, T int
+
+	// TxProb is the per-round transmit probability; non-positive selects
+	// 0.5 (the throughput-optimal choice for single-rumor exchange is
+	// near 1/2 for small C).
+	TxProb float64
+
+	// Rounds is the fixed schedule length.
+	Rounds int
+}
+
+// ErrBadParams reports an invalid configuration.
+var ErrBadParams = errors.New("gossip: invalid parameters")
+
+// Result summarizes a run.
+type Result struct {
+	// LearnAt[w][v] is the round at which node w first stored a rumor for
+	// origin v (-1 = never; own rumor is 0).
+	LearnAt [][]int
+
+	// Polluted counts (node, origin) slots that hold a body different
+	// from the origin's authentic rumor — successful spoofs.
+	Polluted int
+
+	// CompletedAt is the first round by which all but T rumors had
+	// reached all but T nodes (-1 if the run ended first).
+	CompletedAt int
+
+	// Rounds is the number of rounds executed.
+	Rounds int
+}
+
+// Run executes the randomized oblivious gossip protocol. bodies[v] is node
+// v's authentic rumor body.
+func Run(p Params, adv radio.Adversary, seed int64, bodies []radio.Message) (*Result, error) {
+	if p.N <= 0 || p.C < 2 || p.T < 0 || p.T >= p.C || p.Rounds <= 0 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadParams, p)
+	}
+	if len(bodies) != p.N {
+		return nil, fmt.Errorf("%w: %d bodies for %d nodes", ErrBadParams, len(bodies), p.N)
+	}
+	txProb := p.TxProb
+	if txProb <= 0 {
+		txProb = 0.5
+	}
+
+	learnAt := make([][]int, p.N)
+	stores := make([][]radio.Message, p.N)
+	procs := make([]radio.Process, p.N)
+	for i := 0; i < p.N; i++ {
+		i := i
+		learnAt[i] = make([]int, p.N)
+		stores[i] = make([]radio.Message, p.N)
+		for j := range learnAt[i] {
+			learnAt[i][j] = -1
+		}
+		learnAt[i][i] = 0
+		stores[i][i] = bodies[i]
+		procs[i] = func(e radio.Env) {
+			known := []int{i}
+			for r := 0; r < p.Rounds; r++ {
+				ch := e.Rand().Intn(e.C())
+				if e.Rand().Float64() < txProb {
+					pick := known[e.Rand().Intn(len(known))]
+					e.Transmit(ch, Rumor{Origin: pick, Body: stores[i][pick]})
+					continue
+				}
+				m, ok := e.Listen(ch).(Rumor)
+				if !ok || m.Origin < 0 || m.Origin >= p.N || m.Origin == i {
+					continue
+				}
+				if learnAt[i][m.Origin] < 0 {
+					// First writer wins: an unauthenticated store cannot
+					// tell spoofed rumors from authentic ones.
+					learnAt[i][m.Origin] = r
+					stores[i][m.Origin] = m.Body
+					known = append(known, m.Origin)
+				}
+			}
+		}
+	}
+
+	cfg := radio.Config{N: p.N, C: p.C, T: p.T, Seed: seed, Adversary: adv}
+	res, err := radio.Run(cfg, procs)
+	if err != nil {
+		return nil, fmt.Errorf("gossip: radio run: %w", err)
+	}
+
+	out := &Result{LearnAt: learnAt, Rounds: res.Rounds}
+	for w := 0; w < p.N; w++ {
+		for v := 0; v < p.N; v++ {
+			if learnAt[w][v] >= 0 && stores[w][v] != bodies[v] {
+				out.Polluted++
+			}
+		}
+	}
+	out.CompletedAt = completedAt(learnAt, p.N, p.T)
+	return out, nil
+}
+
+// completedAt computes the first round at which the almost-gossip
+// predicate held: the (n-t)-th origin to reach its (n-t)-th node, using
+// the per-origin completion rounds.
+func completedAt(learnAt [][]int, n, t int) int {
+	const never = int(^uint(0) >> 1) // max int
+	need := n - t
+	perOrigin := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		times := make([]int, 0, n)
+		for w := 0; w < n; w++ {
+			if learnAt[w][v] >= 0 {
+				times = append(times, learnAt[w][v])
+			}
+		}
+		if len(times) < need {
+			perOrigin = append(perOrigin, never)
+			continue
+		}
+		sort.Ints(times)
+		perOrigin = append(perOrigin, times[need-1])
+	}
+	sort.Ints(perOrigin)
+	if perOrigin[need-1] == never {
+		return -1
+	}
+	return perOrigin[need-1]
+}
+
+// RunDeterministic executes the deterministic round-robin oblivious
+// schedule: in round r, node r%n broadcasts its own rumor on channel
+// (r/n)%c. Because the schedule is fixed and public, an adversary that
+// simply jams the scheduled channel silences the protocol forever — the
+// behaviour the paper's "deterministic solutions are exponential"
+// conjecture anticipates. Returns the number of (node, origin) deliveries
+// that still succeeded.
+func RunDeterministic(p Params, adv radio.Adversary, seed int64, bodies []radio.Message) (*Result, error) {
+	if p.N <= 0 || p.C < 2 || p.T < 0 || p.T >= p.C || p.Rounds <= 0 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadParams, p)
+	}
+	if len(bodies) != p.N {
+		return nil, fmt.Errorf("%w: %d bodies for %d nodes", ErrBadParams, len(bodies), p.N)
+	}
+	learnAt := make([][]int, p.N)
+	stores := make([][]radio.Message, p.N)
+	procs := make([]radio.Process, p.N)
+	for i := 0; i < p.N; i++ {
+		i := i
+		learnAt[i] = make([]int, p.N)
+		stores[i] = make([]radio.Message, p.N)
+		for j := range learnAt[i] {
+			learnAt[i][j] = -1
+		}
+		learnAt[i][i] = 0
+		stores[i][i] = bodies[i]
+		procs[i] = func(e radio.Env) {
+			for r := 0; r < p.Rounds; r++ {
+				speaker := r % p.N
+				ch := (r / p.N) % p.C
+				if speaker == i {
+					e.Transmit(ch, Rumor{Origin: i, Body: bodies[i]})
+					continue
+				}
+				m, ok := e.Listen(ch).(Rumor)
+				if ok && m.Origin >= 0 && m.Origin < p.N && learnAt[i][m.Origin] < 0 {
+					learnAt[i][m.Origin] = r
+					stores[i][m.Origin] = m.Body
+				}
+			}
+		}
+	}
+	cfg := radio.Config{N: p.N, C: p.C, T: p.T, Seed: seed, Adversary: adv}
+	res, err := radio.Run(cfg, procs)
+	if err != nil {
+		return nil, fmt.Errorf("gossip: radio run: %w", err)
+	}
+	out := &Result{LearnAt: learnAt, Rounds: res.Rounds}
+	for w := 0; w < p.N; w++ {
+		for v := 0; v < p.N; v++ {
+			if learnAt[w][v] >= 0 && stores[w][v] != bodies[v] {
+				out.Polluted++
+			}
+		}
+	}
+	out.CompletedAt = completedAt(learnAt, p.N, p.T)
+	return out, nil
+}
+
+// Deliveries counts (node, origin) pairs with a stored rumor (excluding
+// self-knowledge).
+func (r *Result) Deliveries() int {
+	n := 0
+	for w := range r.LearnAt {
+		for v, at := range r.LearnAt[w] {
+			if v != w && at >= 0 {
+				n++
+			}
+		}
+	}
+	return n
+}

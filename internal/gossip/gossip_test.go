@@ -1,0 +1,146 @@
+package gossip
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"securadio/internal/adversary"
+	"securadio/internal/radio"
+)
+
+func bodies(n int) []radio.Message {
+	out := make([]radio.Message, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("rumor-%d", i)
+	}
+	return out
+}
+
+func TestRunCompletesWithoutAdversary(t *testing.T) {
+	p := Params{N: 12, C: 3, T: 1, Rounds: 4000}
+	res, err := Run(p, nil, 1, bodies(p.N))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.CompletedAt < 0 {
+		t.Fatalf("almost-gossip not reached in %d rounds", p.Rounds)
+	}
+	if res.Polluted != 0 {
+		t.Fatalf("pollution without a spoofer: %d", res.Polluted)
+	}
+}
+
+func TestRunCompletesUnderJamming(t *testing.T) {
+	p := Params{N: 12, C: 3, T: 1, Rounds: 8000}
+	adv := adversary.NewRandomJammer(1, 3, 5)
+	res, err := Run(p, adv, 2, bodies(p.N))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.CompletedAt < 0 {
+		t.Fatal("almost-gossip not reached under random jamming")
+	}
+}
+
+func TestRunIsSpoofable(t *testing.T) {
+	// The headline weakness of the baseline: a spoofer that injects fake
+	// rumors for origins that have not spoken yet poisons stores.
+	p := Params{N: 12, C: 3, T: 2, Rounds: 6000}
+	forge := func(round int) radio.Message {
+		return Rumor{Origin: round % p.N, Body: "POISON"}
+	}
+	adv := adversary.NewRandomSpoofer(2, 3, 9, forge)
+	res, err := Run(p, adv, 3, bodies(p.N))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Polluted == 0 {
+		t.Fatal("spoofer failed to poison any store; baseline should be forgeable")
+	}
+}
+
+func TestCompletedAtExactSmallCase(t *testing.T) {
+	// n=3, t=1: need 2 origins known to 2 nodes each.
+	learnAt := [][]int{
+		{0, -1, 7},
+		{3, 0, -1},
+		{-1, -1, 0},
+	}
+	// Origin 0: known by nodes {0@0, 1@3} -> reaches 2 nodes at round 3.
+	// Origin 1: only node 1 -> never. Origin 2: {2@0, 0@7} -> round 7.
+	// Second-fastest origin completes at round 7.
+	if got := completedAt(learnAt, 3, 1); got != 7 {
+		t.Fatalf("completedAt = %d, want 7", got)
+	}
+}
+
+func TestCompletedAtNever(t *testing.T) {
+	learnAt := [][]int{
+		{0, -1},
+		{-1, 0},
+	}
+	if got := completedAt(learnAt, 2, 0); got != -1 {
+		t.Fatalf("completedAt = %d, want -1", got)
+	}
+}
+
+func TestDeterministicSilencedByScheduleAwareJammer(t *testing.T) {
+	// The jammer only needs to jam the (public) scheduled channel.
+	p := Params{N: 8, C: 3, T: 1, Rounds: 2000}
+	adv := &scheduleJammer{n: p.N, c: p.C}
+	res, err := RunDeterministic(p, adv, 4, bodies(p.N))
+	if err != nil {
+		t.Fatalf("RunDeterministic: %v", err)
+	}
+	if got := res.Deliveries(); got != 0 {
+		t.Fatalf("deterministic schedule delivered %d rumors under a schedule-aware jammer, want 0", got)
+	}
+	if res.CompletedAt != -1 {
+		t.Fatal("deterministic gossip claimed completion while silenced")
+	}
+}
+
+// scheduleJammer exploits the public round-robin schedule — a
+// model-compliant adversary (no omniscience needed).
+type scheduleJammer struct{ n, c int }
+
+func (s *scheduleJammer) Plan(round int) []radio.Transmission {
+	return []radio.Transmission{{Channel: (round / s.n) % s.c}}
+}
+func (s *scheduleJammer) Observe(radio.RoundObservation) {}
+
+func TestDeterministicCompletesUnjammed(t *testing.T) {
+	p := Params{N: 6, C: 2, T: 1, Rounds: 6 * 2 * 3}
+	res, err := RunDeterministic(p, nil, 5, bodies(p.N))
+	if err != nil {
+		t.Fatalf("RunDeterministic: %v", err)
+	}
+	if res.Deliveries() != p.N*(p.N-1) {
+		t.Fatalf("deliveries = %d, want %d", res.Deliveries(), p.N*(p.N-1))
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	bad := []Params{
+		{N: 0, C: 2, T: 1, Rounds: 10},
+		{N: 4, C: 1, T: 0, Rounds: 10},
+		{N: 4, C: 2, T: 2, Rounds: 10},
+		{N: 4, C: 2, T: 1, Rounds: 0},
+	}
+	for _, p := range bad {
+		if _, err := Run(p, nil, 1, bodies(max(p.N, 0))); !errors.Is(err, ErrBadParams) {
+			t.Fatalf("params %+v accepted", p)
+		}
+	}
+	if _, err := Run(Params{N: 4, C: 2, T: 1, Rounds: 5}, nil, 1, bodies(3)); !errors.Is(err, ErrBadParams) {
+		t.Fatal("body count mismatch accepted")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,330 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustSet(t *testing.T, n int, edges []Edge) *DSet {
+	t.Helper()
+	s, err := FromEdges(n, edges)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return s
+}
+
+func TestAddRejectsBadEdges(t *testing.T) {
+	s := NewDSet(3)
+	cases := []Edge{{0, 0}, {-1, 1}, {0, 3}, {3, 0}}
+	for _, e := range cases {
+		if err := s.Add(e); err == nil {
+			t.Errorf("Add(%v) accepted, want error", e)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("len = %d, want 0", s.Len())
+	}
+}
+
+func TestEdgesCanonicalOrder(t *testing.T) {
+	s := mustSet(t, 5, []Edge{{3, 1}, {0, 2}, {0, 1}, {3, 0}})
+	got := s.Edges()
+	want := []Edge{{0, 1}, {0, 2}, {3, 0}, {3, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRemoveAndHas(t *testing.T) {
+	s := mustSet(t, 4, []Edge{{0, 1}, {1, 2}})
+	if !s.Has(Edge{0, 1}) {
+		t.Fatal("missing edge 0->1")
+	}
+	s.Remove(Edge{0, 1})
+	if s.Has(Edge{0, 1}) {
+		t.Fatal("edge 0->1 still present after Remove")
+	}
+	s.Remove(Edge{0, 1}) // no-op
+	if s.Len() != 1 {
+		t.Fatalf("len = %d, want 1", s.Len())
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	s := mustSet(t, 4, []Edge{{0, 1}})
+	c := s.Clone()
+	c.Remove(Edge{0, 1})
+	if !s.Has(Edge{0, 1}) {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestMinVertexCoverKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges []Edge
+		want  int
+	}{
+		{"empty", 4, nil, 0},
+		{"single edge", 4, []Edge{{0, 1}}, 1},
+		{"path of two", 4, []Edge{{0, 1}, {1, 2}}, 1},
+		{"two disjoint edges", 4, []Edge{{0, 1}, {2, 3}}, 2},
+		{"triangle", 3, []Edge{{0, 1}, {1, 2}, {2, 0}}, 2},
+		{"star out", 6, []Edge{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}}, 1},
+		{"star in", 6, []Edge{{1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 0}}, 1},
+		{"two triangles", 6, []Edge{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}}, 4},
+		{"complete on 4", 4, Complete(4), 3},
+		{"directions collapse", 3, []Edge{{0, 1}, {1, 0}}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := mustSet(t, tc.n, tc.edges)
+			if got := s.MinVertexCover(); got != tc.want {
+				t.Fatalf("MinVertexCover = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVertexCoverAtMostBoundaries(t *testing.T) {
+	s := mustSet(t, 4, []Edge{{0, 1}, {2, 3}})
+	if s.VertexCoverAtMost(-1) {
+		t.Fatal("negative k accepted")
+	}
+	if s.VertexCoverAtMost(1) {
+		t.Fatal("cover of 1 accepted for two disjoint edges")
+	}
+	if !s.VertexCoverAtMost(2) {
+		t.Fatal("cover of 2 rejected for two disjoint edges")
+	}
+}
+
+// TestVertexCoverMatchingSandwich: matching <= min cover <= 2*matching on
+// random graphs.
+func TestVertexCoverMatchingSandwich(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(5)
+		k := rng.Intn(2 * n)
+		s, err := FromEdges(n, RandomPairs(n, k, rng.Intn))
+		if err != nil {
+			return false
+		}
+		m := len(s.GreedyMatching())
+		mvc := s.MinVertexCover()
+		return m <= mvc && mvc <= 2*m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVertexCoverIsActuallyACoverProperty verifies VertexCoverAtMost
+// against brute-force enumeration on small graphs.
+func TestVertexCoverAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(3) // up to 6 vertices -> brute force feasible
+		k := rng.Intn(n * (n - 1))
+		s, err := FromEdges(n, RandomPairs(n, k, rng.Intn))
+		if err != nil {
+			return false
+		}
+		return s.MinVertexCover() == bruteForceMinCover(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bruteForceMinCover(s *DSet) int {
+	n := s.N()
+	edges := s.Edges()
+	best := n
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		for _, e := range edges {
+			if mask&(1<<e.Src) == 0 && mask&(1<<e.Dst) == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			if c := popcount(mask); c < best {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+func TestGreedyMatchingDisjoint(t *testing.T) {
+	s := mustSet(t, 6, Complete(6))
+	m := s.GreedyMatching()
+	used := make(map[int]bool)
+	for _, e := range m {
+		if used[e.Src] || used[e.Dst] {
+			t.Fatalf("matching %v is not vertex-disjoint", m)
+		}
+		used[e.Src] = true
+		used[e.Dst] = true
+	}
+	if len(m) != 3 {
+		t.Fatalf("matching size = %d, want 3 on K6", len(m))
+	}
+}
+
+func TestLeaderSpanner(t *testing.T) {
+	n, leaders := 7, []int{0, 1, 2}
+	edges := LeaderSpanner(n, leaders)
+
+	// Every ordered pair touching a leader appears exactly once.
+	want := make(map[Edge]bool)
+	isLeader := map[int]bool{0: true, 1: true, 2: true}
+	for v := 0; v < n; v++ {
+		for w := 0; w < n; w++ {
+			if v != w && (isLeader[v] || isLeader[w]) {
+				want[Edge{v, w}] = true
+			}
+		}
+	}
+	got := make(map[Edge]bool)
+	for _, e := range edges {
+		if got[e] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		got[e] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("spanner has %d edges, want %d", len(got), len(want))
+	}
+	for e := range want {
+		if !got[e] {
+			t.Fatalf("missing edge %v", e)
+		}
+	}
+}
+
+func TestLeaderSpannerSize(t *testing.T) {
+	// With l leaders: 2*l*(n-l) leader<->non-leader pairs plus l*(l-1)
+	// leader<->leader ordered pairs.
+	n, l := 20, 4
+	leaders := []int{0, 1, 2, 3}
+	want := 2*l*(n-l) + l*(l-1)
+	if got := len(LeaderSpanner(n, leaders)); got != want {
+		t.Fatalf("spanner size = %d, want %d", got, want)
+	}
+}
+
+func TestDisjointPairs(t *testing.T) {
+	got := DisjointPairs(3)
+	want := []Edge{{0, 3}, {1, 4}, {2, 5}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCompleteSize(t *testing.T) {
+	if got := len(Complete(5)); got != 20 {
+		t.Fatalf("Complete(5) has %d edges, want 20", got)
+	}
+}
+
+func TestRandomPairsDistinctAndInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pairs := RandomPairs(6, 10, rng.Intn)
+	if len(pairs) != 10 {
+		t.Fatalf("got %d pairs, want 10", len(pairs))
+	}
+	seen := make(map[Edge]bool)
+	for _, e := range pairs {
+		if e.Src == e.Dst || e.Src < 0 || e.Src >= 6 || e.Dst < 0 || e.Dst >= 6 {
+			t.Fatalf("bad pair %v", e)
+		}
+		if seen[e] {
+			t.Fatalf("duplicate pair %v", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestRandomPairsCapsAtMaximum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pairs := RandomPairs(3, 100, rng.Intn)
+	if len(pairs) != 6 {
+		t.Fatalf("got %d pairs, want all 6 ordered pairs over 3 vertices", len(pairs))
+	}
+}
+
+func TestSourcesAndOutEdges(t *testing.T) {
+	s := mustSet(t, 5, []Edge{{2, 1}, {2, 3}, {0, 4}})
+	src := s.Sources()
+	if len(src) != 2 || src[0] != 0 || src[1] != 2 {
+		t.Fatalf("Sources = %v, want [0 2]", src)
+	}
+	out := s.OutEdges(2)
+	if len(out) != 2 || out[0] != (Edge{2, 1}) || out[1] != (Edge{2, 3}) {
+		t.Fatalf("OutEdges(2) = %v", out)
+	}
+	if got := s.OutEdges(1); len(got) != 0 {
+		t.Fatalf("OutEdges(1) = %v, want empty", got)
+	}
+}
+
+func TestMinVertexCoverSetIsMinimumCover(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(6)
+		s, err := FromEdges(n, RandomPairs(n, rng.Intn(2*n), rng.Intn))
+		if err != nil {
+			return false
+		}
+		set := s.MinVertexCoverSet()
+		return s.IsVertexCover(set) && len(set) == s.MinVertexCover()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinVertexCoverSetEmptyGraph(t *testing.T) {
+	s := NewDSet(4)
+	if set := s.MinVertexCoverSet(); len(set) != 0 {
+		t.Fatalf("cover of empty graph = %v", set)
+	}
+}
+
+func TestIsVertexCover(t *testing.T) {
+	s := mustSet(t, 4, []Edge{{0, 1}, {2, 3}})
+	if !s.IsVertexCover([]int{0, 2}) {
+		t.Fatal("valid cover rejected")
+	}
+	if s.IsVertexCover([]int{0}) {
+		t.Fatal("partial cover accepted")
+	}
+	if !s.IsVertexCover([]int{0, 1, 2, 3}) {
+		t.Fatal("full vertex set rejected")
+	}
+}

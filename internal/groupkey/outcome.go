@@ -1,0 +1,83 @@
+package groupkey
+
+import (
+	"fmt"
+
+	"securadio/internal/radio"
+	"securadio/internal/wcrypto"
+)
+
+// Outcome is the network-wide result of a group-key establishment run.
+type Outcome struct {
+	// PerNode holds each node's local result, indexed by node ID.
+	PerNode []NodeResult
+
+	// Leader is the leader whose key won (-1 if no quorum formed).
+	Leader int
+
+	// Agreed is the number of nodes that adopted the winning key.
+	Agreed int
+
+	// Rounds is the total number of radio rounds consumed.
+	Rounds int
+
+	// Radio carries the raw engine statistics.
+	Radio radio.Result
+}
+
+// Establish runs the complete Section 6 protocol on a fresh simulated
+// network and cross-checks the outcome: with high probability at least
+// n-t nodes adopt the same group key.
+//
+// Note on adversaries: Part 2's jamming-evasion relies on the hopping
+// pattern being unpredictable, which holds for every model-compliant
+// adversary (the model hides current-round choices). Omniscient test
+// adversaries violate exactly that assumption and defeat Part 2 by
+// construction — see the package tests, which demonstrate both sides.
+func Establish(p Params, adv radio.Adversary, seed int64) (*Outcome, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	results := make([]NodeResult, p.N)
+	procs := make([]radio.Process, p.N)
+	for i := 0; i < p.N; i++ {
+		procs[i] = Proc(p, &results[i])
+	}
+	cfg := radio.Config{N: p.N, C: p.C, T: p.T, Seed: seed, Adversary: adv}
+	radioRes, err := radio.Run(cfg, procs)
+	if err != nil {
+		return nil, fmt.Errorf("groupkey: radio run: %w", err)
+	}
+	out := &Outcome{PerNode: results, Leader: -1, Rounds: radioRes.Rounds, Radio: radioRes}
+	for i := range results {
+		if results[i].Err != nil {
+			return out, fmt.Errorf("groupkey: node %d: %w", i, results[i].Err)
+		}
+	}
+
+	// Count agreement and check consistency: adopters of the same leader
+	// must hold identical keys.
+	keyOf := make(map[int]wcrypto.Key)
+	for i := range results {
+		r := &results[i]
+		if r.GroupKey == nil {
+			continue
+		}
+		if prev, ok := keyOf[r.Leader]; ok && prev != *r.GroupKey {
+			return out, fmt.Errorf("groupkey: nodes disagree on leader %d's key", r.Leader)
+		}
+		keyOf[r.Leader] = *r.GroupKey
+	}
+	counts := make(map[int]int)
+	for i := range results {
+		if results[i].GroupKey != nil {
+			counts[results[i].Leader]++
+		}
+	}
+	for l, c := range counts {
+		if c > out.Agreed {
+			out.Agreed, out.Leader = c, l
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,194 @@
+// Package metrics provides the measurement and reporting substrate for the
+// reproduction's experiment harness: aligned text tables (the harness
+// prints paper-style rows), CSV emission, and the small statistical
+// helpers used to verify asymptotic shapes (log-log slope fitting and
+// ratio series).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are rendered with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = pad(cell, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	writeRow(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+}
+
+// RenderCSV writes the table as CSV (for downstream plotting).
+func (t *Table) RenderCSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Headers, ","))
+	for _, row := range t.rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Sample is one (x, y) measurement.
+type Sample struct {
+	X, Y float64
+}
+
+// LogLogSlope fits y = a * x^b by least squares in log-log space and
+// returns the exponent b. The experiments use it to check asymptotic
+// shape: measured round counts growing linearly in |E| fit b near 1, a
+// t^2 dependence fits b near 2, and so on. Samples with non-positive
+// coordinates are ignored.
+func LogLogSlope(samples []Sample) float64 {
+	var sx, sy, sxx, sxy float64
+	n := 0
+	for _, s := range samples {
+		if s.X <= 0 || s.Y <= 0 {
+			continue
+		}
+		lx, ly := math.Log(s.X), math.Log(s.Y)
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		n++
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	den := float64(n)*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return (float64(n)*sxy - sx*sy) / den
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MaxRatio returns max(ys[i]/xs[i]); it is the constant-factor witness
+// used in "measured <= constant * model" shape checks.
+func MaxRatio(xs, ys []float64) float64 {
+	r := math.Inf(-1)
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 {
+			if v := ys[i] / xs[i]; v > r {
+				r = v
+			}
+		}
+	}
+	return r
+}
+
+// Counter accumulates labeled counts (per-phase round accounting).
+type Counter struct {
+	counts map[string]int
+	order  []string
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[string]int)}
+}
+
+// Add increments a label.
+func (c *Counter) Add(label string, n int) {
+	if _, ok := c.counts[label]; !ok {
+		c.order = append(c.order, label)
+	}
+	c.counts[label] += n
+}
+
+// Get returns a label's count.
+func (c *Counter) Get(label string) int { return c.counts[label] }
+
+// Labels returns the labels in first-use order.
+func (c *Counter) Labels() []string {
+	return append([]string(nil), c.order...)
+}
+
+// Total returns the sum over all labels.
+func (c *Counter) Total() int {
+	total := 0
+	for _, v := range c.counts {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAligned(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("b", 123456)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "alpha") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("header and rule widths differ:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(1, 2.5)
+	var sb strings.Builder
+	tb.RenderCSV(&sb)
+	want := "a,b\n1,2.500\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow(3.0)
+	tb.AddRow(3.14159)
+	var sb strings.Builder
+	tb.RenderCSV(&sb)
+	if !strings.Contains(sb.String(), "3\n") || !strings.Contains(sb.String(), "3.142\n") {
+		t.Fatalf("float formatting wrong: %q", sb.String())
+	}
+}
+
+func TestLogLogSlopeRecoversExponent(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(x float64) float64
+		want float64
+	}{
+		{"linear", func(x float64) float64 { return 7 * x }, 1},
+		{"quadratic", func(x float64) float64 { return 0.5 * x * x }, 2},
+		{"constant", func(x float64) float64 { return 42 }, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var samples []Sample
+			for x := 2.0; x <= 64; x *= 2 {
+				samples = append(samples, Sample{X: x, Y: tc.f(x)})
+			}
+			got := LogLogSlope(samples)
+			if math.Abs(got-tc.want) > 0.01 {
+				t.Fatalf("slope = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestLogLogSlopeDegenerate(t *testing.T) {
+	if !math.IsNaN(LogLogSlope(nil)) {
+		t.Fatal("empty input should give NaN")
+	}
+	if !math.IsNaN(LogLogSlope([]Sample{{X: 1, Y: 1}})) {
+		t.Fatal("single sample should give NaN")
+	}
+	if !math.IsNaN(LogLogSlope([]Sample{{X: -1, Y: 5}, {X: 0, Y: 2}})) {
+		t.Fatal("non-positive samples should be ignored")
+	}
+}
+
+func TestMeanAndMaxRatio(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+	if got := MaxRatio([]float64{1, 2}, []float64{3, 10}); got != 5 {
+		t.Fatalf("MaxRatio = %v, want 5", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Add("a", 2)
+	c.Add("b", 3)
+	c.Add("a", 1)
+	if c.Get("a") != 3 || c.Get("b") != 3 {
+		t.Fatalf("counts wrong: a=%d b=%d", c.Get("a"), c.Get("b"))
+	}
+	if c.Total() != 6 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	labels := c.Labels()
+	if len(labels) != 2 || labels[0] != "a" || labels[1] != "b" {
+		t.Fatalf("labels = %v", labels)
+	}
+}

@@ -1,0 +1,353 @@
+// Package msgopt implements the message-size optimization of Section 5.6:
+// f-AME with constant-size protocol messages.
+//
+// Plain f-AME broadcasts a node's entire value vector m_{v,*} — up to n-1
+// AME values per message. The optimized protocol splits the work:
+//
+//  1. Message gossip. Every edge (v,w) gets an epoch of Theta(t^2 log n)
+//     rounds in which v broadcasts the single value m_{v,w} on random
+//     channels, tagged with a *reconstruction hash* chaining it to the
+//     rest of v's vector: tag_i = H1(m_i, tag_{i+1}). Listeners on random
+//     channels receive it with high probability — along with arbitrarily
+//     many spoofed candidates, since nothing here is authenticated.
+//  2. Reconstruction. For each source, receivers arrange the candidate
+//     (value, tag) pairs into levels and link level i to level i+1
+//     wherever the tag verifies. Collision-resistance of H1 gives each
+//     candidate at most one outgoing link, so only polynomially many
+//     chains survive — each a candidate vector M_v.
+//  3. Vector signatures. f-AME runs with m_{v,*} replaced by the single
+//     hash H2(M_v). Its authentication guarantee transfers to the one
+//     candidate chain whose H2 matches, from which the destination
+//     extracts its authentic value.
+//
+// The running time is unchanged (Theta(|E| t^2 log n)); every protocol
+// message now carries O(1) AME values (experiment E11).
+package msgopt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"securadio/internal/core"
+	"securadio/internal/feedback"
+	"securadio/internal/graph"
+	"securadio/internal/radio"
+	"securadio/internal/wcrypto"
+)
+
+// Params configures the optimized exchange.
+type Params struct {
+	// Fame configures the underlying f-AME run (phase 3) and supplies
+	// N, C, T.
+	Fame core.Params
+
+	// EpochKappa scales the gossip-epoch length Theta(t^2 log n);
+	// non-positive selects feedback.DefaultKappa.
+	EpochKappa float64
+}
+
+// ErrBadParams reports an invalid configuration.
+var ErrBadParams = errors.New("msgopt: invalid parameters")
+
+// EpochRounds returns the per-edge gossip epoch length:
+// ceil(kappa * (t+1)^2 * log2 n).
+func (p Params) EpochRounds() int {
+	kappa := p.EpochKappa
+	if kappa <= 0 {
+		kappa = feedback.DefaultKappa
+	}
+	logN := math.Log2(float64(p.Fame.N))
+	if logN < 1 {
+		logN = 1
+	}
+	r := int(math.Ceil(kappa * float64((p.Fame.T+1)*(p.Fame.T+1)) * logN))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// epochMsg is one gossip-phase broadcast: a single AME value plus its
+// reconstruction hash. Nothing authenticates it; the adversary injects
+// candidates freely.
+type epochMsg struct {
+	Src   int
+	Index int // position within Src's ordered out-edge list
+	Body  string
+	Tag   [32]byte
+}
+
+// candidate is a received (value, tag) pair at one level.
+type candidate struct {
+	body string
+	tag  [32]byte
+}
+
+// Result is one node's outcome, mirroring core.Result plus the statistics
+// the E11 experiment reports.
+type Result struct {
+	// Delivered, SenderOK, Failed as in core.Result.
+	Delivered map[graph.Edge][]byte
+	SenderOK  map[graph.Edge]bool
+	Failed    []graph.Edge
+
+	// GameRounds is the phase-3 f-AME game length.
+	GameRounds int
+
+	// MaxChains is the largest number of valid reconstruction chains this
+	// node saw for any source (paper bound: O(t^2 log n)).
+	MaxChains int
+
+	// CandidateTotal counts all gossip candidates stored (spoofed
+	// included).
+	CandidateTotal int
+
+	// Err reports a local failure.
+	Err error
+}
+
+// endTag anchors source v's hash chain.
+func endTag(src int) [32]byte {
+	return wcrypto.Hash("msgopt/end", []byte{byte(src), byte(src >> 8), byte(src >> 16)})
+}
+
+func chainTag(body string, next [32]byte) [32]byte {
+	return wcrypto.Hash("msgopt/chain", []byte(body), next[:])
+}
+
+// vectorSig computes H2(Mv) for an ordered vector of bodies.
+func vectorSig(src int, bodies []string) [32]byte {
+	parts := make([][]byte, 0, len(bodies)+1)
+	parts = append(parts, []byte{byte(src), byte(src >> 8)})
+	for _, b := range bodies {
+		parts = append(parts, []byte(b))
+	}
+	return wcrypto.Hash("msgopt/vector", parts...)
+}
+
+// outEdgesBySource returns, for each source, its destinations in canonical
+// order — the M_v ordering of the paper.
+func outEdgesBySource(edges []graph.Edge) map[int][]int {
+	out := make(map[int][]int)
+	for _, e := range sortedEdges(edges) {
+		out[e.Src] = append(out[e.Src], e.Dst)
+	}
+	return out
+}
+
+func sortedEdges(edges []graph.Edge) []graph.Edge {
+	s := append([]graph.Edge(nil), edges...)
+	sort.Slice(s, func(i, j int) bool { return s[i].Less(s[j]) })
+	return s
+}
+
+// Run executes the optimized exchange inline on one node's Env. myValues
+// maps destination to this node's value for that edge. All nodes must call
+// Run in the same round with identical edges and Params.
+func Run(env radio.Env, p Params, edges []graph.Edge, myValues map[int]string, out *Result) {
+	me := env.ID()
+	out.Delivered = make(map[graph.Edge][]byte)
+	out.SenderOK = make(map[graph.Edge]bool)
+
+	if err := p.Fame.Validate(); err != nil {
+		out.Err = fmt.Errorf("%w: %v", ErrBadParams, err)
+		return
+	}
+
+	ordered := sortedEdges(edges)
+	bySource := outEdgesBySource(edges)
+
+	// My vector and its hash chain.
+	myDsts := bySource[me]
+	myBodies := make([]string, len(myDsts))
+	for i, dst := range myDsts {
+		myBodies[i] = myValues[dst]
+	}
+	myTags := make([][32]byte, len(myDsts)+1)
+	myTags[len(myDsts)] = endTag(me)
+	for i := len(myDsts) - 1; i >= 0; i-- {
+		myTags[i] = chainTag(myBodies[i], myTags[i+1])
+	}
+
+	// --- Phase 1: message gossip ---
+	epochLen := p.EpochRounds()
+	indexWithin := make(map[graph.Edge]int)
+	counters := make(map[int]int)
+	for _, e := range ordered {
+		indexWithin[e] = counters[e.Src]
+		counters[e.Src]++
+	}
+	// candidates[src][level] -> distinct (body, tag) pairs.
+	candidates := make(map[int][]map[candidate]bool)
+	ensure := func(src int) []map[candidate]bool {
+		if candidates[src] == nil {
+			candidates[src] = make([]map[candidate]bool, len(bySource[src]))
+			for i := range candidates[src] {
+				candidates[src][i] = make(map[candidate]bool)
+			}
+		}
+		return candidates[src]
+	}
+	for _, e := range ordered {
+		idx := indexWithin[e]
+		if e.Src == me {
+			msg := epochMsg{Src: me, Index: idx, Body: myBodies[idx], Tag: myTags[idx]}
+			for i := 0; i < epochLen; i++ {
+				env.Transmit(env.Rand().Intn(p.Fame.C), msg)
+			}
+			continue
+		}
+		for i := 0; i < epochLen; i++ {
+			m, ok := env.Listen(env.Rand().Intn(p.Fame.C)).(epochMsg)
+			if !ok || m.Src != e.Src || m.Index != idx {
+				continue // off-epoch or malformed: discard
+			}
+			levels := ensure(e.Src)
+			if idx < len(levels) {
+				levels[idx][candidate{body: m.Body, tag: m.Tag}] = true
+			}
+		}
+	}
+	for _, levels := range candidates {
+		for _, lv := range levels {
+			out.CandidateTotal += len(lv)
+		}
+	}
+
+	// --- Phase 2: reconstruction for the sources I receive from ---
+	type vecCandidate struct {
+		bodies []string
+		sig    [32]byte
+	}
+	reconstructed := make(map[int][]vecCandidate)
+	for _, e := range ordered {
+		if e.Dst != me {
+			continue
+		}
+		src := e.Src
+		if _, done := reconstructed[src]; done {
+			continue
+		}
+		chains := reconstructChains(candidates[src], len(bySource[src]), endTag(src))
+		if len(chains) > out.MaxChains {
+			out.MaxChains = len(chains)
+		}
+		vcs := make([]vecCandidate, 0, len(chains))
+		for _, bodies := range chains {
+			vcs = append(vcs, vecCandidate{bodies: bodies, sig: vectorSig(src, bodies)})
+		}
+		reconstructed[src] = vcs
+	}
+
+	// --- Phase 3: f-AME over vector signatures ---
+	mySig := vectorSig(me, myBodies)
+	sigValues := make(map[int]radio.Message, len(myDsts))
+	for _, dst := range myDsts {
+		sigValues[dst] = mySig // one distinct value regardless of degree
+	}
+	var fameOut core.Result
+	core.Run(env, p.Fame, edges, sigValues, &fameOut)
+	if fameOut.Err != nil {
+		out.Err = fmt.Errorf("msgopt: phase 3: %w", fameOut.Err)
+		return
+	}
+	out.GameRounds = fameOut.GameRounds
+	out.Failed = fameOut.Failed
+	out.SenderOK = fameOut.SenderOK
+
+	// Extraction: authenticate the one chain matching the delivered
+	// signature and read my value out of it.
+	for e, v := range fameOut.Delivered {
+		sig, ok := v.([32]byte)
+		if !ok {
+			continue
+		}
+		idx := indexWithin[e]
+		for _, vc := range reconstructed[e.Src] {
+			if vc.sig == sig && idx < len(vc.bodies) {
+				out.Delivered[e] = []byte(vc.bodies[idx])
+				break
+			}
+		}
+		if _, got := out.Delivered[e]; !got {
+			// Signature authenticated but gossip missed the value: the
+			// whp failure mode. Report the edge as failed locally.
+			out.Failed = append(out.Failed, e)
+			if e.Src == me {
+				out.SenderOK[e] = false
+			}
+		}
+	}
+}
+
+// reconstructChains links candidate levels by verifying reconstruction
+// hashes and returns every full chain's ordered bodies. A single-pass
+// dynamic program from the last level backwards suffices because each
+// candidate has (absent hash collisions) at most one outgoing edge.
+func reconstructChains(levels []map[candidate]bool, k int, end [32]byte) [][]string {
+	if k == 0 {
+		return [][]string{{}}
+	}
+	if levels == nil || len(levels) != k {
+		return nil
+	}
+	// suffixes[i] holds, per candidate at level i, the chain of bodies
+	// from level i to k-1 (nil when the candidate doesn't verify).
+	next := make(map[[32]byte][]string) // tag -> suffix bodies starting at level i+1
+	next[end] = []string{}
+	for i := k - 1; i >= 0; i-- {
+		cur := make(map[[32]byte][]string)
+		for c := range levels[i] {
+			// c.tag must equal H1(c.body, tag_{i+1}) for some verified
+			// suffix; equivalently the suffix keyed by the tag that
+			// produces c.tag. Try every verified successor tag.
+			for nextTag, suffix := range next {
+				if chainTag(c.body, nextTag) == c.tag {
+					cur[c.tag] = append([]string{c.body}, suffix...)
+					break
+				}
+			}
+		}
+		next = cur
+	}
+	out := make([][]string, 0, len(next))
+	for _, bodies := range next {
+		out = append(out, bodies)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return fmt.Sprint(out[i]) < fmt.Sprint(out[j])
+	})
+	return out
+}
+
+// ForgeCandidate fabricates a self-consistent epoch-gossip candidate for
+// the given source and level: its reconstruction tag verifies against the
+// source's chain anchor, so it survives into the reconstruction phase.
+// This is the strongest spoof available against Section 5.6's gossip
+// phase; the vector signature still rejects it. Exported for the attack
+// experiments and tests.
+func ForgeCandidate(src, index int, body string) radio.Message {
+	return epochMsg{Src: src, Index: index, Body: body, Tag: chainTag(body, endTag(src))}
+}
+
+// MessageValueCount reports how many distinct AME values a protocol
+// message carries — the size model of experiment E11. Gossip-phase
+// messages carry one value; f-AME vector messages carry their distinct
+// value count (all-equal signature vectors collapse to 1); everything else
+// (feedback traffic, ciphertext frames) carries none.
+func MessageValueCount(m radio.Message) int {
+	switch v := m.(type) {
+	case epochMsg:
+		return 1
+	case *core.VectorMsg:
+		distinct := make(map[string]bool, len(v.Values))
+		for _, val := range v.Values {
+			distinct[fmt.Sprintf("%v", val)] = true
+		}
+		return len(distinct)
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,26 @@
+// Package radio implements the synchronous, single-hop, multi-channel radio
+// network model of Dolev, Gilbert, Guerraoui and Newport, "Secure
+// Communication Over Radio Channels" (PODC 2008), Section 3.
+//
+// The network has n nodes and C > 1 channels and proceeds in synchronous
+// rounds. In each round every node either transmits on a single channel,
+// listens on a single channel, or sleeps. If exactly one participant
+// (honest node or adversary) transmits on a channel, every listener on that
+// channel receives the transmission; if zero or two-or-more transmit, the
+// listeners receive nothing. Nodes cannot detect collisions: silence and
+// collision are indistinguishable.
+//
+// A malicious adversary may transmit on up to t < C channels per round and
+// listens on all C channels. It can therefore jam (collide with an honest
+// broadcast) and spoof (inject a fabricated message on an otherwise idle
+// channel). The adversary does not see the current round's honest choices
+// when committing its transmissions, but at the end of each round it
+// observes everything that happened, including which random choices the
+// honest nodes made.
+//
+// Node programs are ordinary Go functions (Process values) that run in
+// their own goroutines and interact with the network through a blocking Env
+// handle. The engine performs exactly one scheduler rendezvous per node per
+// round, which keeps all processes in lock-step and makes executions fully
+// deterministic for a fixed Config.Seed.
+package radio

@@ -1,0 +1,341 @@
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// abortSignal is thrown (via panic) inside node goroutines when the engine
+// tears a run down early; the node runner recovers it.
+type abortSignal struct{}
+
+// nodeState is the engine side of one node's rendezvous channels.
+type nodeState struct {
+	id   int
+	req  chan NodeAction
+	resp chan Message
+	done bool
+}
+
+// env implements Env for one node. It is used only by that node's
+// goroutine.
+type env struct {
+	id    int
+	cfg   *Config
+	node  *nodeState
+	quit  <-chan struct{}
+	rng   *rand.Rand
+	round int
+}
+
+var _ Env = (*env)(nil)
+
+func (e *env) ID() int          { return e.id }
+func (e *env) N() int           { return e.cfg.N }
+func (e *env) C() int           { return e.cfg.C }
+func (e *env) T() int           { return e.cfg.T }
+func (e *env) Round() int       { return e.round }
+func (e *env) Rand() *rand.Rand { return e.rng }
+
+// step performs one rendezvous with the scheduler: it posts the action and
+// blocks until the round resolves, returning the delivered message (nil for
+// non-listening operations).
+func (e *env) step(a NodeAction) Message {
+	select {
+	case e.node.req <- a:
+	case <-e.quit:
+		panic(abortSignal{})
+	}
+	select {
+	case m := <-e.node.resp:
+		e.round++
+		return m
+	case <-e.quit:
+		panic(abortSignal{})
+	}
+}
+
+func (e *env) Transmit(channel int, msg Message) {
+	e.step(NodeAction{Op: OpTransmit, Channel: channel, Msg: msg})
+}
+
+func (e *env) Listen(channel int) Message {
+	return e.step(NodeAction{Op: OpListen, Channel: channel})
+}
+
+func (e *env) Sleep() {
+	e.step(NodeAction{Op: OpSleep})
+}
+
+func (e *env) SleepFor(rounds int) {
+	for i := 0; i < rounds; i++ {
+		e.Sleep()
+	}
+}
+
+func (e *env) Checkpoint(tag string) {
+	e.step(NodeAction{Op: OpCheckpoint, Tag: tag})
+}
+
+// silentAdversary is the default no-interference adversary.
+type silentAdversary struct{}
+
+func (silentAdversary) Plan(int) []Transmission  { return nil }
+func (silentAdversary) Observe(RoundObservation) {}
+
+// Run executes the given node programs on a network described by cfg and
+// returns the run statistics. It blocks until every Process has returned
+// (or the run is aborted), and never leaks goroutines.
+func Run(cfg Config, procs []Process) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(procs) != cfg.N {
+		return Result{}, fmt.Errorf("%w: got %d processes for N = %d", ErrProcessCount, len(procs), cfg.N)
+	}
+	for i, p := range procs {
+		if p == nil {
+			return Result{}, fmt.Errorf("%w (index %d)", errNilProcess, i)
+		}
+	}
+
+	adv := cfg.Adversary
+	if adv == nil {
+		adv = silentAdversary{}
+	}
+	omni, isOmni := adv.(OmniscientAdversary)
+
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = DefaultMaxRounds
+	}
+
+	nodes := make([]*nodeState, cfg.N)
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for i := 0; i < cfg.N; i++ {
+		nodes[i] = &nodeState{
+			id:   i,
+			req:  make(chan NodeAction),
+			resp: make(chan Message),
+		}
+		e := &env{
+			id:   i,
+			cfg:  &cfg,
+			node: nodes[i],
+			quit: quit,
+			rng:  rand.New(rand.NewSource(deriveSeed(cfg.Seed, uint64(i)))),
+		}
+		wg.Add(1)
+		go runNode(&wg, procs[i], e, quit)
+	}
+
+	res, err := schedule(&cfg, adv, omni, isOmni, nodes, maxRounds)
+
+	// Tear down: unblock any node still parked in a rendezvous, then wait
+	// for every goroutine to exit before returning.
+	close(quit)
+	wg.Wait()
+	return res, err
+}
+
+// runNode wraps a node's Process, recovering the engine's abort signal and
+// posting the internal done marker on normal completion.
+func runNode(wg *sync.WaitGroup, proc Process, e *env, quit <-chan struct{}) {
+	defer wg.Done()
+	aborted := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abortSignal); ok {
+					aborted = true
+					return
+				}
+				panic(r)
+			}
+		}()
+		proc(e)
+	}()
+	if aborted {
+		return
+	}
+	select {
+	case e.node.req <- NodeAction{Op: opDone}:
+	case <-quit:
+	}
+}
+
+// schedule is the engine's main loop. It collects one action per live node
+// per round, merges in the adversary's transmissions, resolves collision
+// semantics, and delivers results.
+func schedule(cfg *Config, adv Adversary, omni OmniscientAdversary, isOmni bool, nodes []*nodeState, maxRounds int) (Result, error) {
+	var res Result
+	live := len(nodes)
+
+	actions := make([]NodeAction, cfg.N)
+	delivered := make([]Message, cfg.C)
+	transmitters := make([]int, cfg.C)
+	fromAdversary := make([]bool, cfg.C)
+
+	for round := 0; live > 0; round++ {
+		if round >= maxRounds {
+			return res, fmt.Errorf("%w (%d rounds)", ErrMaxRounds, maxRounds)
+		}
+
+		// Phase 1: collect honest actions (ID order; fully deterministic).
+		for i := range actions {
+			actions[i] = NodeAction{}
+		}
+		sawCheckpoint, sawOther := false, false
+		checkpointTag := ""
+		active := 0
+		for _, n := range nodes {
+			if n.done {
+				continue
+			}
+			a := <-n.req
+			if a.Op == opDone {
+				n.done = true
+				live--
+				continue
+			}
+			if err := validateAction(cfg, a); err != nil {
+				return res, fmt.Errorf("%w: node %d round %d: %v", ErrBadAction, n.id, round, err)
+			}
+			if a.Op == OpCheckpoint {
+				if sawCheckpoint && a.Tag != checkpointTag {
+					return res, fmt.Errorf("%w: round %d: tag %q vs %q", ErrCheckpoint, round, a.Tag, checkpointTag)
+				}
+				sawCheckpoint = true
+				checkpointTag = a.Tag
+			} else {
+				sawOther = true
+			}
+			actions[n.id] = a
+			active++
+		}
+		if active == 0 {
+			break // every node finished without starting this round
+		}
+		if sawCheckpoint && sawOther {
+			return res, fmt.Errorf("%w: round %d: checkpoint mixed with other operations", ErrCheckpoint, round)
+		}
+
+		// Phase 2: the adversary commits its transmissions. A
+		// model-compliant adversary sees only completed rounds; an
+		// omniscient one additionally sees this round's honest actions.
+		var advTx []Transmission
+		if isOmni {
+			advTx = omni.PlanOmniscient(round, actions)
+		} else {
+			advTx = adv.Plan(round)
+		}
+		advTx = clipAdversary(cfg, advTx)
+
+		// Phase 3: resolve collision semantics.
+		for c := 0; c < cfg.C; c++ {
+			delivered[c] = nil
+			transmitters[c] = 0
+			fromAdversary[c] = false
+		}
+		for _, a := range actions {
+			if a.Op == OpTransmit {
+				transmitters[a.Channel]++
+				delivered[a.Channel] = a.Msg
+				res.HonestTransmissions++
+			}
+		}
+		for _, tx := range advTx {
+			transmitters[tx.Channel]++
+			delivered[tx.Channel] = tx.Msg
+			fromAdversary[tx.Channel] = true
+			res.AdversarialTransmissions++
+		}
+		for c := 0; c < cfg.C; c++ {
+			switch {
+			case transmitters[c] > 1:
+				delivered[c] = nil
+				res.Collisions++
+			case transmitters[c] == 1 && fromAdversary[c]:
+				res.SpoofDeliveries++
+			}
+		}
+
+		// Phase 4: deliver.
+		for _, n := range nodes {
+			if n.done {
+				continue
+			}
+			a := actions[n.id]
+			if a.Op == OpListen {
+				n.resp <- delivered[a.Channel]
+			} else {
+				n.resp <- nil
+			}
+		}
+
+		// Phase 5: the adversary (and any tracer) observes everything.
+		obs := RoundObservation{
+			Round:        round,
+			Actions:      actions,
+			Adversarial:  advTx,
+			Delivered:    delivered,
+			Transmitters: transmitters,
+		}
+		adv.Observe(obs)
+		if cfg.Trace != nil {
+			cfg.Trace(obs)
+		}
+		res.Rounds++
+	}
+	return res, nil
+}
+
+func validateAction(cfg *Config, a NodeAction) error {
+	switch a.Op {
+	case OpSleep, OpCheckpoint:
+		return nil
+	case OpTransmit, OpListen:
+		if a.Channel < 0 || a.Channel >= cfg.C {
+			return fmt.Errorf("channel %d out of range [0,%d)", a.Channel, cfg.C)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown op %v", a.Op)
+	}
+}
+
+// clipAdversary enforces the model's budget: at most T transmissions, each
+// on a distinct in-range channel. Excess or invalid entries are dropped
+// (the adversary only harms itself by wasting budget).
+func clipAdversary(cfg *Config, txs []Transmission) []Transmission {
+	if len(txs) == 0 {
+		return nil
+	}
+	used := make(map[int]bool, len(txs))
+	out := txs[:0:0] // fresh backing array; never alias the adversary's slice
+	for _, tx := range txs {
+		if len(out) >= cfg.T {
+			break
+		}
+		if tx.Channel < 0 || tx.Channel >= cfg.C || used[tx.Channel] {
+			continue
+		}
+		used[tx.Channel] = true
+		out = append(out, tx)
+	}
+	return out
+}
+
+// deriveSeed expands the master seed into a stream of independent per-node
+// seeds using the SplitMix64 finalizer, which has full avalanche behavior
+// and keeps adjacent node IDs uncorrelated.
+func deriveSeed(master int64, stream uint64) int64 {
+	z := uint64(master) + (stream+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z = z ^ (z >> 31)
+	return int64(z)
+}

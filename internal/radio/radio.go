@@ -1,0 +1,256 @@
+package radio
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Message is the payload carried by a single radio transmission. The
+// simulator models the physical layer at message granularity, exactly like
+// the paper's model: a transmission either arrives intact or not at all.
+// Payloads are arbitrary Go values; protocol packages define typed message
+// structs, and adversaries may inject values of any type.
+type Message any
+
+// Op enumerates the per-round operations available to a node.
+type Op int
+
+// Per-round node operations.
+const (
+	OpSleep Op = iota + 1
+	OpTransmit
+	OpListen
+	OpCheckpoint
+
+	// opDone is an internal sentinel posted by the node runner after the
+	// node's Process function returns.
+	opDone
+)
+
+// String returns a human-readable operation name.
+func (o Op) String() string {
+	switch o {
+	case OpSleep:
+		return "sleep"
+	case OpTransmit:
+		return "transmit"
+	case OpListen:
+		return "listen"
+	case OpCheckpoint:
+		return "checkpoint"
+	case opDone:
+		return "done"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// NodeAction describes what one honest node did (or is about to do) in a
+// round. Channel and Msg are meaningful only for the operations that use
+// them (OpTransmit uses both, OpListen uses Channel, OpCheckpoint uses Tag).
+type NodeAction struct {
+	Op      Op
+	Channel int
+	Msg     Message
+	Tag     string
+}
+
+// Transmission is a single adversarial broadcast: a channel and a payload.
+// A Transmission with a nil Msg still occupies the channel (pure jamming).
+type Transmission struct {
+	Channel int
+	Msg     Message
+}
+
+// RoundObservation is the complete outcome of one round, as seen by the
+// omnipresent adversary (which listens on all channels) and by tracing
+// hooks.
+//
+// The slices are owned by the engine and are only valid for the duration of
+// the Observe / Trace call; implementations that retain data across rounds
+// must copy what they need.
+type RoundObservation struct {
+	Round int
+
+	// Actions holds the honest nodes' actions, indexed by node ID. A node
+	// whose Process has already returned appears with a zero NodeAction
+	// (Op == 0).
+	Actions []NodeAction
+
+	// Adversarial holds the adversary's transmissions this round.
+	Adversarial []Transmission
+
+	// Delivered holds, per channel, the message delivered to listeners on
+	// that channel (nil when the channel was silent or collided).
+	Delivered []Message
+
+	// Transmitters holds, per channel, the total number of transmitters
+	// (honest plus adversarial).
+	Transmitters []int
+}
+
+// Adversary is the malicious interferer of the paper's model. Plan is
+// called once per round, before the engine resolves the round, and must
+// base its decision only on information from completed rounds (delivered
+// incrementally through Observe). The engine enforces the budget: at most
+// t transmissions on distinct channels are honored.
+type Adversary interface {
+	// Plan returns the adversary's transmissions for the given round.
+	Plan(round int) []Transmission
+
+	// Observe reports the complete outcome of a finished round. The
+	// observation's slices are only valid during the call.
+	Observe(obs RoundObservation)
+}
+
+// OmniscientAdversary is an optional extension interface for adversaries
+// that are allowed to inspect the honest nodes' committed actions for the
+// current round before planning. This is strictly stronger than the
+// paper's model (where current-round random choices are hidden); it exists
+// so tests and benchmarks can exercise protocols against a worst-case
+// interferer. For protocol phases whose schedule is deterministic, an
+// omniscient adversary is exactly as strong as a model-compliant adversary
+// that recomputes the schedule itself.
+type OmniscientAdversary interface {
+	Adversary
+
+	// PlanOmniscient is called instead of Plan when the adversary
+	// implements this interface. The pending slice (indexed by node ID) is
+	// only valid during the call.
+	PlanOmniscient(round int, pending []NodeAction) []Transmission
+}
+
+// Env is the handle through which a node program interacts with the
+// network. Every method that represents a round operation (Transmit,
+// Listen, Sleep, SleepFor, Checkpoint) blocks until the engine has resolved
+// that round, keeping all nodes in lock-step.
+//
+// An Env is owned by a single node goroutine and must not be shared.
+type Env interface {
+	// Transmit broadcasts msg on the given channel for one round.
+	Transmit(channel int, msg Message)
+
+	// Listen tunes to the given channel for one round and returns the
+	// delivered message, or nil if the channel was silent or collided.
+	Listen(channel int) Message
+
+	// Sleep skips one round (neither transmitting nor listening).
+	Sleep()
+
+	// SleepFor skips the given number of rounds.
+	SleepFor(rounds int)
+
+	// Checkpoint is a debugging barrier: it consumes one round, and the
+	// engine verifies that every still-running node checkpoints with the
+	// same tag in the same round. Protocol desynchronization therefore
+	// fails loudly instead of corrupting the simulation silently.
+	Checkpoint(tag string)
+
+	// Round returns the index of the next round this node will take part
+	// in (0-based).
+	Round() int
+
+	// ID returns this node's identifier in [0, N).
+	ID() int
+
+	// N returns the number of nodes.
+	N() int
+
+	// C returns the number of channels.
+	C() int
+
+	// T returns the adversary's per-round transmission budget.
+	T() int
+
+	// Rand returns this node's private deterministic random source. Per
+	// the model, the adversary learns the realized choices only after the
+	// round completes.
+	Rand() *rand.Rand
+}
+
+// Process is a node program. The engine runs one Process per node, each in
+// its own goroutine, and waits for all of them to return.
+type Process func(Env)
+
+// Config describes a network instance.
+type Config struct {
+	// N is the number of honest nodes. Must be positive.
+	N int
+
+	// C is the number of channels. Must be at least 2.
+	C int
+
+	// T is the adversary's per-round transmission budget. Must satisfy
+	// 0 <= T < C.
+	T int
+
+	// Seed drives all randomness (per-node sources are derived from it).
+	Seed int64
+
+	// Adversary is the malicious interferer. nil means no interference.
+	Adversary Adversary
+
+	// MaxRounds aborts the run if the protocol exceeds this many rounds;
+	// 0 selects DefaultMaxRounds.
+	MaxRounds int
+
+	// Trace, when non-nil, is invoked with every round's observation after
+	// the adversary has observed it. The observation is only valid during
+	// the call.
+	Trace func(RoundObservation)
+}
+
+// DefaultMaxRounds is the runaway-protocol guard used when
+// Config.MaxRounds is zero.
+const DefaultMaxRounds = 20_000_000
+
+// Result summarizes a completed run.
+type Result struct {
+	// Rounds is the number of rounds executed.
+	Rounds int
+
+	// HonestTransmissions counts transmissions by honest nodes.
+	HonestTransmissions int
+
+	// AdversarialTransmissions counts transmissions by the adversary
+	// (after budget clipping).
+	AdversarialTransmissions int
+
+	// Collisions counts channel-rounds in which two or more participants
+	// transmitted.
+	Collisions int
+
+	// SpoofDeliveries counts deliveries whose unique transmitter was the
+	// adversary, i.e. rounds in which a spoofed message actually reached
+	// listeners' radios (whether any protocol accepted it is up to the
+	// protocol).
+	SpoofDeliveries int
+}
+
+// Validation and runtime errors returned by Run.
+var (
+	ErrMaxRounds    = errors.New("radio: protocol exceeded the configured round budget")
+	ErrBadConfig    = errors.New("radio: invalid configuration")
+	ErrBadAction    = errors.New("radio: node issued an invalid action")
+	ErrCheckpoint   = errors.New("radio: checkpoint barrier mismatch")
+	ErrProcessCount = errors.New("radio: number of processes must equal Config.N")
+	ErrBadAdversary = errors.New("radio: adversary issued an invalid transmission")
+	errRunAborted   = errors.New("radio: run aborted")
+	errNilProcess   = errors.New("radio: nil Process")
+)
+
+// Validate reports whether the configuration is well formed.
+func (c Config) Validate() error {
+	switch {
+	case c.N <= 0:
+		return fmt.Errorf("%w: N = %d, want > 0", ErrBadConfig, c.N)
+	case c.C < 2:
+		return fmt.Errorf("%w: C = %d, want >= 2", ErrBadConfig, c.C)
+	case c.T < 0 || c.T >= c.C:
+		return fmt.Errorf("%w: T = %d, want 0 <= T < C = %d", ErrBadConfig, c.T, c.C)
+	case c.MaxRounds < 0:
+		return fmt.Errorf("%w: MaxRounds = %d, want >= 0", ErrBadConfig, c.MaxRounds)
+	}
+	return nil
+}

@@ -1,0 +1,461 @@
+package radio
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// scriptedAdversary replays a fixed per-round plan.
+type scriptedAdversary struct {
+	plan map[int][]Transmission
+	obs  []int // rounds observed
+}
+
+func (a *scriptedAdversary) Plan(round int) []Transmission { return a.plan[round] }
+func (a *scriptedAdversary) Observe(o RoundObservation)    { a.obs = append(a.obs, o.Round) }
+
+func cfg(n, c, t int) Config {
+	return Config{N: n, C: c, T: t, Seed: 1}
+}
+
+func TestSingleTransmitterDelivers(t *testing.T) {
+	var got Message
+	procs := []Process{
+		func(e Env) { e.Transmit(0, "hello") },
+		func(e Env) { got = e.Listen(0) },
+	}
+	res, err := Run(cfg(2, 2, 1), procs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != "hello" {
+		t.Fatalf("listener received %v, want hello", got)
+	}
+	if res.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1", res.Rounds)
+	}
+	if res.HonestTransmissions != 1 {
+		t.Fatalf("honest transmissions = %d, want 1", res.HonestTransmissions)
+	}
+}
+
+func TestTwoTransmittersCollide(t *testing.T) {
+	var got Message = "sentinel"
+	procs := []Process{
+		func(e Env) { e.Transmit(1, "a") },
+		func(e Env) { e.Transmit(1, "b") },
+		func(e Env) { got = e.Listen(1) },
+	}
+	res, err := Run(cfg(3, 2, 1), procs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != nil {
+		t.Fatalf("listener received %v, want nil (collision)", got)
+	}
+	if res.Collisions != 1 {
+		t.Fatalf("collisions = %d, want 1", res.Collisions)
+	}
+}
+
+func TestSilentChannelDeliversNothing(t *testing.T) {
+	var got Message = "sentinel"
+	procs := []Process{
+		func(e Env) { e.Transmit(0, "x") },
+		func(e Env) { got = e.Listen(1) },
+	}
+	if _, err := Run(cfg(2, 2, 1), procs); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != nil {
+		t.Fatalf("listener on silent channel received %v, want nil", got)
+	}
+}
+
+func TestAdversaryJamsHonestBroadcast(t *testing.T) {
+	adv := &scriptedAdversary{plan: map[int][]Transmission{
+		0: {{Channel: 0, Msg: "noise"}},
+	}}
+	var got Message = "sentinel"
+	procs := []Process{
+		func(e Env) { e.Transmit(0, "payload") },
+		func(e Env) { got = e.Listen(0) },
+	}
+	c := cfg(2, 2, 1)
+	c.Adversary = adv
+	res, err := Run(c, procs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != nil {
+		t.Fatalf("jammed channel delivered %v, want nil", got)
+	}
+	if res.Collisions != 1 || res.AdversarialTransmissions != 1 {
+		t.Fatalf("stats = %+v, want 1 collision and 1 adversarial tx", res)
+	}
+}
+
+func TestAdversarySpoofsIdleChannel(t *testing.T) {
+	adv := &scriptedAdversary{plan: map[int][]Transmission{
+		0: {{Channel: 1, Msg: "forged"}},
+	}}
+	var got Message
+	procs := []Process{
+		func(e Env) { e.Sleep() },
+		func(e Env) { got = e.Listen(1) },
+	}
+	c := cfg(2, 2, 1)
+	c.Adversary = adv
+	res, err := Run(c, procs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != "forged" {
+		t.Fatalf("listener received %v, want forged spoof", got)
+	}
+	if res.SpoofDeliveries != 1 {
+		t.Fatalf("spoof deliveries = %d, want 1", res.SpoofDeliveries)
+	}
+}
+
+func TestAdversaryBudgetClipped(t *testing.T) {
+	adv := &scriptedAdversary{plan: map[int][]Transmission{
+		0: {
+			{Channel: 0, Msg: "a"},
+			{Channel: 0, Msg: "dup-channel"},
+			{Channel: 7, Msg: "out-of-range"},
+			{Channel: 1, Msg: "b"},
+			{Channel: 2, Msg: "over-budget"},
+		},
+	}}
+	listened := make([]Message, 3)
+	procs := []Process{
+		func(e Env) { listened[0] = e.Listen(0) },
+		func(e Env) { listened[1] = e.Listen(1) },
+		func(e Env) { listened[2] = e.Listen(2) },
+	}
+	c := Config{N: 3, C: 3, T: 2, Seed: 1, Adversary: adv}
+	res, err := Run(c, procs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.AdversarialTransmissions != 2 {
+		t.Fatalf("adversarial transmissions = %d, want 2 (budget T=2)", res.AdversarialTransmissions)
+	}
+	if listened[0] != "a" || listened[1] != "b" || listened[2] != nil {
+		t.Fatalf("deliveries = %v, want [a b <nil>]", listened)
+	}
+}
+
+func TestNodesFinishAtDifferentTimes(t *testing.T) {
+	order := make([]Message, 0, 4)
+	var mu sync.Mutex
+	procs := []Process{
+		func(e Env) { e.Sleep() }, // finishes after round 0
+		func(e Env) {
+			for i := 0; i < 3; i++ {
+				e.Transmit(0, i)
+			}
+		},
+		func(e Env) {
+			for i := 0; i < 3; i++ {
+				m := e.Listen(0)
+				mu.Lock()
+				order = append(order, m)
+				mu.Unlock()
+			}
+		},
+	}
+	res, err := Run(cfg(3, 2, 1), procs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", res.Rounds)
+	}
+	want := []Message{0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("round %d delivered %v, want %v", i, order[i], want[i])
+		}
+	}
+}
+
+func TestDeterministicExecutions(t *testing.T) {
+	run := func(seed int64) []int {
+		perNode := make([][]int, 8)
+		procs := make([]Process, 8)
+		for i := range procs {
+			i := i
+			procs[i] = func(e Env) {
+				for r := 0; r < 32; r++ {
+					ch := e.Rand().Intn(e.C())
+					if e.Rand().Intn(2) == 0 {
+						e.Transmit(ch, e.ID())
+					} else {
+						if m := e.Listen(ch); m != nil {
+							perNode[i] = append(perNode[i], m.(int))
+						}
+					}
+				}
+			}
+		}
+		c := Config{N: 8, C: 3, T: 1, Seed: seed}
+		if _, err := Run(c, procs); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		var trace []int
+		for _, tr := range perNode {
+			trace = append(trace, tr...)
+		}
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// A different seed should (overwhelmingly likely) give a different trace.
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestCheckpointBarrierAgrees(t *testing.T) {
+	procs := make([]Process, 4)
+	for i := range procs {
+		procs[i] = func(e Env) {
+			e.Sleep()
+			e.Checkpoint("phase-1")
+			e.Sleep()
+		}
+	}
+	if _, err := Run(cfg(4, 2, 1), procs); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestCheckpointBarrierTagMismatch(t *testing.T) {
+	procs := []Process{
+		func(e Env) { e.Checkpoint("a") },
+		func(e Env) { e.Checkpoint("b") },
+	}
+	_, err := Run(cfg(2, 2, 1), procs)
+	if !errors.Is(err, ErrCheckpoint) {
+		t.Fatalf("err = %v, want ErrCheckpoint", err)
+	}
+}
+
+func TestCheckpointMixedWithOtherOps(t *testing.T) {
+	procs := []Process{
+		func(e Env) { e.Checkpoint("a") },
+		func(e Env) { e.Sleep() },
+	}
+	_, err := Run(cfg(2, 2, 1), procs)
+	if !errors.Is(err, ErrCheckpoint) {
+		t.Fatalf("err = %v, want ErrCheckpoint", err)
+	}
+}
+
+func TestMaxRoundsAborts(t *testing.T) {
+	procs := []Process{
+		func(e Env) {
+			for {
+				e.Sleep()
+			}
+		},
+	}
+	c := Config{N: 1, C: 2, T: 0, MaxRounds: 10}
+	_, err := Run(c, procs)
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("err = %v, want ErrMaxRounds", err)
+	}
+}
+
+func TestInvalidChannelRejected(t *testing.T) {
+	procs := []Process{func(e Env) { e.Transmit(5, "x") }}
+	_, err := Run(cfg(1, 2, 1), procs)
+	if !errors.Is(err, ErrBadAction) {
+		t.Fatalf("err = %v, want ErrBadAction", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Config
+	}{
+		{"zero nodes", Config{N: 0, C: 2, T: 1}},
+		{"one channel", Config{N: 2, C: 1, T: 0}},
+		{"t equals c", Config{N: 2, C: 2, T: 2}},
+		{"negative t", Config{N: 2, C: 2, T: -1}},
+		{"negative max rounds", Config{N: 2, C: 2, T: 1, MaxRounds: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.c.Validate(); !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("Validate() = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+func TestProcessCountMismatch(t *testing.T) {
+	_, err := Run(cfg(2, 2, 1), []Process{func(e Env) {}})
+	if !errors.Is(err, ErrProcessCount) {
+		t.Fatalf("err = %v, want ErrProcessCount", err)
+	}
+}
+
+// omniAdv jams the channel carrying the (single) honest transmission,
+// exercising the omniscient planning path.
+type omniAdv struct{ planned int }
+
+func (a *omniAdv) Plan(int) []Transmission  { return nil }
+func (a *omniAdv) Observe(RoundObservation) {}
+func (a *omniAdv) PlanOmniscient(round int, pending []NodeAction) []Transmission {
+	for _, act := range pending {
+		if act.Op == OpTransmit {
+			a.planned++
+			return []Transmission{{Channel: act.Channel}}
+		}
+	}
+	return nil
+}
+
+func TestOmniscientAdversarySeesPendingActions(t *testing.T) {
+	adv := &omniAdv{}
+	var got Message = "sentinel"
+	procs := []Process{
+		func(e Env) { e.Transmit(1, "secret") },
+		func(e Env) { got = e.Listen(1) },
+	}
+	c := cfg(2, 2, 1)
+	c.Adversary = adv
+	if _, err := Run(c, procs); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != nil {
+		t.Fatalf("omniscient jammer failed: listener received %v", got)
+	}
+	if adv.planned != 1 {
+		t.Fatalf("PlanOmniscient invoked %d times, want 1", adv.planned)
+	}
+}
+
+func TestAdversaryObservesEveryRound(t *testing.T) {
+	adv := &scriptedAdversary{plan: map[int][]Transmission{}}
+	procs := []Process{func(e Env) { e.SleepFor(5) }}
+	c := cfg(1, 2, 1)
+	c.Adversary = adv
+	if _, err := Run(c, procs); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(adv.obs) != 5 {
+		t.Fatalf("adversary observed %d rounds, want 5", len(adv.obs))
+	}
+	for i, r := range adv.obs {
+		if r != i {
+			t.Fatalf("observation %d has round %d", i, r)
+		}
+	}
+}
+
+func TestTraceHookInvoked(t *testing.T) {
+	var rounds int
+	c := cfg(2, 2, 1)
+	c.Trace = func(o RoundObservation) { rounds++ }
+	procs := []Process{
+		func(e Env) { e.SleepFor(3) },
+		func(e Env) { e.SleepFor(3) },
+	}
+	if _, err := Run(c, procs); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rounds != 3 {
+		t.Fatalf("trace saw %d rounds, want 3", rounds)
+	}
+}
+
+// TestCollisionSemanticsProperty checks, for random transmitter placements,
+// that a channel delivers iff it has exactly one transmitter.
+func TestCollisionSemanticsProperty(t *testing.T) {
+	f := func(assignRaw []uint8, seed int64) bool {
+		const n, c = 9, 3
+		if len(assignRaw) < n {
+			return true // not enough entropy; skip
+		}
+		// Each node: 0 => sleep, 1..c => transmit on channel-1, else listen on 0.
+		assign := make([]int, n)
+		for i := 0; i < n; i++ {
+			assign[i] = int(assignRaw[i]) % (c + 2)
+		}
+		perChannel := make([]int, c)
+		for i := 0; i < n; i++ {
+			if a := assign[i]; a >= 1 && a <= c {
+				perChannel[a-1]++
+			}
+		}
+		received := make([]Message, c)
+		procs := make([]Process, n+c)
+		for i := 0; i < n; i++ {
+			a := assign[i]
+			id := i
+			procs[i] = func(e Env) {
+				switch {
+				case a == 0:
+					e.Sleep()
+				case a <= c:
+					e.Transmit(a-1, id)
+				default:
+					e.Listen(0)
+				}
+			}
+		}
+		// One dedicated listener per channel.
+		for ch := 0; ch < c; ch++ {
+			ch := ch
+			procs[n+ch] = func(e Env) { received[ch] = e.Listen(ch) }
+		}
+		cfg := Config{N: n + c, C: c, T: 1, Seed: seed}
+		if _, err := Run(cfg, procs); err != nil {
+			return false
+		}
+		for ch := 0; ch < c; ch++ {
+			if (perChannel[ch] == 1) != (received[ch] != nil) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeriveSeedSpread(t *testing.T) {
+	seen := make(map[int64]bool)
+	for i := uint64(0); i < 1000; i++ {
+		s := deriveSeed(7, i)
+		if seen[s] {
+			t.Fatalf("duplicate derived seed for stream %d", i)
+		}
+		seen[s] = true
+	}
+}

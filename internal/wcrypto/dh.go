@@ -1,0 +1,122 @@
+package wcrypto
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+)
+
+// DHGroup is a Diffie-Hellman group: a prime modulus P and generator G of
+// the subgroup of quadratic residues (for a safe prime P = 2q+1 with G=2,
+// the usual MODP construction).
+type DHGroup struct {
+	Name string
+	P    *big.Int
+	G    *big.Int
+}
+
+// rfc2409Group2 is the 1024-bit MODP group from RFC 2409 (Oakley Group 2),
+// a well-known safe prime.
+const rfc2409Group2Hex = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E08" +
+	"8A67CC74020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B" +
+	"302B0A6DF25F14374FE1356D6D51C245E485B576625E7EC6F44C42E9" +
+	"A637ED6B0BFF5CB6F406B7EDEE386BFB5A899FA5AE9F24117C4B1FE6" +
+	"49286651ECE65381FFFFFFFFFFFFFFFF"
+
+// sim512Hex is a 512-bit safe prime generated for this repository. It is
+// far too small for real-world security; it exists so that simulations and
+// benchmarks that perform thousands of key exchanges stay fast while still
+// exercising genuine modular-exponentiation key exchange.
+const sim512Hex = "E679F3AEEF2CED3E16B940F8CD652B59851CEF297F42C2F284B81520" +
+	"518956DCFB8AFA9BEC45013848E2084D8706D5BB6A3EDC54981EBAAC" +
+	"062D7D5AF9283473"
+
+func mustGroup(name, hexP string) DHGroup {
+	p, ok := new(big.Int).SetString(hexP, 16)
+	if !ok {
+		panic("wcrypto: bad group constant " + name)
+	}
+	return DHGroup{Name: name, P: p, G: big.NewInt(2)}
+}
+
+var (
+	// Group1024 is RFC 2409 Oakley Group 2 (1024-bit safe prime, g=2).
+	Group1024 = mustGroup("modp1024", rfc2409Group2Hex)
+
+	// GroupSim512 is a 512-bit safe prime group for fast simulation runs.
+	// NOT for real-world use.
+	GroupSim512 = mustGroup("sim512", sim512Hex)
+)
+
+// DefaultGroup is the group used by the protocols unless configured
+// otherwise: the fast simulation group.
+var DefaultGroup = GroupSim512
+
+// DHKeyPair is a Diffie-Hellman key pair.
+type DHKeyPair struct {
+	Group  DHGroup
+	Secret *big.Int // private exponent
+	Public *big.Int // G^Secret mod P
+}
+
+// errors for DH message validation.
+var (
+	ErrBadPublicKey = errors.New("wcrypto: invalid Diffie-Hellman public value")
+)
+
+// GenerateDH creates a key pair using the given deterministic source (the
+// simulation's seeded randomness; in a real deployment this would be
+// crypto/rand).
+func GenerateDH(group DHGroup, rng *rand.Rand) DHKeyPair {
+	// Draw a secret in [2, q) where q = (P-1)/2.
+	q := new(big.Int).Rsh(group.P, 1)
+	bits := q.BitLen()
+	buf := make([]byte, (bits+7)/8)
+	secret := new(big.Int)
+	for {
+		for i := range buf {
+			buf[i] = byte(rng.Intn(256))
+		}
+		secret.SetBytes(buf)
+		secret.Mod(secret, q)
+		if secret.Cmp(big.NewInt(2)) >= 0 {
+			break
+		}
+	}
+	pub := new(big.Int).Exp(group.G, secret, group.P)
+	return DHKeyPair{Group: group, Secret: secret, Public: pub}
+}
+
+// ValidatePublic checks that a received public value is a plausible group
+// element (in range (1, P-1)). This is the standard small-subgroup /
+// degenerate-value hygiene check; a spoofed junk value fails here.
+func ValidatePublic(group DHGroup, pub *big.Int) error {
+	if pub == nil {
+		return fmt.Errorf("%w: nil", ErrBadPublicKey)
+	}
+	one := big.NewInt(1)
+	pm1 := new(big.Int).Sub(group.P, one)
+	if pub.Cmp(one) <= 0 || pub.Cmp(pm1) >= 0 {
+		return fmt.Errorf("%w: out of range", ErrBadPublicKey)
+	}
+	return nil
+}
+
+// SharedKey computes the symmetric key shared between this key pair and a
+// peer's public value: KDF(peer^secret mod P). Both directions derive the
+// same key. The pair (lo, hi) of party identifiers is folded into the KDF
+// so distinct node pairs end up with distinct keys even if the group
+// element repeats.
+func (kp DHKeyPair) SharedKey(peerPub *big.Int, partyA, partyB int) (Key, error) {
+	if err := ValidatePublic(kp.Group, peerPub); err != nil {
+		return Key{}, err
+	}
+	shared := new(big.Int).Exp(peerPub, kp.Secret, kp.Group.P)
+	lo, hi := partyA, partyB
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	idBuf := []byte(fmt.Sprintf("%d|%d|%s", lo, hi, kp.Group.Name))
+	return KeyFromBytes("dh-shared", bytesOf(shared), idBuf), nil
+}

@@ -1,0 +1,62 @@
+package wcrypto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzOpen feeds arbitrary byte strings to Open: it must never panic, and
+// it must never authenticate garbage (the only inputs it may accept are
+// genuine Seal outputs, which the fuzzer is vanishingly unlikely to
+// construct — we additionally cross-check that accepted inputs round-trip).
+func FuzzOpen(f *testing.F) {
+	k := KeyFromBytes("fuzz", nil)
+	f.Add([]byte("short"), 4)
+	f.Add(Seal(k, []byte("nonc"), []byte("data")), 4)
+	f.Add([]byte{}, 0)
+	f.Add(bytes.Repeat([]byte{0xFF}, 64), 8)
+	f.Fuzz(func(t *testing.T, ct []byte, nonceLen int) {
+		if nonceLen < 0 || nonceLen > len(ct) {
+			nonceLen = 0
+		}
+		pt, nonce, err := Open(k, nonceLen, ct)
+		if err != nil {
+			return
+		}
+		// Accepted: must be a faithful Seal round-trip.
+		re := Seal(k, nonce, pt)
+		if !bytes.Equal(re, ct) {
+			t.Fatalf("Open accepted a non-Seal ciphertext: %x", ct)
+		}
+	})
+}
+
+// FuzzSealRoundTrip: any (nonce, plaintext) must round-trip.
+func FuzzSealRoundTrip(f *testing.F) {
+	f.Add([]byte("n"), []byte("hello"))
+	f.Add([]byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, nonce, pt []byte) {
+		k := KeyFromBytes("fuzz-rt", nil)
+		ct := Seal(k, nonce, pt)
+		got, gotNonce, err := Open(k, len(nonce), ct)
+		if err != nil {
+			t.Fatalf("genuine ciphertext rejected: %v", err)
+		}
+		if !bytes.Equal(got, pt) || !bytes.Equal(gotNonce, nonce) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzHashNoPanic: arbitrary domains and parts must hash cleanly and
+// deterministically.
+func FuzzHashNoPanic(f *testing.F) {
+	f.Add("d", []byte("a"), []byte("b"))
+	f.Fuzz(func(t *testing.T, domain string, p1, p2 []byte) {
+		h1 := Hash(domain, p1, p2)
+		h2 := Hash(domain, p1, p2)
+		if h1 != h2 {
+			t.Fatal("hash nondeterministic")
+		}
+	})
+}

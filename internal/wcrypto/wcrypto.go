@@ -1,0 +1,200 @@
+// Package wcrypto is the cryptographic substrate for the reproduction:
+// domain-separated hashing (the H1/H2 functions of Section 5.6), an
+// HMAC-SHA256 PRF with a counter-mode keystream, encrypt-then-MAC
+// authenticated encryption, pseudo-random channel hopping (Sections 6-7),
+// and Diffie-Hellman key exchange over Z_p* (Section 6 Part 1).
+//
+// Everything is built from the Go standard library (crypto/sha256,
+// crypto/hmac, math/big). The paper's secrecy guarantees are computational
+// (it cites the Computational Diffie-Hellman assumption); this package
+// inherits exactly those assumptions.
+package wcrypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+)
+
+// KeySize is the byte length of symmetric keys produced by this package.
+const KeySize = 32
+
+// Key is a 256-bit symmetric key.
+type Key [KeySize]byte
+
+// Hash computes a domain-separated SHA-256 digest over the given parts.
+// Each part is length-prefixed, so distinct part boundaries yield distinct
+// inputs (no concatenation ambiguity).
+func Hash(domain string, parts ...[]byte) [32]byte {
+	h := sha256.New()
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(domain)))
+	h.Write(lenBuf[:])
+	h.Write([]byte(domain))
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// PRF is a pseudo-random function keyed with a symmetric key
+// (HMAC-SHA256). The zero value is unusable; construct with NewPRF.
+type PRF struct {
+	key Key
+}
+
+// NewPRF returns a PRF keyed with k.
+func NewPRF(k Key) *PRF { return &PRF{key: k} }
+
+// Block returns the 32-byte PRF output for (label, counter).
+func (p *PRF) Block(label string, counter uint64) [32]byte {
+	mac := hmac.New(sha256.New, p.key[:])
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(len(label)))
+	mac.Write(buf[:])
+	mac.Write([]byte(label))
+	binary.BigEndian.PutUint64(buf[:], counter)
+	mac.Write(buf[:])
+	var out [32]byte
+	mac.Sum(out[:0])
+	return out
+}
+
+// Uint64 returns a pseudo-random 64-bit value for (label, counter).
+func (p *PRF) Uint64(label string, counter uint64) uint64 {
+	b := p.Block(label, counter)
+	return binary.BigEndian.Uint64(b[:8])
+}
+
+// Intn returns a pseudo-random value in [0, n) for (label, counter).
+// n must be positive. The modulo bias is negligible for the small n
+// (channel counts) used by the protocols.
+func (p *PRF) Intn(label string, counter uint64, n int) int {
+	if n <= 0 {
+		panic("wcrypto: Intn with non-positive n")
+	}
+	return int(p.Uint64(label, counter) % uint64(n))
+}
+
+// Hopper generates the pseudo-random channel-hopping pattern of Sections 6
+// and 7: two parties sharing a key (or a whole group sharing the group
+// key) agree on the channel for every round without the adversary being
+// able to predict it.
+type Hopper struct {
+	prf *PRF
+	c   int
+}
+
+// NewHopper returns a hopper over c channels driven by key k and a
+// protocol-specific label baked into the key derivation.
+func NewHopper(k Key, label string, c int) *Hopper {
+	if c <= 0 {
+		panic("wcrypto: hopper needs a positive channel count")
+	}
+	derived := Hash("hopper/"+label, k[:])
+	return &Hopper{prf: NewPRF(Key(derived)), c: c}
+}
+
+// Channel returns the channel for the given round.
+func (h *Hopper) Channel(round uint64) int {
+	return h.prf.Intn("hop", round, h.c)
+}
+
+// DeriveKey derives a fresh key from a parent key and a label.
+func DeriveKey(parent Key, label string) Key {
+	return Key(Hash("derive/"+label, parent[:]))
+}
+
+// KeyFromBytes hashes arbitrary material into a Key.
+func KeyFromBytes(domain string, material ...[]byte) Key {
+	return Key(Hash("key/"+domain, material...))
+}
+
+// ErrAuth is returned by Open when the ciphertext fails authentication.
+var ErrAuth = errors.New("wcrypto: message authentication failed")
+
+const macSize = 32
+
+// Seal encrypts and authenticates plaintext under key k with the given
+// nonce (encrypt-then-MAC; keystream and MAC keys are domain-separated
+// derivations of k). The MAC binds the nonce/body boundary, so a receiver
+// declaring the wrong nonce length fails authentication instead of
+// decrypting garbage. Nonces must not repeat for the same key; the
+// protocols use (phase, epoch, round, sender) tuples.
+func Seal(k Key, nonce []byte, plaintext []byte) []byte {
+	encKey := DeriveKey(k, "enc")
+	macKey := DeriveKey(k, "mac")
+
+	ct := make([]byte, len(nonce)+len(plaintext)+macSize)
+	copy(ct, nonce)
+	body := ct[len(nonce) : len(nonce)+len(plaintext)]
+	xorKeystream(encKey, nonce, plaintext, body)
+
+	mac := hmac.New(sha256.New, macKey[:])
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(nonce)))
+	mac.Write(lenBuf[:])
+	mac.Write(ct[:len(nonce)+len(plaintext)])
+	mac.Sum(ct[:len(nonce)+len(plaintext)])
+	return ct
+}
+
+// Open authenticates and decrypts a ciphertext produced by Seal with a
+// nonce of the given length. It returns the recovered plaintext and nonce.
+func Open(k Key, nonceLen int, ciphertext []byte) (plaintext, nonce []byte, err error) {
+	if len(ciphertext) < nonceLen+macSize {
+		return nil, nil, fmt.Errorf("%w: short ciphertext", ErrAuth)
+	}
+	macKey := DeriveKey(k, "mac")
+	bodyEnd := len(ciphertext) - macSize
+	mac := hmac.New(sha256.New, macKey[:])
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(nonceLen))
+	mac.Write(lenBuf[:])
+	mac.Write(ciphertext[:bodyEnd])
+	if !hmac.Equal(mac.Sum(nil), ciphertext[bodyEnd:]) {
+		return nil, nil, ErrAuth
+	}
+	nonce = append([]byte(nil), ciphertext[:nonceLen]...)
+	encKey := DeriveKey(k, "enc")
+	plaintext = make([]byte, bodyEnd-nonceLen)
+	xorKeystream(encKey, nonce, ciphertext[nonceLen:bodyEnd], plaintext)
+	return plaintext, nonce, nil
+}
+
+// xorKeystream XORs src with the PRF counter-mode keystream for
+// (key, nonce) into dst. len(dst) must equal len(src).
+func xorKeystream(k Key, nonce, src, dst []byte) {
+	prf := NewPRF(k)
+	label := "stream/" + string(nonce)
+	for i := 0; i < len(src); i += 32 {
+		block := prf.Block(label, uint64(i/32))
+		n := len(src) - i
+		if n > 32 {
+			n = 32
+		}
+		for j := 0; j < n; j++ {
+			dst[i+j] = src[i+j] ^ block[j]
+		}
+	}
+}
+
+// NewRand returns a deterministic math/rand source seeded from a key, for
+// simulation components that need key-driven (but not security-critical)
+// randomness.
+func NewRand(k Key, label string) *rand.Rand {
+	h := Hash("rand/"+label, k[:])
+	seed := int64(binary.BigEndian.Uint64(h[:8]))
+	return rand.New(rand.NewSource(seed))
+}
+
+// big.Int helpers shared by dh.go.
+func bytesOf(x *big.Int) []byte { return x.Bytes() }

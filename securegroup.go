@@ -1,0 +1,154 @@
+package securadio
+
+import (
+	"errors"
+	"fmt"
+
+	"securadio/internal/groupkey"
+	"securadio/internal/radio"
+	"securadio/internal/secure"
+	"securadio/internal/wcrypto"
+)
+
+// Delivery is one authenticated message received on the emulated secure
+// channel.
+type Delivery struct {
+	// Sender is the authenticated group member that broadcast the message.
+	Sender int
+	// EmRound is the emulated round in which it was sent.
+	EmRound int
+	// Body is the plaintext payload.
+	Body []byte
+}
+
+// Session is an application's per-node handle on the long-lived secure
+// broadcast channel of Section 7. The Run callback receives one Session
+// per node; all sessions advance in lock-step, one emulated round per
+// Step call. An emulated round costs Theta(t log n) real radio rounds.
+type Session interface {
+	// ID returns this node's identifier.
+	ID() int
+
+	// N returns the group size.
+	N() int
+
+	// HasKey reports whether this node obtained the group key. Nodes
+	// without the key (at most t of them) cannot send or receive; their
+	// Step still consumes the same rounds to keep the network in
+	// lock-step.
+	HasKey() bool
+
+	// Step executes one emulated round: a nil body listens, a non-nil
+	// body broadcasts to the group. It returns the authenticated messages
+	// received.
+	Step(body []byte) []Delivery
+}
+
+// SecureGroupApp is the per-node application driven by RunSecureGroup.
+// Every node's app must call Step the same number of times.
+type SecureGroupApp func(s Session)
+
+// SecureGroupReport summarizes a RunSecureGroup execution.
+type SecureGroupReport struct {
+	// KeyHolders is the number of nodes that obtained the group key
+	// during setup (at least n-t whp).
+	KeyHolders int
+
+	// SetupRounds is the number of radio rounds the Section 6 setup
+	// consumed.
+	SetupRounds int
+
+	// TotalRounds is the complete run's radio round count.
+	TotalRounds int
+
+	// SlotRounds is the real-round cost of one emulated round.
+	SlotRounds int
+}
+
+// ErrSetupFailed is returned when group-key setup did not reach quorum.
+var ErrSetupFailed = errors.New("securadio: secure group setup failed")
+
+// session implements Session.
+type session struct {
+	env     radio.Env
+	n       int
+	ch      *secure.Channel
+	slot    int
+	emRound int
+}
+
+func (s *session) ID() int      { return s.env.ID() }
+func (s *session) N() int       { return s.n }
+func (s *session) HasKey() bool { return s.ch != nil }
+
+func (s *session) Step(body []byte) []Delivery {
+	s.emRound++
+	if s.ch == nil {
+		// Keyless nodes idle through the slot to stay in lock-step.
+		s.env.SleepFor(s.slot)
+		return nil
+	}
+	var out []Delivery
+	for _, r := range s.ch.Step(body) {
+		out = append(out, Delivery{Sender: r.Sender, EmRound: r.EmRound, Body: r.Body})
+	}
+	return out
+}
+
+// RunSecureGroup executes the complete stack of the paper: group-key
+// establishment (Section 6, bootstrapped by f-AME) followed by the
+// long-lived secure channel emulation (Section 7), on which the supplied
+// application runs. The application callback is invoked once per node,
+// inside the simulation; all callbacks must perform the same number of
+// Step calls.
+func RunSecureGroup(net Network, opts Options, app SecureGroupApp) (*SecureGroupReport, error) {
+	gkParams := groupkey.Params{N: net.N, C: net.C, T: net.T, Kappa: opts.Kappa, Regime: opts.Regime}
+	if err := gkParams.Validate(); err != nil {
+		return nil, err
+	}
+	chParams := secure.Params{N: net.N, C: net.C, T: net.T, Kappa: opts.Kappa}
+
+	report := &SecureGroupReport{SlotRounds: chParams.SlotRounds()}
+	gkResults := make([]groupkey.NodeResult, net.N)
+	setupRounds := make([]int, net.N)
+
+	procs := make([]radio.Process, net.N)
+	for i := 0; i < net.N; i++ {
+		i := i
+		procs[i] = func(env radio.Env) {
+			groupkey.RunNode(env, gkParams, &gkResults[i])
+			setupRounds[i] = env.Round()
+			s := &session{env: env, n: net.N, slot: chParams.SlotRounds()}
+			if k := gkResults[i].GroupKey; k != nil {
+				ch, err := secure.Attach(env, chParams, wcrypto.Key(*k))
+				if err == nil {
+					s.ch = ch
+				}
+			}
+			app(s)
+		}
+	}
+
+	cfg := radio.Config{N: net.N, C: net.C, T: net.T, Seed: net.Seed, Adversary: net.Adversary}
+	radioRes, err := radio.Run(cfg, procs)
+	if err != nil {
+		return nil, fmt.Errorf("securadio: secure group run: %w", err)
+	}
+	report.TotalRounds = radioRes.Rounds
+
+	holders := 0
+	for i := range gkResults {
+		if gkResults[i].Err != nil {
+			return nil, fmt.Errorf("securadio: node %d setup: %w", i, gkResults[i].Err)
+		}
+		if gkResults[i].GroupKey != nil {
+			holders++
+		}
+	}
+	report.KeyHolders = holders
+	report.SetupRounds = setupRounds[0]
+	if holders < net.N-net.T {
+		return report, fmt.Errorf("%w: only %d of %d nodes hold the key", ErrSetupFailed, holders, net.N)
+	}
+	return report, nil
+}
