@@ -242,3 +242,29 @@ func NewSpoofer(net Network, forge func(round int) Message) Interferer {
 func NewReplayer(net Network, seed int64) Interferer {
 	return adversary.NewReplaySpoofer(net.T, net.C, seed)
 }
+
+// NewBurstJammer returns a bursty on/off jammer with the default duty
+// cycle: t random channels jammed for a fixed burst window, then an equal
+// silence window, modeling duty-cycled interference. It delegates to the
+// fleet registry's "burst" strategy, so single runs and campaigns agree on
+// what "burst" means by construction.
+func NewBurstJammer(net Network, seed int64) Interferer {
+	return mustAdversary("burst", net, seed)
+}
+
+// NewHopJammer returns an adaptive channel-hopping jammer that tracks the
+// historically busiest channels using only completed-round observations
+// (fully model-compliant). It delegates to the fleet registry's "hop"
+// strategy.
+func NewHopJammer(net Network, seed int64) Interferer {
+	return mustAdversary("hop", net, seed)
+}
+
+// mustAdversary builds a registry strategy known to exist.
+func mustAdversary(name string, net Network, seed int64) Interferer {
+	adv, err := NewAdversary(name, net, seed)
+	if err != nil {
+		panic(err) // unreachable: the name is registered
+	}
+	return adv
+}

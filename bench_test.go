@@ -1,15 +1,16 @@
 package securadio
 
 // Benchmark harness: one testing.B benchmark per paper artifact, mirroring
-// the cmd/paperbench experiments (E1-E12). Each benchmark reports the
-// simulated radio-round count alongside wall-clock cost, so
+// the cmd/paperbench experiments (E1-E12), plus substrate and fleet
+// benchmarks. Each protocol benchmark reports the simulated radio-round
+// count alongside wall-clock cost, so
 //
 //	go test -bench=. -benchmem
 //
-// regenerates the quantitative shape of every table and figure. See
-// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+// regenerates the quantitative shape of every table and figure.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -398,6 +399,30 @@ func BenchmarkSealOpen(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFleetCampaign measures campaign throughput (runs/sec) of the
+// fleet executor on a 256-run f-AME campaign across all cores — the
+// scaling baseline future PRs measure themselves against.
+func BenchmarkFleetCampaign(b *testing.B) {
+	sc, ok := LookupScenario("fame-jam")
+	if !ok {
+		b.Fatal("fame-jam scenario missing")
+	}
+	const runs = 256
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg, err := RunCampaign(context.Background(), Campaign{
+			Scenario: sc, Runs: runs, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Runs != runs || agg.Failures != 0 {
+			b.Fatalf("runs=%d failures=%d", agg.Runs, agg.Failures)
+		}
+	}
+	b.ReportMetric(float64(runs)*float64(b.N)/b.Elapsed().Seconds(), "runs/sec")
 }
 
 // BenchmarkDHKeyExchange measures one Diffie-Hellman key agreement in the

@@ -1,0 +1,174 @@
+// Command fleetsim runs scenario campaigns: fleets of independent radio-
+// network simulations fanned across all cores, with streaming aggregation.
+//
+// Usage:
+//
+//	fleetsim list
+//	fleetsim run -campaign fame-jam -runs 500
+//	fleetsim run -campaign groupkey-burst -runs 200 -seed 7 -format json
+//	fleetsim run -campaign fame-worst -runs 1000 -format csv -out agg.csv
+//
+// For a fixed -seed the aggregate JSON is byte-for-byte deterministic,
+// independent of worker count and scheduling, making it suitable for
+// cross-PR trajectory tracking.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+
+	"securadio"
+	"securadio/internal/metrics"
+)
+
+// errReported signals a failure that has already been reported to the
+// user (by the FlagSet, or by the interrupted-campaign banner); main must
+// exit nonzero without printing it a second time.
+var errReported = errors.New("error already reported")
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errReported) {
+			fmt.Fprintln(os.Stderr, "fleetsim:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("usage: fleetsim <list|run> [flags]")
+	}
+	switch args[0] {
+	case "list":
+		return runList(out)
+	case "run":
+		return runCampaign(ctx, args[1:], out)
+	default:
+		return fmt.Errorf("unknown command %q (want list or run)", args[0])
+	}
+}
+
+func runList(out io.Writer) error {
+	t := metrics.NewTable("built-in scenarios", "name", "proto", "n", "c", "t", "adversary", "description")
+	for _, s := range securadio.Scenarios() {
+		t.AddRow(s.Name, s.Proto, s.N, s.C, s.T, s.Adversary, s.Desc)
+	}
+	t.Render(out)
+	fmt.Fprintf(out, "\nadversary strategies: %v\n", securadio.AdversaryStrategies())
+	return nil
+}
+
+func runCampaign(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fleetsim run", flag.ContinueOnError)
+	var (
+		campaign = fs.String("campaign", "", "scenario name (see fleetsim list)")
+		runs     = fs.Int("runs", 500, "number of independent runs in the seed grid")
+		seed     = fs.Int64("seed", 1, "campaign master seed")
+		workers  = fs.Int("workers", 0, "worker pool size (0 = all cores)")
+		format   = fs.String("format", "table", "report format: table | json | csv")
+		outPath  = fs.String("out", "", "write the report to a file instead of stdout")
+		timeout  = fs.Duration("timeout", 0, "abort the campaign after this duration (0 = none)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errReported
+	}
+	if *campaign == "" {
+		return errors.New("missing -campaign (see fleetsim list)")
+	}
+	sc, ok := securadio.LookupScenario(*campaign)
+	if !ok {
+		return fmt.Errorf("unknown campaign %q (see fleetsim list)", *campaign)
+	}
+	switch *format {
+	case "table", "json", "csv":
+	default:
+		// Reject before the campaign runs: a typo here must not cost a
+		// multi-minute run (or truncate an existing -out file).
+		return fmt.Errorf("unknown format %q (want table, json or csv)", *format)
+	}
+	c := securadio.Campaign{Scenario: sc, Runs: *runs, Seed: *seed, Workers: *workers}
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	// Open the report destination before the campaign runs: an unwritable
+	// -out path must not cost a multi-minute run.
+	var file *os.File
+	w := out
+	if *outPath != "" {
+		f, cerr := os.Create(*outPath)
+		if cerr != nil {
+			return cerr
+		}
+		file = f
+		// Backstop close for the error-return paths below; the success
+		// path closes explicitly so flush errors are observed (the
+		// harmless second Close just errors and is ignored).
+		defer f.Close()
+		w = f
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	agg, err := securadio.RunCampaign(ctx, c)
+	if err != nil && agg == nil {
+		return err
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetsim: campaign interrupted (%v); reporting %d completed runs\n", err, agg.Runs)
+		err = errReported
+	}
+	// Track write failures: WriteTable/WriteCSV print through fmt and
+	// report nothing themselves, and a full disk must not exit 0.
+	tw := &trackedWriter{w: w}
+	switch *format {
+	case "table":
+		agg.WriteTable(tw)
+	case "json":
+		if jerr := agg.WriteJSON(tw); jerr != nil {
+			return jerr
+		}
+	case "csv":
+		agg.WriteCSV(tw)
+	}
+	if tw.err != nil {
+		return fmt.Errorf("writing report: %w", tw.err)
+	}
+	if file != nil {
+		if cerr := file.Close(); cerr != nil {
+			return cerr
+		}
+	}
+	return err
+}
+
+// trackedWriter remembers the first write error so report emission paths
+// without error returns still surface I/O failures.
+type trackedWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (t *trackedWriter) Write(p []byte) (int, error) {
+	if t.err != nil {
+		return 0, t.err
+	}
+	n, err := t.w.Write(p)
+	if err != nil {
+		t.err = err
+	}
+	return n, err
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fame-jam", "groupkey", "secure-group", "burst", "hop"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("listing missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunCampaignJSON(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"run", "-campaign", "fame-jam", "-runs", "8", "-seed", "3", "-format", "json"}
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatal(err)
+	}
+	var agg struct {
+		Scenario string `json:"scenario"`
+		Runs     int    `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &agg); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if agg.Scenario != "fame-jam" || agg.Runs != 8 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+}
+
+func TestRunCampaignTableAndCSV(t *testing.T) {
+	for _, format := range []string{"table", "csv"} {
+		var out bytes.Buffer
+		args := []string{"run", "-campaign", "fame-clear", "-runs", "4", "-format", format}
+		if err := run(context.Background(), args, &out); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if !strings.Contains(out.String(), "fame-clear") {
+			t.Fatalf("%s output missing scenario name:\n%s", format, out.String())
+		}
+	}
+}
+
+func TestRunCampaignOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "agg.json")
+	var out bytes.Buffer
+	args := []string{"run", "-campaign", "fame-clear", "-runs", "4", "-format", "json", "-out", path}
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatalf("file is not JSON: %v", err)
+	}
+}
+
+func TestRunRejections(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"run"},
+		{"run", "-campaign", "no-such"},
+		{"run", "-campaign", "fame-clear", "-format", "bogus"},
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args, &out); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestHelpExitsClean(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"run", "-h"}, &out); err != nil {
+		t.Fatalf("-h returned %v, want nil", err)
+	}
+}

@@ -14,8 +14,8 @@
 //
 //	paperbench -exp fig3-base -csv
 //
-// The -quick flag shrinks the sweeps for fast smoke runs. EXPERIMENTS.md
-// records paper-vs-measured for a full run.
+// The -quick flag shrinks the sweeps for fast smoke runs; a full run
+// records the paper-vs-measured comparison for every experiment.
 package main
 
 import (

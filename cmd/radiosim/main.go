@@ -11,53 +11,61 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"strings"
 
 	"securadio"
+	"securadio/internal/fleet"
 	"securadio/internal/gossip"
 	"securadio/internal/graph"
 )
 
+// errParsed signals a flag error the FlagSet has already reported; main
+// must not print it a second time.
+var errParsed = errors.New("invalid arguments")
+
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "radiosim:", err)
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errParsed) {
+			fmt.Fprintln(os.Stderr, "radiosim:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("radiosim", flag.ContinueOnError)
 	var (
-		proto   = flag.String("proto", "fame", "protocol: fame | fame-compact | fame-direct | groupkey | gossip | gossip-det")
-		n       = flag.Int("n", 20, "number of nodes")
-		c       = flag.Int("c", 2, "number of channels")
-		t       = flag.Int("t", 1, "adversary budget (channels per round)")
-		seed    = flag.Int64("seed", 1, "master seed")
-		advName = flag.String("adv", "none", "adversary: none | jam | sweep | worst | replay")
-		pairs   = flag.Int("pairs", 8, "number of random AME pairs (fame protocols)")
-		rounds  = flag.Int("rounds", 8000, "schedule length (gossip protocols)")
-		regime  = flag.String("regime", "auto", "f-AME regime: auto | base | 2t | 2t2")
-		cleanup = flag.Int("cleanup", 0, "best-effort cleanup move budget (extension)")
-		kappa   = flag.Float64("kappa", 0, "whp repetition multiplier (0 = default)")
+		proto   = fs.String("proto", "fame", "protocol: fame | fame-compact | fame-direct | groupkey | gossip | gossip-det")
+		n       = fs.Int("n", 20, "number of nodes")
+		c       = fs.Int("c", 2, "number of channels")
+		t       = fs.Int("t", 1, "adversary budget (channels per round)")
+		seed    = fs.Int64("seed", 1, "master seed")
+		advName = fs.String("adv", "none", "adversary: "+strings.Join(securadio.AdversaryStrategies(), " | "))
+		pairs   = fs.Int("pairs", 8, "number of random AME pairs (fame protocols)")
+		rounds  = fs.Int("rounds", 8000, "schedule length (gossip protocols)")
+		regime  = fs.String("regime", "auto", "f-AME regime: auto | base | 2t | 2t2")
+		cleanup = fs.Int("cleanup", 0, "best-effort cleanup move budget (extension)")
+		kappa   = fs.Float64("kappa", 0, "whp repetition multiplier (0 = default)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errParsed
+	}
 
 	net := securadio.Network{N: *n, C: *c, T: *t, Seed: *seed}
-	switch *advName {
-	case "none":
-	case "jam":
-		net.Adversary = securadio.NewJammer(net, *seed+1)
-	case "sweep":
-		net.Adversary = securadio.NewSweepJammer(net)
-	case "worst":
-		net.Adversary = securadio.NewWorstCaseJammer(net)
-	case "replay":
-		net.Adversary = securadio.NewReplayer(net, *seed+1)
-	default:
-		return fmt.Errorf("unknown adversary %q", *advName)
+	adv, err := securadio.NewAdversary(*advName, net, *seed+1)
+	if err != nil {
+		return err
 	}
+	net.Adversary = adv
 
 	opts := securadio.Options{Kappa: *kappa, Cleanup: *cleanup}
 	switch *regime {
@@ -76,21 +84,21 @@ func run() error {
 	switch *proto {
 	case "fame", "fame-direct":
 		opts.Direct = *proto == "fame-direct"
-		return runFame(net, opts, *pairs, false)
+		return runFame(out, net, opts, *pairs, false)
 	case "fame-compact":
-		return runFame(net, opts, *pairs, true)
+		return runFame(out, net, opts, *pairs, true)
 	case "groupkey":
-		return runGroupKey(net, opts)
+		return runGroupKey(out, net, opts)
 	case "gossip", "gossip-det":
-		return runGossip(net, *rounds, *proto == "gossip-det")
+		return runGossip(out, net, *rounds, *proto == "gossip-det")
 	default:
 		return fmt.Errorf("unknown protocol %q", *proto)
 	}
 }
 
-func runFame(net securadio.Network, opts securadio.Options, k int, compact bool) error {
+func runFame(out io.Writer, net securadio.Network, opts securadio.Options, k int, compact bool) error {
 	rng := rand.New(rand.NewSource(net.Seed))
-	pairs := graph.RandomPairs(min(net.N, 12), k, rng.Intn)
+	pairs := graph.RandomPairs(fleet.PairSpan(net.N), k, rng.Intn)
 
 	var rep *securadio.ExchangeReport
 	var err error
@@ -110,25 +118,25 @@ func runFame(net securadio.Network, opts securadio.Options, k int, compact bool)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("pairs=%d delivered=%d failed=%d cover=%d rounds=%d gameMoves=%d\n",
+	fmt.Fprintf(out, "pairs=%d delivered=%d failed=%d cover=%d rounds=%d gameMoves=%d\n",
 		len(pairs), len(rep.Delivered), len(rep.Failed), rep.DisruptionCover,
 		rep.Rounds, rep.GameRounds)
 	for _, p := range rep.Failed {
-		fmt.Printf("  failed: %v\n", p)
+		fmt.Fprintf(out, "  failed: %v\n", p)
 	}
 	return nil
 }
 
-func runGroupKey(net securadio.Network, opts securadio.Options) error {
+func runGroupKey(out io.Writer, net securadio.Network, opts securadio.Options) error {
 	rep, err := securadio.EstablishGroupKey(net, opts)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("leader=%d agreed=%d/%d rounds=%d\n", rep.Leader, rep.Agreed, net.N, rep.Rounds)
+	fmt.Fprintf(out, "leader=%d agreed=%d/%d rounds=%d\n", rep.Leader, rep.Agreed, net.N, rep.Rounds)
 	return nil
 }
 
-func runGossip(net securadio.Network, rounds int, deterministic bool) error {
+func runGossip(out io.Writer, net securadio.Network, rounds int, deterministic bool) error {
 	bodies := make([]securadio.Message, net.N)
 	for i := range bodies {
 		bodies[i] = fmt.Sprintf("rumor-%d", i)
@@ -146,14 +154,7 @@ func runGossip(net securadio.Network, rounds int, deterministic bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("rounds=%d completedAt=%d deliveries=%d polluted=%d\n",
+	fmt.Fprintf(out, "rounds=%d completedAt=%d deliveries=%d polluted=%d\n",
 		res.Rounds, res.CompletedAt, res.Deliveries(), res.Polluted)
 	return nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestRunProtocols smoke-tests run() across every -proto value.
+func TestRunProtocols(t *testing.T) {
+	cases := []struct {
+		proto string
+		extra []string
+		want  string // substring expected in the output
+	}{
+		{"fame", nil, "pairs="},
+		{"fame-compact", []string{"-pairs", "4"}, "pairs="},
+		{"fame-direct", []string{"-pairs", "4"}, "pairs="},
+		{"groupkey", nil, "agreed="},
+		{"gossip", []string{"-n", "8", "-rounds", "4000"}, "completedAt="},
+		{"gossip-det", []string{"-n", "8", "-rounds", "4000"}, "completedAt="},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.proto, func(t *testing.T) {
+			t.Parallel()
+			args := append([]string{"-proto", tc.proto, "-seed", "1"}, tc.extra...)
+			var out bytes.Buffer
+			if err := run(args, &out); err != nil {
+				t.Fatalf("run(%v): %v", args, err)
+			}
+			if !strings.Contains(out.String(), tc.want) {
+				t.Fatalf("output %q does not contain %q", out.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestRunAdversaries smoke-tests run() across every -adv value.
+func TestRunAdversaries(t *testing.T) {
+	for _, adv := range []string{"none", "jam", "sweep", "worst", "replay", "burst", "hop"} {
+		adv := adv
+		t.Run(adv, func(t *testing.T) {
+			t.Parallel()
+			var out bytes.Buffer
+			args := []string{"-proto", "fame", "-adv", adv, "-pairs", "4", "-seed", "2"}
+			if err := run(args, &out); err != nil {
+				t.Fatalf("run(%v): %v", args, err)
+			}
+			if !strings.Contains(out.String(), "cover=") {
+				t.Fatalf("output %q missing outcome line", out.String())
+			}
+		})
+	}
+}
+
+// TestRunRegimes covers the -regime selector, including the rejection path.
+func TestRunRegimes(t *testing.T) {
+	for _, tc := range []struct {
+		regime string
+		n, c   int
+		tt     int
+		ok     bool
+	}{
+		{"auto", 20, 2, 1, true},
+		{"base", 20, 2, 1, true},
+		{"2t", 64, 4, 2, true},
+		{"2t2", 64, 8, 2, true},
+		{"bogus", 20, 2, 1, false},
+	} {
+		tc := tc
+		t.Run(tc.regime, func(t *testing.T) {
+			t.Parallel()
+			var out bytes.Buffer
+			args := []string{
+				"-proto", "fame", "-regime", tc.regime, "-pairs", "4",
+				"-n", fmt.Sprint(tc.n), "-c", fmt.Sprint(tc.c), "-t", fmt.Sprint(tc.tt),
+			}
+			err := run(args, &out)
+			if tc.ok && err != nil {
+				t.Fatalf("run(%v): %v", args, err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("run(%v) accepted bogus regime", args)
+			}
+		})
+	}
+}
+
+func TestHelpExitsClean(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Fatalf("-h returned %v, want nil", err)
+	}
+}
+
+func TestRunRejectsUnknownFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-proto", "bogus"}, &out); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if err := run([]string{"-adv", "bogus"}, &out); err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

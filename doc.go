@@ -23,10 +23,17 @@
 //     reliable, secret, authenticated broadcast channel that applications
 //     drive one emulated round at a time.
 //
+// Beyond the paper's four layers, RunCampaign fans scenario campaigns —
+// hundreds to thousands of independent simulations drawn from the named
+// scenario registry (see Scenarios) — across all cores and aggregates
+// delivery rates, round-count percentiles and disruption-cover
+// distributions into deterministic JSON.
+//
 // Everything runs on a deterministic discrete-event simulation of the
 // paper's synchronous radio model (internal/radio); the adversary zoo in
 // internal/adversary provides jamming, spoofing, replaying and
 // protocol-specific attack strategies for experiments. The cmd/paperbench
-// tool regenerates every quantitative claim in the paper; see DESIGN.md
-// and EXPERIMENTS.md.
+// tool regenerates every quantitative claim in the paper, cmd/radiosim
+// runs a single network from the command line, and cmd/fleetsim executes
+// scenario campaigns; see README.md for a quickstart.
 package securadio

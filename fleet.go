@@ -1,0 +1,48 @@
+package securadio
+
+import (
+	"context"
+
+	"securadio/internal/fleet"
+)
+
+// Scenario is a named, fully parameterized simulation configuration from
+// the fleet registry: a protocol layer, a network shape and an adversary
+// strategy. See Scenarios for the built-in catalog.
+type Scenario = fleet.Scenario
+
+// Campaign is a scenario × seed-grid execution plan for RunCampaign.
+type Campaign = fleet.Campaign
+
+// CampaignResult is the streaming aggregate of a campaign: delivery rates,
+// round-count percentiles and the disruption-cover distribution, with
+// deterministic JSON emission for a fixed campaign seed.
+type CampaignResult = fleet.Aggregate
+
+// Scenarios returns the built-in scenario catalog in definition order.
+func Scenarios() []Scenario { return fleet.Scenarios() }
+
+// LookupScenario returns the named built-in scenario.
+func LookupScenario(name string) (Scenario, bool) { return fleet.Lookup(name) }
+
+// AdversaryStrategies returns the interferer strategy names a Scenario may
+// reference, sorted.
+func AdversaryStrategies() []string { return fleet.Adversaries() }
+
+// NewAdversary builds a fresh instance of a named interferer strategy from
+// the fleet registry — the same mapping scenario campaigns use, so single
+// runs and campaigns agree on what each name means. The "none" strategy
+// returns a nil Interferer, which Network.Adversary documents as no
+// interference.
+func NewAdversary(name string, net Network, seed int64) (Interferer, error) {
+	return fleet.NewAdversary(name, net.T, net.C, seed)
+}
+
+// RunCampaign executes a campaign across all cores: Runs independent
+// simulations of the scenario with deterministic per-run seeds, panic
+// isolation, and streaming aggregation. Cancelling ctx stops dispatching
+// new runs; the aggregate of the completed runs is returned along with the
+// context's error.
+func RunCampaign(ctx context.Context, c Campaign) (*CampaignResult, error) {
+	return fleet.Run(ctx, c)
+}

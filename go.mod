@@ -1,0 +1,3 @@
+module securadio
+
+go 1.24

@@ -1,0 +1,126 @@
+package adversary
+
+import (
+	"testing"
+
+	"securadio/internal/radio"
+)
+
+func TestBurstJammerDutyCycle(t *testing.T) {
+	j := NewBurstJammer(2, 4, 3, 2, 1)
+	for round := 0; round < 20; round++ {
+		txs := j.Plan(round)
+		if round%5 < 3 {
+			if len(txs) != 2 {
+				t.Fatalf("round %d: planned %d transmissions, want 2", round, len(txs))
+			}
+			for _, tx := range txs {
+				if tx.Channel < 0 || tx.Channel >= 4 {
+					t.Fatalf("round %d: channel %d out of range", round, tx.Channel)
+				}
+				if tx.Msg != nil {
+					t.Fatalf("round %d: jammer carried payload %v", round, tx.Msg)
+				}
+			}
+		} else if len(txs) != 0 {
+			t.Fatalf("round %d: planned %v during silence window", round, txs)
+		}
+	}
+}
+
+func TestBurstJammerFreezesChannelsWithinBurst(t *testing.T) {
+	j := NewBurstJammer(2, 8, 4, 1, 7)
+	first := j.Plan(0)
+	for round := 1; round < 4; round++ {
+		txs := j.Plan(round)
+		for i := range txs {
+			if txs[i].Channel != first[i].Channel {
+				t.Fatalf("round %d: burst hopped from %v to %v", round, first, txs)
+			}
+		}
+	}
+}
+
+func TestBurstJammerBackToBackBurstsHop(t *testing.T) {
+	// Off = 0 means back-to-back bursts; each period must still re-roll
+	// its channels instead of degenerating into a static jam.
+	j := NewBurstJammer(2, 8, 4, 0, 3)
+	sets := make(map[string]bool)
+	for round := 0; round < 20; round++ {
+		txs := j.Plan(round)
+		if len(txs) != 2 {
+			t.Fatalf("round %d: planned %d transmissions, want 2", round, len(txs))
+		}
+		if round%4 == 3 {
+			key := ""
+			for _, tx := range txs {
+				key += string(rune('a' + tx.Channel))
+			}
+			sets[key] = true
+		}
+	}
+	if len(sets) < 2 {
+		t.Fatalf("5 back-to-back bursts all jammed the same channel set %v", sets)
+	}
+}
+
+func TestBurstJammerDefaults(t *testing.T) {
+	j := NewBurstJammer(1, 2, 0, -1, 3)
+	if j.On != 8 || j.Off != 8 {
+		t.Fatalf("defaults On=%d Off=%d, want 8/8", j.On, j.Off)
+	}
+}
+
+func TestHopJammerTracksHotChannel(t *testing.T) {
+	j := NewHopJammer(1, 4, 1)
+	// Feed several rounds of honest transmissions concentrated on channel 2.
+	for round := 0; round < 10; round++ {
+		j.Observe(radio.RoundObservation{
+			Round: round,
+			Actions: []radio.NodeAction{
+				{Op: radio.OpTransmit, Channel: 2},
+				{Op: radio.OpListen, Channel: 2},
+			},
+		})
+	}
+	txs := j.Plan(10)
+	if len(txs) != 1 || txs[0].Channel != 2 {
+		t.Fatalf("plan = %v, want the hot channel 2", txs)
+	}
+}
+
+func TestHopJammerIgnoresOwnTransmissions(t *testing.T) {
+	j := NewHopJammer(1, 3, 5)
+	// Adversarial traffic on channel 0 (Transmitters counts it) must not
+	// feed back into the score: only honest actions do.
+	for round := 0; round < 6; round++ {
+		j.Observe(radio.RoundObservation{
+			Round:        round,
+			Actions:      []radio.NodeAction{{Op: radio.OpTransmit, Channel: 1}},
+			Adversarial:  []radio.Transmission{{Channel: 0}},
+			Transmitters: []int{1, 1, 0},
+		})
+	}
+	txs := j.Plan(6)
+	if len(txs) != 1 || txs[0].Channel != 1 {
+		t.Fatalf("plan = %v, want the honest channel 1", txs)
+	}
+}
+
+func TestHopJammerBudget(t *testing.T) {
+	j := NewHopJammer(2, 5, 9)
+	txs := j.Plan(0)
+	if len(txs) != 2 {
+		t.Fatalf("planned %d transmissions, want 2", len(txs))
+	}
+	seen := make(map[int]bool)
+	for _, tx := range txs {
+		if tx.Channel < 0 || tx.Channel >= 5 {
+			t.Fatalf("channel %d out of range", tx.Channel)
+		}
+		if seen[tx.Channel] {
+			t.Fatalf("duplicate channel %d", tx.Channel)
+		}
+		seen[tx.Channel] = true
+	}
+}

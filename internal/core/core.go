@@ -158,7 +158,8 @@ func (p Params) WitnessesPerChannel() int {
 // participants (broadcaster + destination per channel), surrogate slack,
 // and the witness pools. For the base regime this reduces to the paper's
 // n > 3(t+1)^2 + 2(t+1) bound plus an L-node slack from our conservative
-// reservation of idle starred sources (see DESIGN.md).
+// reservation of idle starred sources (see the comment on
+// WitnessesPerChannel).
 func (p Params) MinNodes() int {
 	l := p.LiveChannels()
 	return l*p.WitnessesPerChannel() + 3*l

@@ -16,7 +16,7 @@ import (
 // rounds each, there are O(log C') levels, and the final broadcast is
 // another O(log n): O(log^2 n) in total.
 //
-// Band size (documented deviation from the paper, see DESIGN.md §3.4): the
+// Band size (documented deviation from the paper): the
 // paper assigns each pair of groups t channels, but a focused adversary
 // can jam all t channels of one band in every round and permanently starve
 // that pair. We use bands of 2t channels — exactly what the C >= 2t^2

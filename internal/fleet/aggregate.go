@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"securadio/internal/metrics"
+)
+
+// Aggregate is the streaming summary of a campaign. All exported JSON
+// fields are deterministic functions of (Scenario, Runs, Seed); wall-clock
+// measurements are kept out of the JSON encoding so campaign files can be
+// diffed across machines and PRs (BENCH_*.json trajectory tracking).
+type Aggregate struct {
+	// Identification.
+	Scenario  string `json:"scenario"`
+	Proto     string `json:"proto"`
+	Adversary string `json:"adversary"`
+	N         int    `json:"n"`
+	C         int    `json:"c"`
+	T         int    `json:"t"`
+	Seed      int64  `json:"seed"`
+
+	// Counts.
+	Requested int `json:"requested"` // grid size asked for
+	Runs      int `json:"runs"`      // runs that actually executed
+	Failures  int `json:"failures"`  // runs with a protocol-level error
+	Panics    int `json:"panics"`    // runs that died in a recovered panic
+
+	// Delivery.
+	Attempted    int     `json:"attempted"`
+	Delivered    int     `json:"delivered"`
+	DeliveryRate float64 `json:"delivery_rate"`
+
+	// Distributions over successful runs.
+	Rounds    metrics.Dist `json:"rounds"`
+	PerRun    metrics.Dist `json:"delivered_per_run"`
+	CoverHist map[int]int  `json:"cover_distribution"`
+
+	// Errors maps failure messages to their multiplicity.
+	Errors map[string]int `json:"errors,omitempty"`
+
+	// Wall-clock summary (excluded from JSON for determinism).
+	Elapsed    time.Duration `json:"-"`
+	RunsPerSec float64       `json:"-"`
+
+	rounds *metrics.Histogram
+	perRun *metrics.Histogram
+}
+
+func newAggregate(c Campaign) *Aggregate {
+	return &Aggregate{
+		Scenario:  c.Scenario.Name,
+		Proto:     c.Scenario.Proto,
+		Adversary: c.Scenario.Adversary,
+		N:         c.Scenario.N,
+		C:         c.Scenario.C,
+		T:         c.Scenario.T,
+		Seed:      c.Seed,
+		Requested: c.Runs,
+		CoverHist: make(map[int]int),
+		Errors:    make(map[string]int),
+		rounds:    metrics.NewHistogram(),
+		perRun:    metrics.NewHistogram(),
+	}
+}
+
+// observe folds one run into the aggregate. Every statistic is
+// order-insensitive, so completion order does not matter.
+func (a *Aggregate) observe(r RunResult) {
+	a.Runs++
+	if r.Panicked {
+		a.Panics++
+	}
+	if !r.OK() {
+		a.Failures++
+		a.Errors[r.Err]++
+		return
+	}
+	a.Attempted += r.Attempted
+	a.Delivered += r.Delivered
+	a.rounds.AddInt(r.Rounds)
+	a.perRun.AddInt(r.Delivered)
+	a.CoverHist[r.Cover]++
+}
+
+// finalize computes the derived statistics after the last observe.
+func (a *Aggregate) finalize(elapsed time.Duration) {
+	if a.Attempted > 0 {
+		a.DeliveryRate = float64(a.Delivered) / float64(a.Attempted)
+	}
+	a.Rounds = a.rounds.Summary()
+	a.PerRun = a.perRun.Summary()
+	if len(a.Errors) == 0 {
+		a.Errors = nil
+	}
+	a.Elapsed = elapsed
+	if s := elapsed.Seconds(); s > 0 {
+		a.RunsPerSec = float64(a.Runs) / s
+	}
+}
+
+// WriteJSON emits the deterministic aggregate as indented JSON.
+func (a *Aggregate) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// MarshalIndent returns the aggregate's canonical JSON bytes.
+func (a *Aggregate) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(a, "", "  ")
+}
+
+// headline returns the flat headline columns shared by CSV and table
+// output.
+func (a *Aggregate) headline() ([]string, []any) {
+	headers := []string{
+		"scenario", "proto", "adversary", "n", "c", "t", "seed",
+		"runs", "failures", "panics", "delivery_rate",
+		"rounds_p50", "rounds_p95", "rounds_p99", "rounds_max",
+	}
+	row := []any{
+		a.Scenario, a.Proto, a.Adversary, a.N, a.C, a.T, a.Seed,
+		a.Runs, a.Failures, a.Panics, a.DeliveryRate,
+		a.Rounds.P50, a.Rounds.P95, a.Rounds.P99, a.Rounds.Max,
+	}
+	return headers, row
+}
+
+// WriteCSV emits the headline statistics as a one-row CSV.
+func (a *Aggregate) WriteCSV(w io.Writer) {
+	headers, row := a.headline()
+	t := metrics.NewTable("", headers...)
+	t.AddRow(row...)
+	t.RenderCSV(w)
+}
+
+// WriteTable renders a human-readable report: the headline row, the
+// disruption-cover distribution and the wall-clock summary.
+func (a *Aggregate) WriteTable(w io.Writer) {
+	headers, row := a.headline()
+	t := metrics.NewTable(fmt.Sprintf("campaign %s (%d/%d runs ok)", a.Scenario, a.Runs-a.Failures, a.Requested), headers...)
+	t.AddRow(row...)
+	t.Render(w)
+
+	covers := make([]int, 0, len(a.CoverHist))
+	for c := range a.CoverHist {
+		covers = append(covers, c)
+	}
+	sort.Ints(covers)
+	ct := metrics.NewTable("disruption-cover distribution", "cover", "runs")
+	for _, c := range covers {
+		ct.AddRow(c, a.CoverHist[c])
+	}
+	if ct.Len() > 0 {
+		fmt.Fprintln(w)
+		ct.Render(w)
+	}
+
+	if len(a.Errors) > 0 {
+		msgs := make([]string, 0, len(a.Errors))
+		for m := range a.Errors {
+			msgs = append(msgs, m)
+		}
+		sort.Strings(msgs)
+		et := metrics.NewTable("failures", "error", "runs")
+		for _, m := range msgs {
+			et.AddRow(m, a.Errors[m])
+		}
+		fmt.Fprintln(w)
+		et.Render(w)
+	}
+
+	fmt.Fprintf(w, "\nwall clock: %v (%.1f runs/sec)\n", a.Elapsed.Round(time.Millisecond), a.RunsPerSec)
+}

@@ -1,0 +1,297 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"securadio/internal/radio"
+)
+
+// fastScenario is a cheap configuration used by the engine-mechanics tests.
+func fastScenario() Scenario {
+	s, ok := Lookup("fame-clear")
+	if !ok {
+		panic("fame-clear missing from registry")
+	}
+	return s
+}
+
+func TestRegistryShape(t *testing.T) {
+	scenarios := Scenarios()
+	if len(scenarios) < 8 {
+		t.Fatalf("registry has %d scenarios, want >= 8", len(scenarios))
+	}
+	protos := make(map[string]bool)
+	advs := make(map[string]bool)
+	names := make(map[string]bool)
+	for _, s := range scenarios {
+		if err := s.Validate(); err != nil {
+			t.Errorf("scenario %q invalid: %v", s.Name, err)
+		}
+		if names[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		names[s.Name] = true
+		protos[s.Proto] = true
+		advs[s.Adversary] = true
+	}
+	for _, p := range []string{ProtoFame, ProtoFameCompact, ProtoFameDirect, ProtoGroupKey, ProtoSecureGroup} {
+		if !protos[p] {
+			t.Errorf("no scenario exercises protocol %q", p)
+		}
+	}
+	if len(advs) < 5 {
+		t.Errorf("scenarios use %d adversary strategies, want >= 5", len(advs))
+	}
+	for _, name := range []string{"burst", "hop"} {
+		if !advs[name] {
+			t.Errorf("no scenario exercises the new %q adversary", name)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fame-jam"); !ok {
+		t.Fatal("fame-jam not found")
+	}
+	if _, ok := Lookup("no-such-scenario"); ok {
+		t.Fatal("bogus lookup succeeded")
+	}
+}
+
+func TestScenarioValidateRejections(t *testing.T) {
+	cases := []Scenario{
+		{Name: "", Proto: ProtoFame, N: 20, C: 2, T: 1, Pairs: 4, Adversary: "none"},
+		{Name: "x", Proto: "bogus", N: 20, C: 2, T: 1, Adversary: "none"},
+		{Name: "x", Proto: ProtoFame, N: 20, C: 2, T: 1, Pairs: 4, Adversary: "bogus"},
+		{Name: "x", Proto: ProtoFame, N: 20, C: 2, T: 1, Pairs: 0, Adversary: "none"},
+		{Name: "x", Proto: ProtoFame, N: 3, C: 2, T: 1, Pairs: 4, Adversary: "none"}, // below model bound
+	}
+	for _, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("scenario %+v validated, want error", s)
+		}
+	}
+}
+
+func TestExecuteUnknownAdversaryIsAnError(t *testing.T) {
+	s := fastScenario()
+	s.Adversary = "no-such-strategy"
+	res := s.Execute(0, 1) // bypasses Validate on purpose
+	if res.OK() || !strings.Contains(res.Err, "no-such-strategy") {
+		t.Fatalf("result = %+v, want recorded unknown-adversary error", res)
+	}
+}
+
+func TestCampaignValidate(t *testing.T) {
+	if err := (Campaign{Scenario: fastScenario(), Runs: 0}).Validate(); err == nil {
+		t.Fatal("Runs=0 validated")
+	}
+	if err := (Campaign{Scenario: fastScenario(), Runs: 1}).Validate(); err != nil {
+		t.Fatalf("valid campaign rejected: %v", err)
+	}
+}
+
+func TestSeedForIsStable(t *testing.T) {
+	c := Campaign{Scenario: fastScenario(), Runs: 4, Seed: 99}
+	seen := make(map[int64]int)
+	for run := 0; run < 100; run++ {
+		s := c.SeedFor(run)
+		if s < 0 {
+			t.Fatalf("SeedFor(%d) = %d, want non-negative", run, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("runs %d and %d share seed %d", prev, run, s)
+		}
+		seen[s] = run
+		if again := c.SeedFor(run); again != s {
+			t.Fatalf("SeedFor(%d) unstable: %d then %d", run, s, again)
+		}
+	}
+}
+
+// TestCampaignDeterministic is the acceptance-criteria test: the same
+// campaign and seed must produce byte-identical aggregate JSON no matter
+// how many workers execute it.
+func TestCampaignDeterministic(t *testing.T) {
+	base := Campaign{Scenario: fastScenario(), Runs: 24, Seed: 7}
+	var blobs [][]byte
+	for _, workers := range []int{1, 4, 16} {
+		c := base
+		c.Workers = workers
+		agg, err := Run(context.Background(), c)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		blob, err := agg.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+	}
+	for i := 1; i < len(blobs); i++ {
+		if !bytes.Equal(blobs[0], blobs[i]) {
+			t.Fatalf("aggregate JSON differs between worker counts:\n%s\nvs\n%s", blobs[0], blobs[i])
+		}
+	}
+}
+
+func TestCampaignAggregateContents(t *testing.T) {
+	agg, err := Run(context.Background(), Campaign{Scenario: fastScenario(), Runs: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 10 || agg.Requested != 10 {
+		t.Fatalf("runs = %d/%d", agg.Runs, agg.Requested)
+	}
+	if agg.Failures != 0 || agg.Panics != 0 {
+		t.Fatalf("failures=%d panics=%d", agg.Failures, agg.Panics)
+	}
+	// Even with no interference the greedy strategy may terminate with a
+	// sub-threshold residue (cover <= t, Theorem 6); delivery stays high
+	// but need not be perfect.
+	if agg.DeliveryRate <= 0.5 || agg.DeliveryRate > 1 {
+		t.Fatalf("delivery rate = %v", agg.DeliveryRate)
+	}
+	if agg.Rounds.N != 10 || agg.Rounds.P50 <= 0 {
+		t.Fatalf("rounds dist = %+v", agg.Rounds)
+	}
+	total := 0
+	for cover, runs := range agg.CoverHist {
+		if cover > agg.T {
+			t.Fatalf("cover %d exceeds t=%d (Theorem 6): %v", cover, agg.T, agg.CoverHist)
+		}
+		total += runs
+	}
+	if total != 10 {
+		t.Fatalf("cover distribution covers %d runs, want 10: %v", total, agg.CoverHist)
+	}
+	var decoded map[string]any
+	blob, err := agg.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatalf("aggregate JSON does not round-trip: %v", err)
+	}
+	if _, ok := decoded["cover_distribution"]; !ok {
+		t.Fatal("cover_distribution missing from JSON")
+	}
+}
+
+func TestCampaignCancellation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	// groupkey runs cost >100ms each, so the deadline lands mid-campaign.
+	sc, _ := Lookup("groupkey-jam")
+	agg, err := Run(ctx, Campaign{Scenario: sc, Runs: 10_000, Seed: 1, Workers: 2})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if agg == nil {
+		t.Fatal("no partial aggregate returned")
+	}
+	if agg.Runs >= 10_000 {
+		t.Fatalf("campaign ran to completion (%d runs) despite cancellation", agg.Runs)
+	}
+}
+
+func TestCampaignAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	agg, err := Run(ctx, Campaign{Scenario: fastScenario(), Runs: 100, Seed: 1, Workers: 2})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if agg.Runs != 0 {
+		t.Fatalf("pre-cancelled campaign executed %d runs, want 0", agg.Runs)
+	}
+}
+
+func TestCampaignPanicIsolation(t *testing.T) {
+	advFactories["test-panic"] = func(_, _ int, _ int64) radio.Adversary {
+		panic("adversary exploded")
+	}
+	defer delete(advFactories, "test-panic")
+
+	s := fastScenario()
+	s.Name = "panicky"
+	s.Adversary = "test-panic"
+	agg, err := Run(context.Background(), Campaign{Scenario: s, Runs: 8, Seed: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 8 || agg.Panics != 8 || agg.Failures != 8 {
+		t.Fatalf("runs=%d panics=%d failures=%d, want 8/8/8", agg.Runs, agg.Panics, agg.Failures)
+	}
+	found := false
+	for msg := range agg.Errors {
+		if strings.Contains(msg, "adversary exploded") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("panic message not recorded: %v", agg.Errors)
+	}
+}
+
+// TestCampaignConcurrentWorkers exercises the pool at full width; combined
+// with -race (see CI) it is the data-race check for the executor and the
+// streaming aggregator.
+func TestCampaignConcurrentWorkers(t *testing.T) {
+	agg, err := Run(context.Background(), Campaign{Scenario: fastScenario(), Runs: 64, Seed: 11, Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 64 || agg.Failures != 0 {
+		t.Fatalf("runs=%d failures=%d", agg.Runs, agg.Failures)
+	}
+}
+
+// TestEveryScenarioExecutes runs each registry entry once end to end.
+func TestEveryScenarioExecutes(t *testing.T) {
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			res := s.Execute(0, 5)
+			if !res.OK() {
+				t.Fatalf("run failed: %s", res.Err)
+			}
+			if res.Rounds <= 0 || res.Attempted <= 0 {
+				t.Fatalf("degenerate result %+v", res)
+			}
+			if res.Delivered < 0 || res.Delivered > res.Attempted {
+				t.Fatalf("delivered %d of %d", res.Delivered, res.Attempted)
+			}
+		})
+	}
+}
+
+func TestAggregateReports(t *testing.T) {
+	agg, err := Run(context.Background(), Campaign{Scenario: fastScenario(), Runs: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tbl, csv, js bytes.Buffer
+	agg.WriteTable(&tbl)
+	agg.WriteCSV(&csv)
+	if err := agg.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "fame-clear") || !strings.Contains(tbl.String(), "disruption-cover") {
+		t.Fatalf("table output incomplete:\n%s", tbl.String())
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "scenario,") {
+		t.Fatalf("csv output malformed:\n%s", csv.String())
+	}
+	// Wall-clock fields must stay out of the deterministic JSON.
+	if strings.Contains(js.String(), "runs_per_sec") || strings.Contains(js.String(), "elapsed") {
+		t.Fatalf("timing leaked into JSON:\n%s", js.String())
+	}
+}

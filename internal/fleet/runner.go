@@ -1,0 +1,105 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Run executes a campaign on a worker pool and streams every run's outcome
+// into an Aggregate.
+//
+// Concurrency contract:
+//
+//   - the pool uses Campaign.Workers goroutines (GOMAXPROCS when zero);
+//   - per-run seeds come from Campaign.SeedFor, so the aggregate is a
+//     deterministic function of (Scenario, Runs, Seed) regardless of worker
+//     count or completion order;
+//   - a run that panics on the worker goroutine (adversary construction,
+//     pair generation, parameter validation, outcome assembly) is
+//     isolated: the panic is recovered and recorded as a failed run, and
+//     the campaign keeps going. Panics raised inside the simulation's own
+//     node goroutines are outside this boundary — the radio engine
+//     re-raises them and they crash the process, exactly as they would in
+//     a single-run invocation;
+//   - cancelling ctx stops dispatching new runs; Run drains the in-flight
+//     ones, returns the aggregate of everything that completed, and reports
+//     ctx's error.
+func Run(ctx context.Context, c Campaign) (*Aggregate, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > c.Runs {
+		workers = c.Runs
+	}
+
+	start := time.Now()
+	jobs := make(chan int)
+	results := make(chan RunResult, workers)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for run := range jobs {
+				results <- c.runOne(run)
+			}
+		}()
+	}
+
+	go func() {
+		defer close(jobs)
+		for run := 0; run < c.Runs; run++ {
+			// select picks randomly among ready cases, so an
+			// already-cancelled context could still win the job send;
+			// check it first so cancellation stops dispatch immediately.
+			if ctx.Err() != nil {
+				return
+			}
+			select {
+			case jobs <- run:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	agg := newAggregate(c)
+	for r := range results {
+		agg.observe(r)
+	}
+	agg.finalize(time.Since(start))
+	// A cancellation that lands after the last run completed changed
+	// nothing: the aggregate is whole, so don't report it as interrupted.
+	if agg.Runs == c.Runs {
+		return agg, nil
+	}
+	return agg, ctx.Err()
+}
+
+// runOne executes a single grid run with panic isolation.
+func (c Campaign) runOne(run int) (res RunResult) {
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			res = RunResult{
+				Run: run, Seed: c.SeedFor(run),
+				Err: fmt.Sprintf("panic: %v", r), Panicked: true,
+			}
+		}
+		res.Elapsed = time.Since(start)
+	}()
+	return c.Scenario.Execute(run, c.SeedFor(run))
+}

@@ -1,0 +1,370 @@
+// Package fleet is the scenario-campaign engine: it fans hundreds to
+// thousands of independent radio-network simulations across all cores and
+// aggregates their outcomes into streaming, JSON-serializable statistics.
+//
+// The package has three moving parts:
+//
+//   - a scenario registry (this file): named, parameterized combinations of
+//     protocol layer (f-AME, compact, direct, group key, secure group),
+//     network shape (n, C, t, regime, pair count) and adversary strategy;
+//   - a campaign executor (runner.go): a worker pool with deterministic
+//     per-run seeds, context cancellation and panic isolation;
+//   - a streaming aggregator (aggregate.go): delivery rates, round-count
+//     percentiles and disruption-cover distributions, emitted as JSON, CSV
+//     or an aligned table.
+//
+// Every aggregate is deterministic for a fixed campaign seed regardless of
+// worker count or completion order, which makes campaign JSON suitable for
+// cross-PR trajectory tracking.
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"securadio/internal/adversary"
+	"securadio/internal/core"
+	"securadio/internal/graph"
+	"securadio/internal/groupkey"
+	"securadio/internal/msgopt"
+	"securadio/internal/radio"
+	"securadio/internal/secure"
+)
+
+// Protocol names accepted by Scenario.Proto.
+const (
+	ProtoFame        = "fame"         // ExchangeMessages (surrogate f-AME)
+	ProtoFameCompact = "fame-compact" // Section 5.6 message-size optimization
+	ProtoFameDirect  = "fame-direct"  // direct mode (2t-disruptable baseline)
+	ProtoGroupKey    = "groupkey"     // Section 6 group-key establishment
+	ProtoSecureGroup = "secure-group" // Section 7 long-lived channel on top of Section 6
+)
+
+// Scenario is one named, fully parameterized simulation configuration. A
+// campaign executes a Scenario across a grid of derived seeds.
+type Scenario struct {
+	// Name identifies the scenario in the registry and in reports.
+	Name string
+
+	// Desc is a one-line description for listings.
+	Desc string
+
+	// Proto selects the protocol layer (one of the Proto* constants).
+	Proto string
+
+	// N, C, T are the network shape: nodes, channels, adversary budget.
+	N, C, T int
+
+	// Pairs is the size of the random AME pair set (f-AME protocols).
+	Pairs int
+
+	// Regime forwards to the f-AME channel-usage strategy.
+	Regime core.Regime
+
+	// Cleanup is the best-effort post-termination move budget (f-AME).
+	Cleanup int
+
+	// Adversary names the interferer strategy (see Adversaries).
+	Adversary string
+
+	// EmRounds is the number of emulated rounds driven on the long-lived
+	// channel (secure-group only); non-positive selects 4.
+	EmRounds int
+}
+
+// AdversaryFactory builds a fresh interferer for one run. Adversaries are
+// stateful, so every run gets its own instance, seeded deterministically.
+type AdversaryFactory func(t, c int, seed int64) radio.Adversary
+
+// advFactories is the interferer strategy registry.
+var advFactories = map[string]AdversaryFactory{
+	"none":  func(t, c int, seed int64) radio.Adversary { return nil },
+	"jam":   func(t, c int, seed int64) radio.Adversary { return adversary.NewRandomJammer(t, c, seed) },
+	"sweep": func(t, c int, seed int64) radio.Adversary { return &adversary.SweepJammer{T: t, C: c} },
+	"worst": func(t, c int, seed int64) radio.Adversary { return &adversary.GreedyJammer{T: t, C: c} },
+	"replay": func(t, c int, seed int64) radio.Adversary {
+		return adversary.NewReplaySpoofer(t, c, seed)
+	},
+	// The zero/negative window arguments select the constructor's default
+	// duty cycle — the same one securadio.NewBurstJammer uses, keeping
+	// single-run and campaign "burst" semantics identical.
+	"burst": func(t, c int, seed int64) radio.Adversary {
+		return adversary.NewBurstJammer(t, c, 0, -1, seed)
+	},
+	"hop": func(t, c int, seed int64) radio.Adversary { return adversary.NewHopJammer(t, c, seed) },
+}
+
+// NewAdversary builds a fresh instance of a registered interferer strategy
+// — the single name-to-constructor mapping shared by the scenario engine
+// and the CLIs. The "none" strategy returns a nil adversary: the radio
+// engine treats nil as no interference.
+func NewAdversary(name string, t, c int, seed int64) (radio.Adversary, error) {
+	factory, ok := advFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown adversary %q (have %v)", name, Adversaries())
+	}
+	return factory(t, c, seed), nil
+}
+
+// Adversaries returns the registered interferer strategy names, sorted.
+func Adversaries() []string {
+	out := make([]string, 0, len(advFactories))
+	for name := range advFactories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate reports whether the scenario is well formed and its parameters
+// satisfy the underlying protocol's model bounds.
+func (s Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("fleet: scenario has no name")
+	}
+	if _, ok := advFactories[s.Adversary]; !ok {
+		return fmt.Errorf("fleet: scenario %q: unknown adversary %q (have %v)", s.Name, s.Adversary, Adversaries())
+	}
+	switch s.Proto {
+	case ProtoFame, ProtoFameCompact, ProtoFameDirect:
+		if s.Pairs <= 0 {
+			return fmt.Errorf("fleet: scenario %q: Pairs = %d, want > 0", s.Name, s.Pairs)
+		}
+		return s.fameParams().Validate()
+	case ProtoGroupKey, ProtoSecureGroup:
+		return groupkey.Params{N: s.N, C: s.C, T: s.T, Regime: s.Regime}.Validate()
+	default:
+		return fmt.Errorf("fleet: scenario %q: unknown protocol %q", s.Name, s.Proto)
+	}
+}
+
+func (s Scenario) fameParams() core.Params {
+	mode := core.ModeSurrogate
+	if s.Proto == ProtoFameDirect {
+		mode = core.ModeDirect
+	}
+	return core.Params{
+		N: s.N, C: s.C, T: s.T,
+		Mode:    mode,
+		Regime:  s.Regime,
+		Cleanup: s.Cleanup,
+	}
+}
+
+func (s Scenario) emRounds() int {
+	if s.EmRounds <= 0 {
+		return 4
+	}
+	return s.EmRounds
+}
+
+// Execute runs the scenario once with the given seed and returns the run's
+// outcome. A protocol-level error is recorded in RunResult.Err rather than
+// returned, so a campaign keeps streaming past individual failures.
+func (s Scenario) Execute(run int, seed int64) RunResult {
+	res := RunResult{Run: run, Seed: seed}
+	adv, err := NewAdversary(s.Adversary, s.T, s.C, seed+1)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	switch s.Proto {
+	case ProtoFame, ProtoFameDirect:
+		s.executeFame(adv, seed, &res)
+	case ProtoFameCompact:
+		s.executeCompact(adv, seed, &res)
+	case ProtoGroupKey:
+		s.executeGroupKey(adv, seed, &res)
+	case ProtoSecureGroup:
+		s.executeSecureGroup(adv, seed, &res)
+	default:
+		res.Err = fmt.Sprintf("fleet: unknown protocol %q", s.Proto)
+	}
+	return res
+}
+
+// PairSpan bounds the node range random AME pairs are drawn from —
+// the shared workload shape of fleet campaigns and cmd/radiosim, so
+// single-run and campaign results for the same parameters stay
+// comparable.
+func PairSpan(n int) int {
+	if n < 12 {
+		return n
+	}
+	return 12
+}
+
+func (s Scenario) randomPairs(seed int64) []graph.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	return graph.RandomPairs(PairSpan(s.N), s.Pairs, rng.Intn)
+}
+
+func (s Scenario) executeFame(adv radio.Adversary, seed int64, res *RunResult) {
+	pairs := s.randomPairs(seed)
+	values := make(map[graph.Edge]radio.Message, len(pairs))
+	for _, e := range pairs {
+		values[e] = fmt.Sprintf("m/%v", e)
+	}
+	out, err := core.Exchange(s.fameParams(), pairs, values, adv, seed)
+	if err != nil {
+		res.Err = err.Error()
+		return
+	}
+	res.Rounds = out.Rounds
+	res.Attempted = len(pairs)
+	res.Delivered = len(pairs) - len(out.Disruption.Edges())
+	res.Cover = out.CoverSize
+}
+
+func (s Scenario) executeCompact(adv radio.Adversary, seed int64, res *RunResult) {
+	pairs := s.randomPairs(seed)
+	values := make(map[graph.Edge]string, len(pairs))
+	for _, e := range pairs {
+		values[e] = fmt.Sprintf("m/%v", e)
+	}
+	p := msgopt.Params{Fame: s.fameParams()}
+	out, err := msgopt.Exchange(p, pairs, values, adv, seed)
+	if err != nil {
+		res.Err = err.Error()
+		return
+	}
+	res.Rounds = out.Rounds
+	res.Attempted = len(pairs)
+	res.Delivered = len(pairs) - len(out.Disruption.Edges())
+	res.Cover = out.CoverSize
+}
+
+func (s Scenario) executeGroupKey(adv radio.Adversary, seed int64, res *RunResult) {
+	p := groupkey.Params{N: s.N, C: s.C, T: s.T, Regime: s.Regime}
+	out, err := groupkey.Establish(p, adv, seed)
+	if err != nil {
+		res.Err = err.Error()
+		return
+	}
+	res.Rounds = out.Rounds
+	res.Attempted = s.N
+	res.Delivered = out.Agreed
+	res.Cover = s.N - out.Agreed
+}
+
+// executeSecureGroup composes the full stack inline — Section 6 setup
+// followed by EmRounds emulated rounds of the Section 7 channel, one
+// rotating broadcaster per emulated round — and counts authenticated
+// deliveries at the receivers.
+func (s Scenario) executeSecureGroup(adv radio.Adversary, seed int64, res *RunResult) {
+	gk := groupkey.Params{N: s.N, C: s.C, T: s.T, Regime: s.Regime}
+	ch := secure.Params{N: s.N, C: s.C, T: s.T}
+	em := s.emRounds()
+
+	gkResults := make([]groupkey.NodeResult, s.N)
+	received := make([]int, s.N)
+	procs := make([]radio.Process, s.N)
+	for i := 0; i < s.N; i++ {
+		i := i
+		procs[i] = func(env radio.Env) {
+			groupkey.RunNode(env, gk, &gkResults[i])
+			slot := ch.SlotRounds()
+			var sess *secure.Channel
+			if k := gkResults[i].GroupKey; k != nil {
+				if attached, err := secure.Attach(env, ch, *k); err == nil {
+					sess = attached
+				}
+			}
+			for e := 0; e < em; e++ {
+				if sess == nil {
+					// Keyless nodes idle through the slot to stay in
+					// lock-step with the channel holders.
+					env.SleepFor(slot)
+					continue
+				}
+				var body []byte
+				if i == e%s.N {
+					body = []byte(fmt.Sprintf("fleet/%d", e))
+				}
+				received[i] += len(sess.Step(body))
+			}
+		}
+	}
+	cfg := radio.Config{N: s.N, C: s.C, T: s.T, Seed: seed, Adversary: adv}
+	radioRes, err := radio.Run(cfg, procs)
+	if err != nil {
+		res.Err = err.Error()
+		return
+	}
+	holders := 0
+	for i := range gkResults {
+		if gkResults[i].Err != nil {
+			res.Err = fmt.Sprintf("node %d setup: %v", i, gkResults[i].Err)
+			return
+		}
+		if gkResults[i].GroupKey != nil {
+			holders++
+		}
+	}
+	res.Rounds = radioRes.Rounds
+	res.Attempted = em * (s.N - 1)
+	for _, n := range received {
+		res.Delivered += n
+	}
+	res.Cover = s.N - holders
+}
+
+// registry holds the built-in scenarios in definition order.
+var registry = []Scenario{
+	{
+		Name: "fame-clear", Desc: "f-AME on the minimum spectrum, no interference",
+		Proto: ProtoFame, N: 20, C: 2, T: 1, Pairs: 8, Adversary: "none",
+	},
+	{
+		Name: "fame-jam", Desc: "f-AME vs random jammer on C=t+1",
+		Proto: ProtoFame, N: 20, C: 2, T: 1, Pairs: 8, Adversary: "jam",
+	},
+	{
+		Name: "fame-worst", Desc: "f-AME vs omniscient greedy jammer (worst case)",
+		Proto: ProtoFame, N: 20, C: 2, T: 1, Pairs: 8, Adversary: "worst",
+	},
+	{
+		Name: "fame-burst", Desc: "f-AME vs bursty on/off duty-cycled jammer",
+		Proto: ProtoFame, N: 20, C: 2, T: 1, Pairs: 8, Adversary: "burst",
+	},
+	{
+		Name: "fame-hop-2t", Desc: "f-AME in the 2t regime vs adaptive channel-hopping jammer",
+		Proto: ProtoFame, N: 64, C: 4, T: 2, Pairs: 6, Regime: core.Regime2T, Adversary: "hop",
+	},
+	{
+		Name: "compact-replay", Desc: "compact f-AME (Section 5.6) vs replay spoofer",
+		Proto: ProtoFameCompact, N: 20, C: 2, T: 1, Pairs: 6, Adversary: "replay",
+	},
+	{
+		Name: "direct-sweep", Desc: "direct-mode baseline (2t-disruptable) vs scanning jammer",
+		Proto: ProtoFameDirect, N: 20, C: 2, T: 1, Pairs: 6, Adversary: "sweep",
+	},
+	{
+		Name: "groupkey-jam", Desc: "Section 6 group-key establishment vs random jammer",
+		Proto: ProtoGroupKey, N: 20, C: 2, T: 1, Adversary: "jam",
+	},
+	{
+		Name: "groupkey-burst", Desc: "group-key establishment vs bursty jammer",
+		Proto: ProtoGroupKey, N: 20, C: 2, T: 1, Adversary: "burst",
+	},
+	{
+		Name: "securegroup-hop", Desc: "full stack: group key + long-lived channel vs hopping jammer",
+		Proto: ProtoSecureGroup, N: 20, C: 2, T: 1, EmRounds: 4, Adversary: "hop",
+	},
+}
+
+// Scenarios returns the built-in scenarios in definition order.
+func Scenarios() []Scenario {
+	return append([]Scenario(nil), registry...)
+}
+
+// Lookup returns the named built-in scenario.
+func Lookup(name string) (Scenario, bool) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Histogram accumulates a stream of scalar samples and answers order
+// statistics. It keeps the raw samples (campaign sizes are thousands of
+// runs, not billions), sorting lazily on the first quantile query after an
+// insertion burst; accumulation order does not affect any statistic, so
+// concurrent campaign workers can feed it through a channel in completion
+// order and still produce deterministic summaries.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{}
+}
+
+// Add inserts one sample.
+func (h *Histogram) Add(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// AddInt inserts one integer sample.
+func (h *Histogram) AddInt(v int) { h.Add(float64(v)) }
+
+// N returns the number of samples.
+func (h *Histogram) N() int { return len(h.samples) }
+
+// Mean returns the arithmetic mean (NaN when empty). The sum runs over
+// the sorted samples: float addition is not associative, so summing in
+// insertion order would make Mean depend on worker completion order and
+// break the order-insensitivity contract for fractional samples.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return math.NaN()
+	}
+	h.ensureSorted()
+	var sum float64
+	for _, v := range h.samples {
+		sum += v
+	}
+	return sum / float64(len(h.samples))
+}
+
+func (h *Histogram) ensureSorted() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// Min returns the smallest sample (NaN when empty).
+func (h *Histogram) Min() float64 {
+	if len(h.samples) == 0 {
+		return math.NaN()
+	}
+	h.ensureSorted()
+	return h.samples[0]
+}
+
+// Max returns the largest sample (NaN when empty).
+func (h *Histogram) Max() float64 {
+	if len(h.samples) == 0 {
+		return math.NaN()
+	}
+	h.ensureSorted()
+	return h.samples[len(h.samples)-1]
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using linear interpolation
+// between closest ranks; NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if len(h.samples) == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	h.ensureSorted()
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[len(h.samples)-1]
+	}
+	pos := q * float64(len(h.samples)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return h.samples[lo]
+	}
+	frac := pos - float64(lo)
+	return h.samples[lo]*(1-frac) + h.samples[hi]*frac
+}
+
+// Dist is a JSON-friendly summary of a histogram: count, extrema, mean and
+// the p50/p95/p99 order statistics used for campaign trajectory tracking.
+type Dist struct {
+	N    int     `json:"n"`
+	Min  float64 `json:"min"`
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// Summary returns the histogram's Dist. An empty histogram summarizes to
+// all zeros (rather than NaN, which JSON cannot encode).
+func (h *Histogram) Summary() Dist {
+	if len(h.samples) == 0 {
+		return Dist{}
+	}
+	return Dist{
+		N:    h.N(),
+		Min:  h.Min(),
+		Mean: round3(h.Mean()),
+		P50:  round3(h.Quantile(0.50)),
+		P95:  round3(h.Quantile(0.95)),
+		P99:  round3(h.Quantile(0.99)),
+		Max:  h.Max(),
+	}
+}
+
+// round3 trims float noise so JSON summaries stay stable and readable.
+func round3(v float64) float64 {
+	return math.Round(v*1000) / 1000
+}

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.N() != 0 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if !math.IsNaN(h.Mean()) || !math.IsNaN(h.Quantile(0.5)) || !math.IsNaN(h.Min()) {
+		t.Fatal("empty histogram statistics should be NaN")
+	}
+	sum := h.Summary()
+	if sum != (Dist{}) {
+		t.Fatalf("empty summary = %+v, want zero value", sum)
+	}
+	if _, err := json.Marshal(sum); err != nil {
+		t.Fatalf("empty summary not JSON-encodable: %v", err)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.AddInt(i)
+	}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 100}, {0.5, 50.5}, {0.95, 95.05}, {0.99, 99.01},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramOrderInsensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	vals := rng.Perm(500)
+	a, b := NewHistogram(), NewHistogram()
+	for _, v := range vals {
+		a.AddInt(v)
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		b.AddInt(vals[i])
+	}
+	if a.Summary() != b.Summary() {
+		t.Fatalf("summaries differ: %+v vs %+v", a.Summary(), b.Summary())
+	}
+}
+
+func TestHistogramOrderInsensitiveFractional(t *testing.T) {
+	// Float addition is not associative; the mean must not depend on
+	// insertion order even for fractional samples where the running-sum
+	// shortcut would drift.
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 2000)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1e9
+	}
+	a, b := NewHistogram(), NewHistogram()
+	for _, v := range vals {
+		a.Add(v)
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		b.Add(vals[i])
+	}
+	if am, bm := a.Mean(), b.Mean(); am != bm {
+		t.Fatalf("mean depends on insertion order: %v vs %v", am, bm)
+	}
+	if a.Summary() != b.Summary() {
+		t.Fatalf("summaries differ: %+v vs %+v", a.Summary(), b.Summary())
+	}
+}
+
+func TestHistogramAddAfterQuantile(t *testing.T) {
+	h := NewHistogram()
+	h.AddInt(10)
+	if h.Quantile(0.5) != 10 {
+		t.Fatal("single-sample median")
+	}
+	h.AddInt(1) // must re-sort after the earlier query
+	if got := h.Min(); got != 1 {
+		t.Fatalf("Min after late Add = %v", got)
+	}
+}
