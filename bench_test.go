@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"securadio/internal/adversary"
+	"securadio/internal/benchwork"
 	"securadio/internal/core"
 	"securadio/internal/feedback"
 	"securadio/internal/game"
@@ -347,31 +348,20 @@ func BenchmarkByzantineVariant(b *testing.B) {
 
 // --- substrate micro-benchmarks ---
 
-// BenchmarkRadioEngine measures the simulator's raw round throughput.
-func BenchmarkRadioEngine(b *testing.B) {
-	const n, rounds = 32, 256
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		procs := make([]radio.Process, n)
-		for j := 0; j < n; j++ {
-			j := j
-			procs[j] = func(e radio.Env) {
-				for r := 0; r < rounds; r++ {
-					if j%2 == 0 {
-						e.Transmit(e.Rand().Intn(e.C()), j)
-					} else {
-						e.Listen(e.Rand().Intn(e.C()))
-					}
-				}
-			}
-		}
-		cfg := radio.Config{N: n, C: 3, T: 1, Seed: int64(i)}
-		if _, err := radio.Run(cfg, procs); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(float64(n*rounds), "node-rounds/op")
-}
+// BenchmarkRadioEngine measures the simulator's raw round throughput: a
+// fresh 32-node run per iteration (setup included). The workload lives in
+// internal/benchwork, shared with cmd/benchjson so the committed
+// BENCH_*.json trajectory measures exactly this benchmark.
+func BenchmarkRadioEngine(b *testing.B) { benchwork.RadioEngine(b) }
+
+// BenchmarkRadioEngineSteadyState measures the per-round cost of one
+// long-lived run (setup amortized over b.N rounds); allocs/op is the
+// round loop's allocation count and must stay zero.
+func BenchmarkRadioEngineSteadyState(b *testing.B) { benchwork.RadioSteadyState(b) }
+
+// BenchmarkRadioEngineSteadyStateJam is the steady-state benchmark with
+// the adversary clipping path engaged every round.
+func BenchmarkRadioEngineSteadyStateJam(b *testing.B) { benchwork.RadioSteadyStateJam(b) }
 
 // BenchmarkVertexCover measures the exact minimum-vertex-cover search used
 // to validate d-disruptability.

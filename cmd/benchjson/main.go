@@ -1,0 +1,172 @@
+// Command benchjson runs the repo's headline benchmarks through
+// testing.Benchmark and emits a machine-readable JSON report, so the
+// performance trajectory can be committed alongside each PR (BENCH_*.json)
+// and diffed across revisions without parsing `go test -bench` text.
+//
+// Usage:
+//
+//	benchjson                 # run every headline benchmark, JSON on stdout
+//	benchjson -bench radio    # substring filter
+//	benchjson -label after    # tag the report (e.g. before/after a rewrite)
+//
+// The report includes ns/op, B/op, allocs/op and every custom metric the
+// benchmarks publish via b.ReportMetric (node-rounds/op, runs/sec, ...).
+//
+// The radio-engine workloads are shared with bench_test.go through
+// internal/benchwork, so those cells always measure exactly what CI
+// smoke-runs. The f-AME and fleet benchmarks MIRROR their bench_test.go
+// counterparts instead: they exercise package securadio, which this
+// command imports, so a shared workload package would be an import
+// cycle — when editing those two, update BOTH copies.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	securadio "securadio"
+	"securadio/internal/adversary"
+	"securadio/internal/benchwork"
+	"securadio/internal/core"
+	"securadio/internal/graph"
+	"securadio/internal/radio"
+)
+
+// Result is one benchmark's measurements.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	Label      string   `json:"label,omitempty"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchmark is a named testing.B driver.
+type benchmark struct {
+	name string
+	run  func(b *testing.B)
+}
+
+// benchFAMEBase mirrors BenchmarkFAMEBase's E=16/t=1 cell.
+func benchFAMEBase(b *testing.B) {
+	const span, pairsN = 12, 16
+	rng := rand.New(rand.NewSource(7))
+	pairs := graph.RandomPairs(span, pairsN, rng.Intn)
+	values := make(map[graph.Edge]radio.Message, len(pairs))
+	for _, e := range pairs {
+		values[e] = fmt.Sprintf("m%v", e)
+	}
+	p := core.Params{N: 22, C: 2, T: 1, Regime: core.RegimeBase}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adv := &adversary.GreedyJammer{T: p.T, C: p.C}
+		out, err := core.Exchange(p, pairs, values, adv, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.CoverSize > p.T {
+			b.Fatalf("cover %d exceeds t", out.CoverSize)
+		}
+	}
+}
+
+// benchFleetCampaign mirrors BenchmarkFleetCampaign: a 256-run fame-jam
+// campaign per iteration, reporting runs/sec.
+func benchFleetCampaign(b *testing.B) {
+	sc, ok := securadio.LookupScenario("fame-jam")
+	if !ok {
+		b.Fatal("fame-jam scenario missing")
+	}
+	const runs = 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg, err := securadio.RunCampaign(context.Background(), securadio.Campaign{
+			Scenario: sc, Runs: runs, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Runs != runs || agg.Failures != 0 {
+			b.Fatalf("runs=%d failures=%d", agg.Runs, agg.Failures)
+		}
+	}
+	b.ReportMetric(float64(runs)*float64(b.N)/b.Elapsed().Seconds(), "runs/sec")
+}
+
+func registry() []benchmark {
+	return []benchmark{
+		{"BenchmarkRadioEngine", benchwork.RadioEngine},
+		{"BenchmarkRadioEngine/steady-state", benchwork.RadioSteadyState},
+		{"BenchmarkRadioEngine/steady-state-jam", benchwork.RadioSteadyStateJam},
+		{"BenchmarkFAMEBase/E=16/t=1", benchFAMEBase},
+		{"BenchmarkFleetCampaign", benchFleetCampaign},
+	}
+}
+
+func main() {
+	var (
+		filter = flag.String("bench", "", "substring filter on benchmark names")
+		label  = flag.String("label", "", "free-form label recorded in the report")
+		list   = flag.Bool("list", false, "list benchmark names and exit")
+	)
+	flag.Parse()
+
+	reg := registry()
+	if *list {
+		for _, bm := range reg {
+			fmt.Println(bm.name)
+		}
+		return
+	}
+
+	rep := Report{
+		Label:      *label,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, bm := range reg {
+		if *filter != "" && !strings.Contains(bm.name, *filter) {
+			continue
+		}
+		r := testing.Benchmark(bm.run)
+		res := Result{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Extra = r.Extra
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks matched %q\n", *filter)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

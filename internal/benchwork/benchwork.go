@@ -1,0 +1,87 @@
+// Package benchwork holds the radio-engine benchmark workloads shared by
+// the root package's benchmarks (bench_test.go) and cmd/benchjson, so the
+// committed BENCH_*.json trajectory always measures exactly the workload
+// CI smoke-runs. Only workloads that depend solely on internal packages
+// can live here; benchmarks over the public securadio API (f-AME, fleet
+// campaigns) would be an import cycle and stay mirrored at both sites.
+package benchwork
+
+import (
+	"testing"
+
+	"securadio/internal/radio"
+)
+
+// RadioEngine is the full-run throughput workload: a fresh 32-node run of
+// 256 mixed transmit/listen rounds per iteration, setup included.
+func RadioEngine(b *testing.B) {
+	const n, rounds = 32, 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		procs := steadyStateProcs(n, rounds)
+		cfg := radio.Config{N: n, C: 3, T: 1, Seed: int64(i)}
+		if _, err := radio.Run(cfg, procs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n*rounds), "node-rounds/op")
+}
+
+// RadioSteadyState measures the per-round cost of one long-lived run:
+// a single engine instance whose nodes each take b.N actions, so setup
+// (scheduling state, RNGs, engine scratch) amortizes to zero and
+// allocs/op exposes exactly what the steady-state round loop allocates.
+func RadioSteadyState(b *testing.B) {
+	const n = 32
+	b.ReportAllocs()
+	cfg := radio.Config{N: n, C: 3, T: 1, Seed: 42, MaxRounds: b.N + 1}
+	if _, err := radio.Run(cfg, steadyStateProcs(n, b.N)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(n), "node-rounds/op")
+}
+
+// RadioSteadyStateJam is RadioSteadyState with the adversary clipping
+// path engaged: the jammer reuses a preallocated plan, so every
+// allocation the benchmark observes is the engine's own.
+func RadioSteadyStateJam(b *testing.B) {
+	const n, c, t = 32, 8, 2
+	jam := &reusedPlanJammer{}
+	for ch := 0; ch < t; ch++ {
+		jam.plan = append(jam.plan, radio.Transmission{Channel: ch, Msg: "jam"})
+	}
+	b.ReportAllocs()
+	cfg := radio.Config{N: n, C: c, T: t, Seed: 42, Adversary: jam, MaxRounds: b.N + 1}
+	if _, err := radio.Run(cfg, steadyStateProcs(n, b.N)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(n), "node-rounds/op")
+}
+
+// steadyStateProcs builds the shared workload: n nodes, each taking
+// exactly rounds actions (even IDs transmit, odd IDs listen, channels
+// drawn from the node's private RNG).
+func steadyStateProcs(n, rounds int) []radio.Process {
+	procs := make([]radio.Process, n)
+	for j := 0; j < n; j++ {
+		j := j
+		procs[j] = func(e radio.Env) {
+			for r := 0; r < rounds; r++ {
+				if j%2 == 0 {
+					e.Transmit(e.Rand().Intn(e.C()), j)
+				} else {
+					e.Listen(e.Rand().Intn(e.C()))
+				}
+			}
+		}
+	}
+	return procs
+}
+
+// reusedPlanJammer jams fixed channels every round from a preallocated
+// plan; it never allocates.
+type reusedPlanJammer struct{ plan []radio.Transmission }
+
+func (j *reusedPlanJammer) Plan(int) []radio.Transmission  { return j.plan }
+func (j *reusedPlanJammer) Observe(radio.RoundObservation) {}

@@ -48,8 +48,13 @@ func Run(ctx context.Context, c Campaign) (*Aggregate, error) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// Each worker owns a runState: scenario-level buffers (pair
+			// values, process tables, per-node result slots) are allocated
+			// once per worker and reused by every run it executes, so a
+			// 10k-run campaign stops churning the GC.
+			st := newRunState()
 			for run := range jobs {
-				results <- c.runOne(run)
+				results <- c.runOne(run, st)
 			}
 		}()
 	}
@@ -90,7 +95,7 @@ func Run(ctx context.Context, c Campaign) (*Aggregate, error) {
 }
 
 // runOne executes a single grid run with panic isolation.
-func (c Campaign) runOne(run int) (res RunResult) {
+func (c Campaign) runOne(run int, st *runState) (res RunResult) {
 	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
@@ -101,5 +106,5 @@ func (c Campaign) runOne(run int) (res RunResult) {
 		}
 		res.Elapsed = time.Since(start)
 	}()
-	return c.Scenario.Execute(run, c.SeedFor(run))
+	return c.Scenario.execute(run, c.SeedFor(run), st)
 }

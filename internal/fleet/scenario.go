@@ -159,10 +159,51 @@ func (s Scenario) emRounds() int {
 	return s.EmRounds
 }
 
+// runState holds one worker's reusable execution buffers. The campaign
+// runner gives every worker goroutine its own instance, so the buffers
+// are reused across that worker's runs without synchronization; together
+// with the radio engine's own scratch pooling this keeps a long campaign
+// from churning the GC.
+type runState struct {
+	msgValues map[graph.Edge]radio.Message
+	strValues map[graph.Edge]string
+	procs     []radio.Process
+	gkResults []groupkey.NodeResult
+	received  []int
+}
+
+func newRunState() *runState {
+	return &runState{
+		msgValues: make(map[graph.Edge]radio.Message),
+		strValues: make(map[graph.Edge]string),
+	}
+}
+
+// bufs returns the state's process table and per-node result slots,
+// cleared and sized for n nodes.
+func (st *runState) bufs(n int) ([]radio.Process, []groupkey.NodeResult, []int) {
+	if cap(st.procs) < n {
+		st.procs = make([]radio.Process, n)
+		st.gkResults = make([]groupkey.NodeResult, n)
+		st.received = make([]int, n)
+	}
+	st.procs, st.gkResults, st.received = st.procs[:n], st.gkResults[:n], st.received[:n]
+	clear(st.procs)
+	clear(st.gkResults)
+	clear(st.received)
+	return st.procs, st.gkResults, st.received
+}
+
 // Execute runs the scenario once with the given seed and returns the run's
 // outcome. A protocol-level error is recorded in RunResult.Err rather than
 // returned, so a campaign keeps streaming past individual failures.
 func (s Scenario) Execute(run int, seed int64) RunResult {
+	return s.execute(run, seed, newRunState())
+}
+
+// execute is Execute with caller-owned reusable buffers (the campaign
+// runner's per-worker runState).
+func (s Scenario) execute(run int, seed int64, st *runState) RunResult {
 	res := RunResult{Run: run, Seed: seed}
 	adv, err := NewAdversary(s.Adversary, s.T, s.C, seed+1)
 	if err != nil {
@@ -171,13 +212,13 @@ func (s Scenario) Execute(run int, seed int64) RunResult {
 	}
 	switch s.Proto {
 	case ProtoFame, ProtoFameDirect:
-		s.executeFame(adv, seed, &res)
+		s.executeFame(adv, seed, st, &res)
 	case ProtoFameCompact:
-		s.executeCompact(adv, seed, &res)
+		s.executeCompact(adv, seed, st, &res)
 	case ProtoGroupKey:
 		s.executeGroupKey(adv, seed, &res)
 	case ProtoSecureGroup:
-		s.executeSecureGroup(adv, seed, &res)
+		s.executeSecureGroup(adv, seed, st, &res)
 	default:
 		res.Err = fmt.Sprintf("fleet: unknown protocol %q", s.Proto)
 	}
@@ -200,9 +241,10 @@ func (s Scenario) randomPairs(seed int64) []graph.Edge {
 	return graph.RandomPairs(PairSpan(s.N), s.Pairs, rng.Intn)
 }
 
-func (s Scenario) executeFame(adv radio.Adversary, seed int64, res *RunResult) {
+func (s Scenario) executeFame(adv radio.Adversary, seed int64, st *runState, res *RunResult) {
 	pairs := s.randomPairs(seed)
-	values := make(map[graph.Edge]radio.Message, len(pairs))
+	values := st.msgValues
+	clear(values)
 	for _, e := range pairs {
 		values[e] = fmt.Sprintf("m/%v", e)
 	}
@@ -217,9 +259,10 @@ func (s Scenario) executeFame(adv radio.Adversary, seed int64, res *RunResult) {
 	res.Cover = out.CoverSize
 }
 
-func (s Scenario) executeCompact(adv radio.Adversary, seed int64, res *RunResult) {
+func (s Scenario) executeCompact(adv radio.Adversary, seed int64, st *runState, res *RunResult) {
 	pairs := s.randomPairs(seed)
-	values := make(map[graph.Edge]string, len(pairs))
+	values := st.strValues
+	clear(values)
 	for _, e := range pairs {
 		values[e] = fmt.Sprintf("m/%v", e)
 	}
@@ -252,14 +295,12 @@ func (s Scenario) executeGroupKey(adv radio.Adversary, seed int64, res *RunResul
 // followed by EmRounds emulated rounds of the Section 7 channel, one
 // rotating broadcaster per emulated round — and counts authenticated
 // deliveries at the receivers.
-func (s Scenario) executeSecureGroup(adv radio.Adversary, seed int64, res *RunResult) {
+func (s Scenario) executeSecureGroup(adv radio.Adversary, seed int64, st *runState, res *RunResult) {
 	gk := groupkey.Params{N: s.N, C: s.C, T: s.T, Regime: s.Regime}
 	ch := secure.Params{N: s.N, C: s.C, T: s.T}
 	em := s.emRounds()
 
-	gkResults := make([]groupkey.NodeResult, s.N)
-	received := make([]int, s.N)
-	procs := make([]radio.Process, s.N)
+	procs, gkResults, received := st.bufs(s.N)
 	for i := 0; i < s.N; i++ {
 		i := i
 		procs[i] = func(env radio.Env) {

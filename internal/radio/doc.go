@@ -18,9 +18,41 @@
 // observes everything that happened, including which random choices the
 // honest nodes made.
 //
-// Node programs are ordinary Go functions (Process values) that run in
-// their own goroutines and interact with the network through a blocking Env
-// handle. The engine performs exactly one scheduler rendezvous per node per
-// round, which keeps all processes in lock-step and makes executions fully
-// deterministic for a fixed Config.Seed.
+// Node programs are ordinary Go functions (Process values) that interact
+// with the network through a blocking Env handle.
+//
+// # Scheduler
+//
+// The engine keeps all nodes in lock-step with a generation-counted round
+// barrier rather than per-node channel rendezvous. Its synchronization
+// contract, per round:
+//
+//   - every live node writes its committed NodeAction into its private
+//     slot of a shared actions table and arrives at the barrier with a
+//     single atomic increment;
+//   - the arrival that completes the round resolves it: actions are
+//     collected in node-ID order (which makes every execution a pure
+//     function of Config.Seed), the adversary's clipped transmissions are
+//     merged in, collision semantics produce the per-channel deliveries,
+//     and the adversary and any Trace hook observe the round;
+//   - the resolved generation is then published and all nodes resume,
+//     each reading its own delivery directly from the per-channel slots,
+//     which stay stable until every node has arrived for the next round.
+//
+// The barrier has two drive modes with byte-identical observable behavior
+// (the golden equivalence suite pins both against the seed engine's
+// traces). On a multi-core runtime, node Processes run on goroutines that
+// park on the barrier and the last arrival leads the resolution. On a
+// single-P runtime (GOMAXPROCS=1), where goroutine parking only buys
+// scheduler overhead, Processes run as coroutines resumed in ID order
+// from Run's own goroutine — no parking at all. The steady-state round
+// loop performs zero heap allocations in either mode, and engine scratch
+// (slots, buffers, per-node RNG state) is recycled across runs, so
+// campaign-scale callers do not churn the GC.
+//
+// Teardown is uniform: aborts (round budget, invalid actions, checkpoint
+// violations) unwind every node and Run never leaks goroutines. Panics in
+// adversary or Trace callbacks propagate to Run's caller; panics in node
+// Processes crash the process, exactly as when each node owned a
+// goroutine.
 package radio

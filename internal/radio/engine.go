@@ -4,56 +4,252 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 )
 
 // abortSignal is thrown (via panic) inside node goroutines when the engine
 // tears a run down early; the node runner recovers it.
 type abortSignal struct{}
 
-// nodeState is the engine side of one node's rendezvous channels.
-type nodeState struct {
-	id   int
-	req  chan NodeAction
-	resp chan Message
-	done bool
+// engine is the shared state of one run: a generation-counted round
+// barrier plus the per-node action slots and per-channel delivery slots
+// the barrier orders access to.
+//
+// Synchronization contract (one barrier round-trip per node per round — a
+// fraction of the seed scheduler's four channel operations per node):
+//
+//  1. each live node writes its NodeAction into actions[id] — its private
+//     slot — and arrives at the barrier (one atomic increment);
+//  2. every arrival except the last parks on the barrier's condition
+//     variable; the arrival that makes the counter reach needed (the
+//     live-node count) becomes the round's LEADER and resolves the round
+//     inline: it collects the committed actions in ID order, merges in
+//     the adversary's transmissions, resolves collision semantics into
+//     delivered, lets the adversary and tracer observe, re-arms the
+//     barrier, publishes the new resolved-round generation and wakes the
+//     followers with a single broadcast;
+//  3. each woken node (and the leader itself) checks the generation: if
+//     its round resolved it reads its delivery directly from delivered —
+//     the slots are stable until every live node has arrived again — and
+//     continues; an unchanged generation means teardown, and the node
+//     unwinds via abortSignal, so Run never leaks goroutines.
+//
+// There is no scheduler goroutine: Run's caller simply waits for the node
+// goroutines. Every round is resolved by exactly one leader, and all
+// resolution state (result counters, liveness bookkeeping, scratch
+// buffers) is handed off leader-to-leader through the barrier, so the
+// resolution logic itself is single-threaded and deterministic — ID-order
+// collection makes the execution a pure function of Config.Seed no matter
+// which goroutine happens to lead a round.
+//
+// A panic raised by adversary or trace callbacks during resolution is
+// recovered on the leader, the run is torn down (no goroutine leaks), and
+// the original panic value is re-raised on the Run caller's goroutine,
+// preserving the seed engine's caller-visible panic contract.
+//
+// The atomic arrival counter orders every node's slot write before the
+// leader's reads, and the generation publication orders the leader's
+// writes before the followers' reads, so the slots themselves need no
+// locks and the steady-state round loop performs no allocation at all.
+type engine struct {
+	cfg       Config
+	adv       Adversary
+	omni      OmniscientAdversary
+	isOmni    bool
+	silent    bool // no adversary configured: skip the adversary phases
+	maxRounds int
+
+	// Barrier state. gen is mutated only while holding mu but is atomic
+	// so the leader's post-resolution check can read it without the lock.
+	arrived atomic.Int32 // arrivals this round
+	needed  atomic.Int32 // live-node count; updated only by the leader
+	gen     atomic.Int64 // resolved-round count; gen > r means round r delivered
+	mu      sync.Mutex
+	cond    sync.Cond
+	abort   bool // set during teardown; guarded by mu
+
+	// Resolution state, owned by the current round's leader.
+	round       int
+	live        int
+	res         Result
+	err         error
+	finished    bool
+	leaderPanic any // panic recovered from adversary/trace code, re-raised by Run
+
+	// Per-node and per-channel slots.
+	actions       []NodeAction
+	done          []bool
+	delivered     []Message
+	transmitters  []int
+	fromAdversary []bool
+	advClip       []Transmission
+	usedWide      []bool // C > 64 fallback for clipAdversary
+
+	// Pump-mode state (see pump.go).
+	exited   []bool // coroutine has returned
+	pumpNext []func() (struct{}, bool)
+	pumpStop []func()
+
+	envs []env
+}
+
+// enginePool recycles engine scratch — slots, scratch buffers, node RNGs
+// — across runs. A 10k-run fleet campaign allocates its simulation state
+// once per worker instead of once per run.
+var enginePool = sync.Pool{New: func() any { return new(engine) }}
+
+// sized returns buf resized to n cleared elements, reusing its backing
+// array when the capacity allows.
+func sized[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// newEngine checks an engine out of the pool and readies it for cfg.
+func newEngine(cfg *Config, adv Adversary, maxRounds int) *engine {
+	eng := enginePool.Get().(*engine)
+	eng.cfg = *cfg
+	eng.adv = adv
+	eng.omni, eng.isOmni = adv.(OmniscientAdversary)
+	_, eng.silent = adv.(silentAdversary)
+	eng.maxRounds = maxRounds
+
+	eng.actions = sized(eng.actions, cfg.N)
+	eng.done = sized(eng.done, cfg.N)
+	eng.delivered = sized(eng.delivered, cfg.C)
+	eng.transmitters = sized(eng.transmitters, cfg.C)
+	eng.fromAdversary = sized(eng.fromAdversary, cfg.C)
+	if cap(eng.advClip) < cfg.T {
+		eng.advClip = make([]Transmission, 0, cfg.T)
+	}
+	eng.advClip = eng.advClip[:0]
+	if cap(eng.usedWide) >= cfg.C {
+		eng.usedWide = eng.usedWide[:cfg.C]
+		clear(eng.usedWide)
+	} else {
+		eng.usedWide = nil // re-made on demand by clipAdversary's wide path
+	}
+
+	if eng.cond.L == nil {
+		eng.cond.L = &eng.mu
+	}
+	eng.abort = false
+	eng.round = 0
+	eng.live = cfg.N
+	eng.res = Result{}
+	eng.err = nil
+	eng.finished = false
+	eng.leaderPanic = nil
+	eng.gen.Store(0)
+	eng.arrived.Store(0)
+	eng.needed.Store(int32(cfg.N))
+
+	if cap(eng.envs) < cfg.N {
+		eng.envs = make([]env, cfg.N)
+	}
+	eng.envs = eng.envs[:cfg.N]
+	for i := range eng.envs {
+		e := &eng.envs[i]
+		e.id = i
+		e.eng = eng
+		e.round = 0
+		e.yield = nil
+		if e.rng == nil {
+			e.rng = rand.New(newFastSource(deriveSeed(cfg.Seed, uint64(i))))
+		} else {
+			e.rng.Seed(deriveSeed(cfg.Seed, uint64(i)))
+		}
+	}
+	return eng
+}
+
+// recycle scrubs payload references and returns the engine to the pool.
+// Callers must not touch eng afterwards.
+func (eng *engine) recycle() {
+	eng.cfg = Config{}
+	eng.adv, eng.omni = nil, nil
+	eng.err = nil
+	eng.leaderPanic = nil
+	clear(eng.actions)
+	clear(eng.delivered)
+	clear(eng.pumpNext)
+	clear(eng.pumpStop)
+	for i := range eng.envs {
+		eng.envs[i].yield = nil // drop coroutine/Process references held via pump yields
+	}
+	eng.advClip = eng.advClip[:cap(eng.advClip)]
+	clear(eng.advClip)
+	eng.advClip = eng.advClip[:0]
+	enginePool.Put(eng)
 }
 
 // env implements Env for one node. It is used only by that node's
 // goroutine.
 type env struct {
 	id    int
-	cfg   *Config
-	node  *nodeState
-	quit  <-chan struct{}
+	eng   *engine
 	rng   *rand.Rand
 	round int
+
+	// yield suspends this node's coroutine in pump mode; nil under the
+	// parallel barrier.
+	yield func(struct{}) bool
 }
 
 var _ Env = (*env)(nil)
 
 func (e *env) ID() int          { return e.id }
-func (e *env) N() int           { return e.cfg.N }
-func (e *env) C() int           { return e.cfg.C }
-func (e *env) T() int           { return e.cfg.T }
+func (e *env) N() int           { return e.eng.cfg.N }
+func (e *env) C() int           { return e.eng.cfg.C }
+func (e *env) T() int           { return e.eng.cfg.T }
 func (e *env) Round() int       { return e.round }
 func (e *env) Rand() *rand.Rand { return e.rng }
 
-// step performs one rendezvous with the scheduler: it posts the action and
-// blocks until the round resolves, returning the delivered message (nil for
-// non-listening operations).
+// arrive records one barrier arrival. The arrival that completes the
+// round becomes the leader and resolves it inline; every other arrival
+// parks until the round resolves (or the run aborts).
+func (e *env) arrive(round int) {
+	eng := e.eng
+	if eng.arrived.Add(1) == eng.needed.Load() {
+		eng.resolveRound()
+		return
+	}
+	eng.mu.Lock()
+	for eng.gen.Load() == int64(round) && !eng.abort {
+		eng.cond.Wait()
+	}
+	eng.mu.Unlock()
+}
+
+// step performs one barrier round-trip: it commits the action into this
+// node's slot, arrives, and — once the round has resolved — serves its
+// own delivery from the engine's channel slots. Waking to an unchanged
+// generation means the run is being torn down.
 func (e *env) step(a NodeAction) Message {
-	select {
-	case e.node.req <- a:
-	case <-e.quit:
-		panic(abortSignal{})
+	eng := e.eng
+	eng.actions[e.id] = a
+	if y := e.yield; y != nil {
+		// Pump mode: suspend until the pump resumes this node, which
+		// happens only after the round resolved. A false yield is the
+		// pump cancelling the coroutine during teardown.
+		if !y(struct{}{}) {
+			panic(abortSignal{})
+		}
+	} else {
+		e.arrive(e.round)
+		if eng.gen.Load() <= int64(e.round) {
+			panic(abortSignal{})
+		}
 	}
-	select {
-	case m := <-e.node.resp:
-		e.round++
-		return m
-	case <-e.quit:
-		panic(abortSignal{})
+	e.round++
+	if a.Op == OpListen {
+		return eng.delivered[a.Channel]
 	}
+	return nil
 }
 
 func (e *env) Transmit(channel int, msg Message) {
@@ -104,46 +300,36 @@ func Run(cfg Config, procs []Process) (Result, error) {
 	if adv == nil {
 		adv = silentAdversary{}
 	}
-	omni, isOmni := adv.(OmniscientAdversary)
-
 	maxRounds := cfg.MaxRounds
 	if maxRounds == 0 {
 		maxRounds = DefaultMaxRounds
 	}
 
-	nodes := make([]*nodeState, cfg.N)
-	quit := make(chan struct{})
-	var wg sync.WaitGroup
-
-	for i := 0; i < cfg.N; i++ {
-		nodes[i] = &nodeState{
-			id:   i,
-			req:  make(chan NodeAction),
-			resp: make(chan Message),
-		}
-		e := &env{
-			id:   i,
-			cfg:  &cfg,
-			node: nodes[i],
-			quit: quit,
-			rng:  rand.New(rand.NewSource(deriveSeed(cfg.Seed, uint64(i)))),
-		}
-		wg.Add(1)
-		go runNode(&wg, procs[i], e, quit)
+	eng := newEngine(&cfg, adv, maxRounds)
+	if usePump() {
+		res, err := eng.runPump(procs)
+		eng.recycle()
+		return res, err
 	}
-
-	res, err := schedule(&cfg, adv, omni, isOmni, nodes, maxRounds)
-
-	// Tear down: unblock any node still parked in a rendezvous, then wait
-	// for every goroutine to exit before returning.
-	close(quit)
+	var wg sync.WaitGroup
+	wg.Add(cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		go runNode(&wg, procs[i], &eng.envs[i])
+	}
 	wg.Wait()
+
+	res, err := eng.res, eng.err
+	if p := eng.leaderPanic; p != nil {
+		eng.recycle()
+		panic(p) // re-raise an adversary/trace panic on the caller, like the seed engine
+	}
+	eng.recycle()
 	return res, err
 }
 
 // runNode wraps a node's Process, recovering the engine's abort signal and
-// posting the internal done marker on normal completion.
-func runNode(wg *sync.WaitGroup, proc Process, e *env, quit <-chan struct{}) {
+// committing the internal done marker on normal completion.
+func runNode(wg *sync.WaitGroup, proc Process, e *env) {
 	defer wg.Done()
 	aborted := false
 	func() {
@@ -161,122 +347,178 @@ func runNode(wg *sync.WaitGroup, proc Process, e *env, quit <-chan struct{}) {
 	if aborted {
 		return
 	}
-	select {
-	case e.node.req <- NodeAction{Op: opDone}:
-	case <-quit:
+	// Commit the done marker. If this arrival completes the round, this
+	// exiting goroutine leads its resolution.
+	eng := e.eng
+	eng.actions[e.id] = NodeAction{Op: opDone}
+	if eng.arrived.Add(1) == eng.needed.Load() {
+		eng.resolveRound()
 	}
 }
 
-// schedule is the engine's main loop. It collects one action per live node
-// per round, merges in the adversary's transmissions, resolves collision
-// semantics, and delivers results.
-func schedule(cfg *Config, adv Adversary, omni OmniscientAdversary, isOmni bool, nodes []*nodeState, maxRounds int) (Result, error) {
-	var res Result
-	live := len(nodes)
+// fail aborts the run from inside resolution: it records the error and
+// wakes every parked node without publishing a new generation, which the
+// nodes read as teardown.
+func (eng *engine) fail(err error) {
+	eng.err = err
+	eng.finished = true
+	eng.mu.Lock()
+	eng.abort = true
+	eng.mu.Unlock()
+	eng.cond.Broadcast()
+}
 
-	actions := make([]NodeAction, cfg.N)
-	delivered := make([]Message, cfg.C)
-	transmitters := make([]int, cfg.C)
-	fromAdversary := make([]bool, cfg.C)
-
-	for round := 0; live > 0; round++ {
-		if round >= maxRounds {
-			return res, fmt.Errorf("%w (%d rounds)", ErrMaxRounds, maxRounds)
+// resolveRound runs on the round's leader (parallel barrier mode) once
+// every live node has committed an action. It is effectively
+// single-threaded: the barrier guarantees no other node touches the
+// engine until the leader publishes the resolution.
+func (eng *engine) resolveRound() {
+	defer func() {
+		if p := recover(); p != nil {
+			// An adversary or trace callback panicked. Tear the run down
+			// cleanly and let Run re-raise the value on the caller.
+			eng.leaderPanic = p
+			eng.fail(nil)
 		}
+	}()
 
-		// Phase 1: collect honest actions (ID order; fully deterministic).
-		for i := range actions {
-			actions[i] = NodeAction{}
+	round := eng.round
+	if eng.finished {
+		// A normally-exiting node arrived after the run already aborted;
+		// there is nothing left to resolve.
+		return
+	}
+	if round >= eng.maxRounds {
+		eng.fail(fmt.Errorf("%w (%d rounds)", ErrMaxRounds, eng.maxRounds))
+		return
+	}
+	if !eng.resolveCommitted() {
+		return // failed (fail already broadcast) or finished (no waiters)
+	}
+
+	// Re-arm the barrier, publish the new generation and release the
+	// followers. Publishing under the lock pairs with the followers'
+	// locked generation check; delivered stays untouched until every live
+	// node has arrived again, so followers read their deliveries without
+	// further coordination.
+	eng.needed.Store(int32(eng.live))
+	eng.arrived.Store(0)
+	eng.mu.Lock()
+	eng.gen.Store(int64(round) + 1)
+	eng.mu.Unlock()
+	eng.cond.Broadcast()
+}
+
+// resolveCommitted resolves exactly one round from the committed action
+// slots — the resolution core shared by both schedulers. It returns true
+// when the round resolved and the run continues, false when the run ended
+// (protocol completion sets finished; violations go through fail).
+func (eng *engine) resolveCommitted() bool {
+	cfg := &eng.cfg
+	round := eng.round
+	actions := eng.actions
+	delivered, transmitters, fromAdversary := eng.delivered, eng.transmitters, eng.fromAdversary
+
+	// Phase 1: collect the committed actions (ID order) and tally the
+	// honest transmitters in the same pass. The per-channel scratch may
+	// fill before validation finishes, but the Result counters fold in
+	// only once the whole round has validated, so an aborted round
+	// contributes nothing to the returned statistics.
+	for c := 0; c < cfg.C; c++ {
+		delivered[c] = nil
+		transmitters[c] = 0
+		fromAdversary[c] = false
+	}
+	sawCheckpoint, sawOther := false, false
+	checkpointTag := ""
+	active, honestTx := 0, 0
+	for id := 0; id < cfg.N; id++ {
+		if eng.done[id] {
+			continue
 		}
-		sawCheckpoint, sawOther := false, false
-		checkpointTag := ""
-		active := 0
-		for _, n := range nodes {
-			if n.done {
-				continue
+		a := &actions[id]
+		switch a.Op {
+		case opDone:
+			eng.done[id] = true
+			*a = NodeAction{} // finished nodes observe as zero actions
+			eng.live--
+			continue
+		case OpTransmit, OpListen:
+			if a.Channel < 0 || a.Channel >= cfg.C {
+				eng.fail(fmt.Errorf("%w: node %d round %d: channel %d out of range [0,%d)", ErrBadAction, id, round, a.Channel, cfg.C))
+				return false
 			}
-			a := <-n.req
-			if a.Op == opDone {
-				n.done = true
-				live--
-				continue
-			}
-			if err := validateAction(cfg, a); err != nil {
-				return res, fmt.Errorf("%w: node %d round %d: %v", ErrBadAction, n.id, round, err)
-			}
-			if a.Op == OpCheckpoint {
-				if sawCheckpoint && a.Tag != checkpointTag {
-					return res, fmt.Errorf("%w: round %d: tag %q vs %q", ErrCheckpoint, round, a.Tag, checkpointTag)
-				}
-				sawCheckpoint = true
-				checkpointTag = a.Tag
-			} else {
-				sawOther = true
-			}
-			actions[n.id] = a
-			active++
-		}
-		if active == 0 {
-			break // every node finished without starting this round
-		}
-		if sawCheckpoint && sawOther {
-			return res, fmt.Errorf("%w: round %d: checkpoint mixed with other operations", ErrCheckpoint, round)
-		}
-
-		// Phase 2: the adversary commits its transmissions. A
-		// model-compliant adversary sees only completed rounds; an
-		// omniscient one additionally sees this round's honest actions.
-		var advTx []Transmission
-		if isOmni {
-			advTx = omni.PlanOmniscient(round, actions)
-		} else {
-			advTx = adv.Plan(round)
-		}
-		advTx = clipAdversary(cfg, advTx)
-
-		// Phase 3: resolve collision semantics.
-		for c := 0; c < cfg.C; c++ {
-			delivered[c] = nil
-			transmitters[c] = 0
-			fromAdversary[c] = false
-		}
-		for _, a := range actions {
 			if a.Op == OpTransmit {
 				transmitters[a.Channel]++
 				delivered[a.Channel] = a.Msg
-				res.HonestTransmissions++
+				honestTx++
 			}
+			sawOther = true
+		case OpSleep:
+			sawOther = true
+		case OpCheckpoint:
+			if sawCheckpoint && a.Tag != checkpointTag {
+				eng.fail(fmt.Errorf("%w: round %d: tag %q vs %q", ErrCheckpoint, round, a.Tag, checkpointTag))
+				return false
+			}
+			sawCheckpoint = true
+			checkpointTag = a.Tag
+		default:
+			eng.fail(fmt.Errorf("%w: node %d round %d: unknown op %v", ErrBadAction, id, round, a.Op))
+			return false
 		}
+		active++
+	}
+	if active == 0 {
+		// Every node finished without starting this round: the run is
+		// complete, and no waiter is parked (they all exited).
+		eng.finished = true
+		return false
+	}
+	if sawCheckpoint && sawOther {
+		eng.fail(fmt.Errorf("%w: round %d: checkpoint mixed with other operations", ErrCheckpoint, round))
+		return false
+	}
+	eng.res.HonestTransmissions += honestTx
+
+	// Phase 2 (skipped on silent runs — the no-interference default plans
+	// nothing): the adversary commits its transmissions. A model-compliant
+	// adversary sees only completed rounds; an omniscient one additionally
+	// sees this round's honest actions.
+	var advTx []Transmission
+	if !eng.silent {
+		if eng.isOmni {
+			advTx = eng.omni.PlanOmniscient(round, actions)
+		} else {
+			advTx = eng.adv.Plan(round)
+		}
+		advTx = eng.clipAdversary(advTx)
 		for _, tx := range advTx {
 			transmitters[tx.Channel]++
 			delivered[tx.Channel] = tx.Msg
 			fromAdversary[tx.Channel] = true
-			res.AdversarialTransmissions++
+			eng.res.AdversarialTransmissions++
 		}
-		for c := 0; c < cfg.C; c++ {
-			switch {
-			case transmitters[c] > 1:
-				delivered[c] = nil
-				res.Collisions++
-			case transmitters[c] == 1 && fromAdversary[c]:
-				res.SpoofDeliveries++
-			}
-		}
+	}
 
-		// Phase 4: deliver.
-		for _, n := range nodes {
-			if n.done {
-				continue
-			}
-			a := actions[n.id]
-			if a.Op == OpListen {
-				n.resp <- delivered[a.Channel]
-			} else {
-				n.resp <- nil
-			}
+	// Phase 3: resolve collision semantics. On silent runs fromAdversary
+	// is all-false (cleared in phase 1, never set), so the spoof arm is
+	// naturally dead.
+	for c := 0; c < cfg.C; c++ {
+		switch {
+		case transmitters[c] > 1:
+			delivered[c] = nil
+			eng.res.Collisions++
+		case transmitters[c] == 1 && fromAdversary[c]:
+			eng.res.SpoofDeliveries++
 		}
+	}
 
-		// Phase 5: the adversary (and any tracer) observes everything.
+	// Phase 4: the adversary (and any tracer) observes everything. This
+	// must precede the round's release: as soon as nodes resume they
+	// overwrite their action slots for the next round. Silent untraced
+	// runs build no observation at all.
+	if !eng.silent || cfg.Trace != nil {
 		obs := RoundObservation{
 			Round:        round,
 			Actions:      actions,
@@ -284,47 +526,68 @@ func schedule(cfg *Config, adv Adversary, omni OmniscientAdversary, isOmni bool,
 			Delivered:    delivered,
 			Transmitters: transmitters,
 		}
-		adv.Observe(obs)
+		if !eng.silent {
+			eng.adv.Observe(obs)
+		}
 		if cfg.Trace != nil {
 			cfg.Trace(obs)
 		}
-		res.Rounds++
 	}
-	return res, nil
-}
-
-func validateAction(cfg *Config, a NodeAction) error {
-	switch a.Op {
-	case OpSleep, OpCheckpoint:
-		return nil
-	case OpTransmit, OpListen:
-		if a.Channel < 0 || a.Channel >= cfg.C {
-			return fmt.Errorf("channel %d out of range [0,%d)", a.Channel, cfg.C)
-		}
-		return nil
-	default:
-		return fmt.Errorf("unknown op %v", a.Op)
-	}
+	eng.res.Rounds++
+	eng.round++
+	return true
 }
 
 // clipAdversary enforces the model's budget: at most T transmissions, each
 // on a distinct in-range channel. Excess or invalid entries are dropped
-// (the adversary only harms itself by wasting budget).
-func clipAdversary(cfg *Config, txs []Transmission) []Transmission {
+// (the adversary only harms itself by wasting budget). The result is
+// staged in an engine-owned buffer — never the adversary's slice — that
+// is reused across rounds, so clipping allocates nothing on the steady
+// path: channel de-duplication uses a uint64 bitmask for C <= 64 and a
+// reusable []bool for wider spectra.
+func (eng *engine) clipAdversary(txs []Transmission) []Transmission {
 	if len(txs) == 0 {
 		return nil
 	}
-	used := make(map[int]bool, len(txs))
-	out := txs[:0:0] // fresh backing array; never alias the adversary's slice
-	for _, tx := range txs {
-		if len(out) >= cfg.T {
-			break
+	cfg := &eng.cfg
+	out := eng.advClip[:0]
+	if cfg.C <= 64 {
+		var used uint64
+		for _, tx := range txs {
+			if len(out) >= cfg.T {
+				break
+			}
+			if tx.Channel < 0 || tx.Channel >= cfg.C {
+				continue
+			}
+			if bit := uint64(1) << uint(tx.Channel); used&bit == 0 {
+				used |= bit
+				out = append(out, tx)
+			}
 		}
-		if tx.Channel < 0 || tx.Channel >= cfg.C || used[tx.Channel] {
-			continue
+	} else {
+		used := eng.usedWide
+		if used == nil {
+			used = make([]bool, cfg.C)
+			eng.usedWide = used
 		}
-		used[tx.Channel] = true
-		out = append(out, tx)
+		for _, tx := range txs {
+			if len(out) >= cfg.T {
+				break
+			}
+			if tx.Channel < 0 || tx.Channel >= cfg.C || used[tx.Channel] {
+				continue
+			}
+			used[tx.Channel] = true
+			out = append(out, tx)
+		}
+		for _, tx := range out { // leave the scratch clean for the next round
+			used[tx.Channel] = false
+		}
+	}
+	eng.advClip = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }

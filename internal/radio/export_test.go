@@ -1,0 +1,16 @@
+package radio
+
+// Test-only hooks.
+
+// SchedulerModes names the drive modes external tests exercise.
+var SchedulerModes = map[string]int32{
+	"barrier": modeBarrier,
+	"pump":    modePump,
+}
+
+// ForceSchedulerMode overrides drive-mode selection until the returned
+// restore function runs.
+func ForceSchedulerMode(mode int32) (restore func()) {
+	prev := schedulerMode.Swap(mode)
+	return func() { schedulerMode.Store(prev) }
+}

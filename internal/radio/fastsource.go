@@ -1,0 +1,187 @@
+package radio
+
+// Per-node RNG substrate. Every Env.Rand() stream must stay bit-identical
+// to the seed engine's rand.New(rand.NewSource(seed)) streams — protocol
+// executions are replayed across PRs through the golden equivalence
+// digests — but stdlib seeding is expensive: ~1800 division-based Lehmer
+// steps per source, which dominated short runs (a fleet campaign reseeds
+// N sources per run). fastSource reproduces math/rand's additive lagged
+// Fibonacci generator exactly while seeding with a division-free Lehmer
+// step (Mersenne-prime folding), which is several times faster.
+//
+// The stdlib's 607-entry bootstrap table ("cooked" values) is unexported,
+// so init reconstructs it from a live rand.NewSource: seeding fills
+// vec[i] = u_i(seed) XOR cooked[i] with u_i computable locally, which
+// makes the table recoverable by XOR. The reconstruction is then verified
+// against the stdlib stream for a battery of seeds; on any mismatch —
+// say a future toolchain changes math/rand internals — newFastSource
+// silently falls back to rand.NewSource, trading speed for unchanged
+// correctness.
+
+import (
+	"math/rand"
+	"reflect"
+	"unsafe"
+)
+
+const (
+	rngLen   = 607
+	rngTap   = 273
+	rngMask  = 1<<63 - 1
+	int32max = 1<<31 - 1
+)
+
+// rngMirror matches the memory layout of math/rand's unexported
+// rngSource, letting init read a live source's seeded state.
+type rngMirror struct {
+	tap  int
+	feed int
+	vec  [rngLen]int64
+}
+
+// fastSource implements rand.Source64 with math/rand's exact output
+// stream.
+type fastSource struct {
+	tap  int
+	feed int
+	vec  [rngLen]int64
+}
+
+var (
+	rngCooked    [rngLen]uint64
+	fastSourceOK bool
+)
+
+// fastSeedrand computes 48271*x mod (2^31 - 1) — the stdlib's seeding
+// step — by Mersenne-prime folding instead of Schrage division. Both
+// formulations compute the same modular product, so the result is
+// bit-identical.
+func fastSeedrand(x int32) int32 {
+	v := int64(x) * 48271
+	v = (v & int32max) + (v >> 31) // can exceed int32: reduce before narrowing
+	if v >= int32max {
+		v -= int32max
+	}
+	return int32(v)
+}
+
+// Seed mirrors rngSource.Seed: 20 warm-up steps, then three Lehmer draws
+// per table slot XOR-folded with the cooked bootstrap values.
+func (s *fastSource) Seed(seed int64) {
+	s.tap = 0
+	s.feed = rngLen - rngTap
+	seed %= int32max
+	if seed < 0 {
+		seed += int32max
+	}
+	if seed == 0 {
+		seed = 89482311
+	}
+	x := int32(seed)
+	for i := 0; i < 20; i++ {
+		x = fastSeedrand(x)
+	}
+	for i := 0; i < rngLen; i++ {
+		x = fastSeedrand(x)
+		u := uint64(x) << 40
+		x = fastSeedrand(x)
+		u ^= uint64(x) << 20
+		x = fastSeedrand(x)
+		u ^= uint64(x)
+		s.vec[i] = int64(u ^ rngCooked[i])
+	}
+}
+
+// Uint64 is the additive lagged Fibonacci step, identical to rngSource.
+func (s *fastSource) Uint64() uint64 {
+	s.tap--
+	if s.tap < 0 {
+		s.tap += rngLen
+	}
+	s.feed--
+	if s.feed < 0 {
+		s.feed += rngLen
+	}
+	x := s.vec[s.feed] + s.vec[s.tap]
+	s.vec[s.feed] = x
+	return uint64(x)
+}
+
+func (s *fastSource) Int63() int64 { return int64(s.Uint64() & rngMask) }
+
+// newFastSource returns a seeded source with math/rand's exact stream:
+// the fast reimplementation when init verified it, the stdlib otherwise.
+func newFastSource(seed int64) rand.Source {
+	if !fastSourceOK {
+		return rand.NewSource(seed)
+	}
+	s := new(fastSource)
+	s.Seed(seed)
+	return s
+}
+
+// mirrorsSourceLayout reports whether the dynamic type behind src is a
+// struct with exactly rngMirror's memory layout. The unsafe read below is
+// performed only after this check, so a future toolchain that changes
+// math/rand's concrete source type degrades to the slow fallback instead
+// of reading out of bounds.
+func mirrorsSourceLayout(src rand.Source) bool {
+	t := reflect.TypeOf(src)
+	if t == nil || t.Kind() != reflect.Pointer {
+		return false
+	}
+	e, m := t.Elem(), reflect.TypeOf(rngMirror{})
+	if e.Kind() != reflect.Struct || e.Size() != m.Size() || e.NumField() != m.NumField() {
+		return false
+	}
+	for i := 0; i < m.NumField(); i++ {
+		ef, mf := e.Field(i), m.Field(i)
+		if ef.Offset != mf.Offset || ef.Type.Kind() != mf.Type.Kind() || ef.Type.Size() != mf.Type.Size() {
+			return false
+		}
+	}
+	return true
+}
+
+func init() {
+	// Reconstruct the cooked table from a live stdlib source seeded with
+	// a known value.
+	src := rand.NewSource(1)
+	if !mirrorsSourceLayout(src) {
+		return // fastSourceOK stays false: newFastSource uses the stdlib
+	}
+	type iface struct{ _, data unsafe.Pointer }
+	m := (*rngMirror)((*iface)(unsafe.Pointer(&src)).data)
+	x := int32(1)
+	for i := 0; i < 20; i++ {
+		x = fastSeedrand(x)
+	}
+	for i := 0; i < rngLen; i++ {
+		x = fastSeedrand(x)
+		u := uint64(x) << 40
+		x = fastSeedrand(x)
+		u ^= uint64(x) << 20
+		x = fastSeedrand(x)
+		u ^= uint64(x)
+		rngCooked[i] = u ^ uint64(m.vec[i])
+	}
+
+	// Trust the reconstruction only if the fast source reproduces the
+	// stdlib stream exactly across a battery of seeds.
+	fastSourceOK = true
+	for _, seed := range []int64{0, 1, -1, 42, 89482311, 1 << 40, -987654321, int32max} {
+		ref, ok := rand.NewSource(seed).(rand.Source64)
+		if !ok {
+			fastSourceOK = false
+			return
+		}
+		got := new(fastSource)
+		got.Seed(seed)
+		for k := 0; k < 607*2+5; k++ {
+			if got.Uint64() != ref.Uint64() {
+				fastSourceOK = false
+				return
+			}
+		}
+	}
+}

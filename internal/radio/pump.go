@@ -1,0 +1,145 @@
+package radio
+
+// The pump scheduler: a drive mode for the round barrier that replaces
+// goroutine parking with coroutine switching.
+//
+// On a single-P runtime (GOMAXPROCS=1) the parallel barrier cannot beat
+// the scheduler's park/unpark floor: every node goroutine must be made
+// runnable, scheduled and parked again once per round, and node
+// goroutines never actually run in parallel. The pump instead runs every
+// node Process as an iter.Pull coroutine and resumes them in ID order
+// from the Run caller's goroutine: one coroutine switch in and one out
+// per node per round, with no runtime scheduling, no semaphores and no
+// timer checks — several times cheaper than a park/unpark pair.
+//
+// Both schedulers share the same resolution core (resolveCommitted), so a
+// run's observable output — trace stream, result, errors, per-node RNG
+// streams, determinism per seed — is byte-identical between them; the
+// golden equivalence suite pins both against the seed engine. Mode
+// selection: Run uses the pump when the runtime is single-P (or when
+// forced by the test hook), the parallel barrier otherwise.
+
+import (
+	"fmt"
+	"iter"
+	"runtime"
+	"sync/atomic"
+)
+
+// Drive-mode override: 0 = auto (GOMAXPROCS=1 → pump), 1 = parallel
+// barrier, 2 = pump. Tests force both modes through this.
+var schedulerMode atomic.Int32
+
+const (
+	modeAuto int32 = iota
+	modeBarrier
+	modePump
+)
+
+// usePump reports whether this run should be driven by the pump.
+func usePump() bool {
+	switch schedulerMode.Load() {
+	case modeBarrier:
+		return false
+	case modePump:
+		return true
+	default:
+		return runtime.GOMAXPROCS(0) == 1
+	}
+}
+
+// crashProcess re-raises a node Process panic on a fresh goroutine so it
+// brings the process down, exactly like a panic on a node goroutine under
+// the parallel barrier (and the seed engine before it).
+func crashProcess(v any) {
+	go panic(v)
+	select {} // hold this goroutine while the crash unwinds
+}
+
+// runPump executes the run by resuming each live node's coroutine once
+// per round, in ID order, and resolving the round in between. Adversary
+// and trace panics propagate to Run's caller directly (the pump runs on
+// its goroutine); node Process panics crash the process via crashProcess.
+func (eng *engine) runPump(procs []Process) (Result, error) {
+	n := eng.cfg.N
+	eng.exited = sized(eng.exited, n)
+	if cap(eng.pumpNext) < n {
+		eng.pumpNext = make([]func() (struct{}, bool), n)
+		eng.pumpStop = make([]func(), n)
+	}
+	next, stop := eng.pumpNext[:n], eng.pumpStop[:n]
+	for i := 0; i < n; i++ {
+		e, proc := &eng.envs[i], procs[i]
+		next[i], stop[i] = iter.Pull(func(yield func(struct{}) bool) {
+			e.yield = yield
+			proc(e)
+		})
+	}
+
+	// One recover point serves the whole run: a panic while resuming is a
+	// node Process failing and crashes the process (matching the parallel
+	// barrier's node-goroutine behavior); a panic while resolving is
+	// adversary or trace code failing and unwinds to Run's caller
+	// (matching the seed engine) after the outstanding coroutines are
+	// cancelled so nothing is left suspended.
+	resuming := false
+	defer func() {
+		if r := recover(); r != nil {
+			if resuming {
+				crashProcess(r)
+			}
+			for id := 0; id < n; id++ {
+				if !eng.exited[id] {
+					eng.stopNode(stop[id])
+				}
+			}
+			panic(r)
+		}
+	}()
+
+	for !eng.finished && eng.err == nil {
+		if eng.round >= eng.maxRounds {
+			eng.err = fmt.Errorf("%w (%d rounds)", ErrMaxRounds, eng.maxRounds)
+			break
+		}
+		// Collect: resume every live node until it commits its next
+		// action (or its Process returns, which commits the done marker).
+		for id := 0; id < n; id++ {
+			if eng.done[id] {
+				continue
+			}
+			resuming = true
+			_, ok := next[id]()
+			resuming = false
+			if !ok {
+				eng.exited[id] = true
+				eng.actions[id] = NodeAction{Op: opDone}
+			}
+		}
+		eng.resolveCommitted()
+	}
+
+	// Teardown: unwind every coroutine that has not already returned.
+	for id := 0; id < n; id++ {
+		if !eng.exited[id] {
+			eng.stopNode(stop[id])
+		}
+	}
+	return eng.res, eng.err
+}
+
+// stopNode cancels a node coroutine during teardown. The coroutine's
+// pending yield returns false, env.step raises abortSignal, and iter.Pull
+// re-delivers that panic here, where it is absorbed. Any other panic is a
+// node Process failing during unwind and crashes the process.
+func (eng *engine) stopNode(stop func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isAbort := r.(abortSignal); isAbort {
+				return
+			}
+			crashProcess(r)
+		}
+	}()
+	stop()
+}

@@ -169,8 +169,17 @@ type Env interface {
 	Rand() *rand.Rand
 }
 
-// Process is a node program. The engine runs one Process per node, each in
-// its own goroutine, and waits for all of them to return.
+// Process is a node program. The engine runs one Process per node and
+// waits for all of them to return.
+//
+// A Process must interact with the rest of the network only through its
+// Env: every cross-node information flow in the model is a radio round.
+// Blocking on out-of-band shared state between Env calls (channels,
+// mutexes, condition variables tied to another node's progress) is
+// outside the model's semantics, and the engine is free to schedule node
+// programs in any way that preserves round lock-step — including running
+// them as coroutines resumed sequentially, where such out-of-band
+// blocking deadlocks the run.
 type Process func(Env)
 
 // Config describes a network instance.
@@ -236,7 +245,6 @@ var (
 	ErrCheckpoint   = errors.New("radio: checkpoint barrier mismatch")
 	ErrProcessCount = errors.New("radio: number of processes must equal Config.N")
 	ErrBadAdversary = errors.New("radio: adversary issued an invalid transmission")
-	errRunAborted   = errors.New("radio: run aborted")
 	errNilProcess   = errors.New("radio: nil Process")
 )
 
