@@ -1,14 +1,11 @@
 package securadio
 
 import (
-	"errors"
-	"fmt"
+	"context"
 
 	"securadio/internal/adversary"
 	"securadio/internal/core"
 	"securadio/internal/graph"
-	"securadio/internal/groupkey"
-	"securadio/internal/msgopt"
 	"securadio/internal/radio"
 )
 
@@ -57,11 +54,6 @@ type Network struct {
 	// Adversary is the interferer; nil means no interference.
 	Adversary Interferer
 }
-
-// ErrNoQuorum is returned by EstablishGroupKey when no leader key gathered
-// a reporter quorum (only possible outside the model's parameter bounds or
-// in the negligible-probability failure branch).
-var ErrNoQuorum = errors.New("securadio: group key establishment reached no quorum")
 
 // Options configure the exchange protocols.
 type Options struct {
@@ -122,48 +114,31 @@ type ExchangeReport struct {
 // ExchangeMessages runs the f-AME protocol: each pair (v, w) attempts to
 // deliver payloads[pair] from v to w, with authentication, sender
 // awareness, and t-disruptability, despite the network's adversary.
+//
+// It is a convenience wrapper over Runner.Exchange with an uncancellable
+// context; build a Runner directly for cancellation, streaming observers
+// and shared configuration.
 func ExchangeMessages(net Network, pairs []Pair, payloads map[Pair]Message, opts Options) (*ExchangeReport, error) {
-	out, err := core.Exchange(opts.fameParams(net), pairs, payloads, net.Adversary, net.Seed)
+	r, err := NewRunner(net, withOptions(opts))
 	if err != nil {
 		return nil, err
 	}
-	report := &ExchangeReport{
-		Delivered:       make(map[Pair]Message),
-		Failed:          out.Disruption.Edges(),
-		DisruptionCover: out.CoverSize,
-		Rounds:          out.Rounds,
-		GameRounds:      out.GameRounds,
-	}
-	for _, e := range pairs {
-		if !out.Disruption.Has(e) {
-			report.Delivered[e] = out.PerNode[e.Dst].Delivered[e]
-		}
-	}
-	return report, nil
+	return r.Exchange(context.Background(), pairs, payloads)
 }
 
 // ExchangeMessagesCompact runs f-AME with the Section 5.6 message-size
 // optimization: payloads travel through an epoch-gossip phase and only
 // constant-size vector signatures ride the authenticated exchange.
 // Payloads must be strings (the optimization hashes them).
+//
+// It is a convenience wrapper over Runner.ExchangeCompact with an
+// uncancellable context.
 func ExchangeMessagesCompact(net Network, pairs []Pair, payloads map[Pair]string, opts Options) (*ExchangeReport, error) {
-	p := msgopt.Params{Fame: opts.fameParams(net), EpochKappa: opts.Kappa}
-	out, err := msgopt.Exchange(p, pairs, payloads, net.Adversary, net.Seed)
+	r, err := NewRunner(net, withOptions(opts))
 	if err != nil {
 		return nil, err
 	}
-	report := &ExchangeReport{
-		Delivered:       make(map[Pair]Message),
-		Failed:          out.Disruption.Edges(),
-		DisruptionCover: out.CoverSize,
-		Rounds:          out.Rounds,
-	}
-	for _, e := range pairs {
-		if !out.Disruption.Has(e) {
-			report.Delivered[e] = string(out.PerNode[e.Dst].Delivered[e])
-		}
-	}
-	return report, nil
+	return r.ExchangeCompact(context.Background(), pairs, payloads)
 }
 
 // GroupKeyReport summarizes an EstablishGroupKey run.
@@ -186,28 +161,15 @@ type GroupKeyReport struct {
 // EstablishGroupKey runs the Section 6 protocol end to end and returns the
 // per-node keys. No pre-shared secrets are assumed; secrecy rests on the
 // computational Diffie-Hellman assumption exactly as in the paper.
+//
+// It is a convenience wrapper over Runner.GroupKey with an uncancellable
+// context.
 func EstablishGroupKey(net Network, opts Options) (*GroupKeyReport, error) {
-	p := groupkey.Params{N: net.N, C: net.C, T: net.T, Kappa: opts.Kappa, Regime: opts.Regime}
-	out, err := groupkey.Establish(p, net.Adversary, net.Seed)
+	r, err := NewRunner(net, withOptions(opts))
 	if err != nil {
 		return nil, err
 	}
-	if out.Agreed == 0 {
-		return nil, fmt.Errorf("%w (n=%d t=%d)", ErrNoQuorum, net.N, net.T)
-	}
-	report := &GroupKeyReport{
-		Keys:   make([]*[32]byte, net.N),
-		Leader: out.Leader,
-		Agreed: out.Agreed,
-		Rounds: out.Rounds,
-	}
-	for i := range out.PerNode {
-		if k := out.PerNode[i].GroupKey; k != nil && out.PerNode[i].Leader == out.Leader {
-			kk := [32]byte(*k)
-			report.Keys[i] = &kk
-		}
-	}
-	return report, nil
+	return r.GroupKey(context.Background())
 }
 
 // --- adversary constructors ---

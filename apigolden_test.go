@@ -1,0 +1,190 @@
+package securadio_test
+
+// Public-API compatibility gate. The golden file testdata/api.golden is a
+// canonical rendering of every exported declaration of package securadio
+// (functions, methods on exported types, exported types with their
+// exported fields, consts and vars). Any change to the public surface
+// fails this test until the golden is deliberately regenerated, so a PR
+// cannot silently break the Runner API:
+//
+//	go test . -run TestPublicAPIGolden -update-api
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite testdata/api.golden from the current source")
+
+// renderPublicAPI parses the package directory and renders its exported
+// surface deterministically (sorted, comment-free, bodies elided).
+func renderPublicAPI(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(files)
+
+	var decls []string
+	render := func(node any) string {
+		var sb strings.Builder
+		if err := printer.Fprint(&sb, fset, node); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+
+	for _, path := range files {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !receiverExported(d) {
+					continue
+				}
+				fn := *d
+				fn.Doc, fn.Body = nil, nil
+				decls = append(decls, render(&fn))
+			case *ast.GenDecl:
+				if d.Tok == token.IMPORT {
+					continue
+				}
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						ts := *s
+						ts.Doc, ts.Comment = nil, nil
+						if st, ok := ts.Type.(*ast.StructType); ok {
+							ts.Type = exportedFieldsOnly(st)
+						}
+						decls = append(decls, fmt.Sprintf("type %s", render(&ts)))
+					case *ast.ValueSpec:
+						if !anyExported(s.Names) {
+							continue
+						}
+						vs := *s
+						vs.Doc, vs.Comment = nil, nil
+						decls = append(decls, fmt.Sprintf("%s %s", d.Tok, render(&vs)))
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(decls)
+	return strings.Join(decls, "\n\n") + "\n"
+}
+
+// receiverExported reports whether a method's receiver names an exported
+// type (free functions pass trivially).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch t := typ.(type) {
+		case *ast.StarExpr:
+			typ = t.X
+		case *ast.IndexExpr:
+			typ = t.X
+		case *ast.Ident:
+			return t.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func anyExported(names []*ast.Ident) bool {
+	for _, n := range names {
+		if n.IsExported() {
+			return true
+		}
+	}
+	return false
+}
+
+// exportedFieldsOnly strips a struct type down to its exported fields.
+func exportedFieldsOnly(st *ast.StructType) *ast.StructType {
+	out := &ast.StructType{Fields: &ast.FieldList{}}
+	for _, f := range st.Fields.List {
+		nf := *f
+		nf.Doc, nf.Comment = nil, nil
+		if len(f.Names) == 0 {
+			// Embedded field: keep if the terminal identifier is exported.
+			if id, ok := embeddedIdent(f.Type); ok && id.IsExported() {
+				out.Fields.List = append(out.Fields.List, &nf)
+			}
+			continue
+		}
+		var kept []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				kept = append(kept, n)
+			}
+		}
+		if len(kept) > 0 {
+			nf.Names = kept
+			out.Fields.List = append(out.Fields.List, &nf)
+		}
+	}
+	return out
+}
+
+func embeddedIdent(t ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch e := t.(type) {
+		case *ast.StarExpr:
+			t = e.X
+		case *ast.SelectorExpr:
+			return e.Sel, true
+		case *ast.Ident:
+			return e, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+func TestPublicAPIGolden(t *testing.T) {
+	got := renderPublicAPI(t)
+	goldenPath := filepath.Join("testdata", "api.golden")
+	if *updateAPI {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d bytes of public API surface", len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update-api to capture): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("public API surface changed; diff against testdata/api.golden and "+
+			"regenerate with -update-api if intentional.\n--- got ---\n%s", got)
+	}
+}

@@ -72,6 +72,40 @@ func BenchmarkFAMEBase(b *testing.B) {
 	})
 }
 
+// BenchmarkRunnerExchange is BenchmarkFAMEBase's E=16/t=1 cell driven
+// through the public context-aware Runner with a nil Observer, pinning
+// the wrapper plus nil-observer fast path at approximately zero cost over
+// the internal entrypoint. Mirrored in cmd/benchjson (import cycle keeps
+// it out of internal/benchwork) — when editing, update both copies.
+func BenchmarkRunnerExchange(b *testing.B) {
+	b.Run("E=16/t=1", func(b *testing.B) {
+		pairs, values := benchPairs(12, 16, 7)
+		payloads := make(map[Pair]Message, len(pairs))
+		for e, v := range values {
+			payloads[e] = v
+		}
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net := Network{N: 22, C: 2, T: 1, Seed: int64(i)}
+			r, err := NewRunner(net,
+				WithRegime(RegimeBase),
+				WithAdversary(NewWorstCaseJammer(net)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, rerr := r.Exchange(ctx, pairs, payloads)
+			if rerr != nil {
+				b.Fatal(rerr)
+			}
+			if rep.DisruptionCover > net.T {
+				b.Fatalf("cover %d exceeds t", rep.DisruptionCover)
+			}
+		}
+	})
+}
+
 // BenchmarkFAME2T regenerates Figure 3 row C>=2t (E2): O(|E| log n).
 func BenchmarkFAME2T(b *testing.B) {
 	for _, k := range []int{8, 16, 32} {

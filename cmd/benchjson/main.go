@@ -87,6 +87,39 @@ func benchFAMEBase(b *testing.B) {
 	}
 }
 
+// benchRunnerExchange mirrors BenchmarkRunnerExchange: the benchFAMEBase
+// cell driven through the public context-aware Runner with a nil
+// Observer, pinning the wrapper plus nil-observer fast path at
+// approximately zero cost over the internal entrypoint.
+func benchRunnerExchange(b *testing.B) {
+	const span, pairsN = 12, 16
+	rng := rand.New(rand.NewSource(7))
+	pairs := graph.RandomPairs(span, pairsN, rng.Intn)
+	payloads := make(map[securadio.Pair]securadio.Message, len(pairs))
+	for _, e := range pairs {
+		payloads[e] = fmt.Sprintf("m%v", e)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := securadio.Network{N: 22, C: 2, T: 1, Seed: int64(i)}
+		r, err := securadio.NewRunner(net,
+			securadio.WithRegime(securadio.RegimeBase),
+			securadio.WithAdversary(securadio.NewWorstCaseJammer(net)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, rerr := r.Exchange(ctx, pairs, payloads)
+		if rerr != nil {
+			b.Fatal(rerr)
+		}
+		if rep.DisruptionCover > net.T {
+			b.Fatalf("cover %d exceeds t", rep.DisruptionCover)
+		}
+	}
+}
+
 // benchFleetCampaign mirrors BenchmarkFleetCampaign: a 256-run fame-jam
 // campaign per iteration, reporting runs/sec.
 func benchFleetCampaign(b *testing.B) {
@@ -117,6 +150,7 @@ func registry() []benchmark {
 		{"BenchmarkRadioEngine/steady-state", benchwork.RadioSteadyState},
 		{"BenchmarkRadioEngine/steady-state-jam", benchwork.RadioSteadyStateJam},
 		{"BenchmarkFAMEBase/E=16/t=1", benchFAMEBase},
+		{"BenchmarkRunnerExchange/E=16/t=1", benchRunnerExchange},
 		{"BenchmarkFleetCampaign", benchFleetCampaign},
 	}
 }

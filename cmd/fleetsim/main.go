@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"securadio"
 	"securadio/internal/metrics"
@@ -32,7 +33,10 @@ import (
 var errReported = errors.New("error already reported")
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT/SIGTERM cancel the campaign: dispatch stops, in-flight
+	// simulations abort at their next round boundary, the aggregate of the
+	// completed runs is still reported, and the process exits non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		if !errors.Is(err, errReported) {

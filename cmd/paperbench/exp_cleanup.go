@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -16,7 +17,7 @@ import (
 // greedy termination the extension recovers, per adversary, and at what
 // round cost. The t-disruptability guarantee is already in hand when
 // cleanup starts, so the extension can only improve delivery.
-func expCleanup(w io.Writer, cfg config) ([]*metrics.Table, error) {
+func expCleanup(ctx context.Context, w io.Writer, cfg config) ([]*metrics.Table, error) {
 	trials := 10
 	if cfg.Quick {
 		trials = 3
@@ -59,13 +60,13 @@ func expCleanup(w io.Writer, cfg config) ([]*metrics.Table, error) {
 		coverOK := true
 		for trial := 0; trial < trials; trial++ {
 			seed := cfg.Seed + int64(trial)
-			plain, err := core.Exchange(p, pairs, values, a.mk(seed), seed)
+			plain, err := core.ExchangeContext(ctx, p, pairs, values, a.mk(seed), seed)
 			if err != nil {
 				return nil, err
 			}
 			pc := p
 			pc.Cleanup = 12
-			cleaned, err := core.Exchange(pc, pairs, values, a.mk(seed), seed)
+			cleaned, err := core.ExchangeContext(ctx, pc, pairs, values, a.mk(seed), seed)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -32,7 +33,7 @@ func trianglePairs(t int, crossPairs int) []graph.Edge {
 // expDirect2T regenerates the Section 5 separation: under the
 // triangle-isolation attack, direct (surrogate-free) exchange ends with a
 // disruption cover of exactly 2t, while the full f-AME stays within t.
-func expDirect2T(w io.Writer, cfg config) ([]*metrics.Table, error) {
+func expDirect2T(ctx context.Context, w io.Writer, cfg config) ([]*metrics.Table, error) {
 	ts := []int{1, 2, 3}
 	if cfg.Quick {
 		ts = []int{1, 2}
@@ -53,7 +54,7 @@ func expDirect2T(w io.Writer, cfg config) ([]*metrics.Table, error) {
 			pm := p
 			pm.Mode = mode
 			adv := adversary.NewTriangle(t, t+1, adversary.Triples(t))
-			out, err := core.Exchange(pm, pairs, values, adv, cfg.Seed+int64(t))
+			out, err := core.ExchangeContext(ctx, pm, pairs, values, adv, cfg.Seed+int64(t))
 			if err != nil {
 				return nil, err
 			}
@@ -77,7 +78,7 @@ func expDirect2T(w io.Writer, cfg config) ([]*metrics.Table, error) {
 // ("surrogates eliminated, every rumor received directly from its
 // source") stays within 2t-disruptability against the worst-case jammer
 // on dense workloads.
-func expByzantine(w io.Writer, cfg config) ([]*metrics.Table, error) {
+func expByzantine(ctx context.Context, w io.Writer, cfg config) ([]*metrics.Table, error) {
 	ts := []int{1, 2}
 	sizes := []int{6, 8}
 	if cfg.Quick {
@@ -96,7 +97,7 @@ func expByzantine(w io.Writer, cfg config) ([]*metrics.Table, error) {
 				values[e] = fmt.Sprintf("m%v", e)
 			}
 			adv := &adversary.GreedyJammer{T: t, C: t + 1}
-			out, err := core.Exchange(p, pairs, values, adv, cfg.Seed+int64(10*t+m))
+			out, err := core.ExchangeContext(ctx, p, pairs, values, adv, cfg.Seed+int64(10*t+m))
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -35,7 +37,7 @@ func (f *fixedJammer) Observe(radio.RoundObservation) {}
 // choices — strictly beyond the model — and therefore needs a larger
 // kappa before the failure rate collapses; the contrast quantifies how
 // much Lemma 5 leans on the model's information hiding.
-func expFeedback(w io.Writer, cfg config) ([]*metrics.Table, error) {
+func expFeedback(ctx context.Context, w io.Writer, cfg config) ([]*metrics.Table, error) {
 	kappas := []float64{0.25, 0.5, 1, 2, 3}
 	trials := 60
 	if cfg.Quick {
@@ -56,7 +58,7 @@ func expFeedback(w io.Writer, cfg config) ([]*metrics.Table, error) {
 	}
 	wantFlags := []bool{true, false, true, true}
 
-	runTrials := func(kappa float64, mk func() radio.Adversary) (int, int) {
+	runTrials := func(kappa float64, mk func() radio.Adversary) (int, int, error) {
 		reps := feedback.Reps(n, c, t, kappa)
 		failures := 0
 		for trial := 0; trial < trials; trial++ {
@@ -80,7 +82,12 @@ func expFeedback(w io.Writer, cfg config) ([]*metrics.Table, error) {
 				Seed:      cfg.Seed + int64(trial) + int64(kappa*1000),
 				Adversary: mk(),
 			}
-			if _, err := radio.Run(rcfg, procs); err != nil {
+			if _, err := radio.RunContext(ctx, rcfg, procs); err != nil {
+				// Cancellation must abort the experiment, not masquerade
+				// as whp protocol failures in the reported rates.
+				if errors.Is(err, radio.ErrCanceled) {
+					return 0, 0, err
+				}
 				failures++
 				continue
 			}
@@ -101,15 +108,21 @@ func expFeedback(w io.Writer, cfg config) ([]*metrics.Table, error) {
 				failures++
 			}
 		}
-		return failures, reps
+		return failures, reps, nil
 	}
 
 	tb := metrics.NewTable(
 		fmt.Sprintf("feedback failure rate vs kappa (C=%d, t=%d, n=%d, %d trials each)", c, t, n, trials),
 		"kappa", "reps/channel", "rounds", "model jammer failures", "rate", "omniscient failures", "rate ")
 	for _, kappa := range kappas {
-		modelFail, reps := runTrials(kappa, func() radio.Adversary { return &fixedJammer{t: t} })
-		omniFail, _ := runTrials(kappa, func() radio.Adversary { return &adversary.GreedyJammer{T: t, C: c} })
+		modelFail, reps, err := runTrials(kappa, func() radio.Adversary { return &fixedJammer{t: t} })
+		if err != nil {
+			return nil, err
+		}
+		omniFail, _, err := runTrials(kappa, func() radio.Adversary { return &adversary.GreedyJammer{T: t, C: c} })
+		if err != nil {
+			return nil, err
+		}
 		tb.AddRow(kappa, reps, feedback.Rounds(c, reps),
 			modelFail, float64(modelFail)/float64(trials),
 			omniFail, float64(omniFail)/float64(trials))

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -25,7 +26,7 @@ func log2(n int) float64 {
 
 // famePoint runs one f-AME execution against the worst-case jammer and
 // returns (rounds, gameMoves).
-func famePoint(p core.Params, numPairs int, seed int64) (int, int, error) {
+func famePoint(ctx context.Context, p core.Params, numPairs int, seed int64) (int, int, error) {
 	rng := rand.New(rand.NewSource(seed))
 	span := 12
 	if span > p.N {
@@ -37,7 +38,7 @@ func famePoint(p core.Params, numPairs int, seed int64) (int, int, error) {
 		values[e] = fmt.Sprintf("m%v", e)
 	}
 	adv := &adversary.GreedyJammer{T: p.T, C: p.C}
-	out, err := core.Exchange(p, pairs, values, adv, seed)
+	out, err := core.ExchangeContext(ctx, p, pairs, values, adv, seed)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -66,7 +67,7 @@ func fig3Params(regime core.Regime, t int) core.Params {
 // expFig3Row is shared by E1-E3: sweep |E| at fixed t, sweep t at fixed
 // |E|, and report the per-invocation feedback cost. model(t, n) is the
 // regime's predicted rounds per unit |E|.
-func expFig3Row(w io.Writer, cfg config, regime core.Regime, ts []int, model func(t, n int) float64, modelName string) ([]*metrics.Table, error) {
+func expFig3Row(ctx context.Context, w io.Writer, cfg config, regime core.Regime, ts []int, model func(t, n int) float64, modelName string) ([]*metrics.Table, error) {
 	sweepE := []int{8, 16, 32, 64}
 	if cfg.Quick {
 		sweepE = []int{8, 16}
@@ -83,7 +84,7 @@ func expFig3Row(w io.Writer, cfg config, regime core.Regime, ts []int, model fun
 		"|E|", "rounds", "game moves", "model "+modelName, "rounds/model")
 	var samples []metrics.Sample
 	for _, k := range sweepE {
-		rounds, moves, err := famePoint(p0, k, cfg.Seed+int64(k))
+		rounds, moves, err := famePoint(ctx, p0, k, cfg.Seed+int64(k))
 		if err != nil {
 			return nil, err
 		}
@@ -97,7 +98,7 @@ func expFig3Row(w io.Writer, cfg config, regime core.Regime, ts []int, model fun
 	// Round-breakdown ablation: feedback dominates each move (the paper's
 	// complexity is #moves x feedback cost; the transmission phase is a
 	// single round per move).
-	breakRounds, breakMoves, err := famePoint(p0, sweepE[len(sweepE)-1], cfg.Seed)
+	breakRounds, breakMoves, err := famePoint(ctx, p0, sweepE[len(sweepE)-1], cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +115,7 @@ func expFig3Row(w io.Writer, cfg config, regime core.Regime, ts []int, model fun
 		"t", "n", "C", "rounds", "model "+modelName, "rounds/model")
 	for _, t := range ts {
 		p := fig3Params(regime, t)
-		rounds, _, err := famePoint(p, fixedE, cfg.Seed+int64(100*t))
+		rounds, _, err := famePoint(ctx, p, fixedE, cfg.Seed+int64(100*t))
 		if err != nil {
 			return nil, err
 		}
@@ -140,11 +141,11 @@ func expFig3Row(w io.Writer, cfg config, regime core.Regime, ts []int, model fun
 	return []*metrics.Table{tb1, tbB, tb2, tb3}, nil
 }
 
-func expFig3Base(w io.Writer, cfg config) ([]*metrics.Table, error) {
+func expFig3Base(ctx context.Context, w io.Writer, cfg config) ([]*metrics.Table, error) {
 	model := func(t, n int) float64 {
 		return float64((t+1)*(t+1)) * log2(n) // t^2 log n per edge
 	}
-	tables, err := expFig3Row(w, cfg, core.RegimeBase, []int{1, 2, 3}, model, "|E|*t^2*log n")
+	tables, err := expFig3Row(ctx, w, cfg, core.RegimeBase, []int{1, 2, 3}, model, "|E|*t^2*log n")
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +169,7 @@ func expFig3Base(w io.Writer, cfg config) ([]*metrics.Table, error) {
 		for _, e := range pairs {
 			values[e] = "m"
 		}
-		omni, err := core.Exchange(p, pairs, values, &adversary.GreedyJammer{T: p.T, C: p.C}, cfg.Seed)
+		omni, err := core.ExchangeContext(ctx, p, pairs, values, &adversary.GreedyJammer{T: p.T, C: p.C}, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -176,7 +177,7 @@ func expFig3Base(w io.Writer, cfg config) ([]*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		repl, err := core.Exchange(p, pairs, values, rj, cfg.Seed)
+		repl, err := core.ExchangeContext(ctx, p, pairs, values, rj, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -188,16 +189,16 @@ func expFig3Base(w io.Writer, cfg config) ([]*metrics.Table, error) {
 	return append(tables, tb), nil
 }
 
-func expFig32T(w io.Writer, cfg config) ([]*metrics.Table, error) {
+func expFig32T(ctx context.Context, w io.Writer, cfg config) ([]*metrics.Table, error) {
 	model := func(t, n int) float64 {
 		return log2(n) // log n per edge
 	}
-	return expFig3Row(w, cfg, core.Regime2T, []int{1, 2, 3}, model, "|E|*log n")
+	return expFig3Row(ctx, w, cfg, core.Regime2T, []int{1, 2, 3}, model, "|E|*log n")
 }
 
-func expFig32T2(w io.Writer, cfg config) ([]*metrics.Table, error) {
+func expFig32T2(ctx context.Context, w io.Writer, cfg config) ([]*metrics.Table, error) {
 	model := func(t, n int) float64 {
 		return log2(n) * log2(n) / float64(t) // log^2 n / t per edge
 	}
-	return expFig3Row(w, cfg, core.Regime2T2, []int{2, 3}, model, "|E|*log^2 n/t")
+	return expFig3Row(ctx, w, cfg, core.Regime2T2, []int{2, 3}, model, "|E|*log^2 n/t")
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -13,7 +14,7 @@ import (
 // expGreedy regenerates Theorem 4: the greedy-removal strategy finishes
 // the starred-edge removal game in O(|E|) moves — concretely within
 // |E| + #sources — for every referee, ending with vertex cover <= t.
-func expGreedy(w io.Writer, cfg config) ([]*metrics.Table, error) {
+func expGreedy(ctx context.Context, w io.Writer, cfg config) ([]*metrics.Table, error) {
 	sweepE := []int{16, 32, 64, 128}
 	if cfg.Quick {
 		sweepE = []int{16, 32}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -23,7 +24,7 @@ import (
 //     "deterministic solutions are exponential" conjecture);
 //   - f-AME solves the matching AME workload with authentication and
 //     bounded disruption.
-func expGossip(w io.Writer, cfg config) ([]*metrics.Table, error) {
+func expGossip(ctx context.Context, w io.Writer, cfg config) ([]*metrics.Table, error) {
 	sizes := []int{8, 12, 16, 24}
 	if cfg.Quick {
 		sizes = []int{8, 12}
@@ -43,7 +44,7 @@ func expGossip(w io.Writer, cfg config) ([]*metrics.Table, error) {
 		// per channel near one — the throughput-optimal oblivious tuning.
 		p := gossip.Params{N: n, C: c, T: t, Rounds: 1200 * n, TxProb: float64(c) / float64(n)}
 		adv := adversary.NewRandomJammer(t, c, cfg.Seed+int64(n))
-		res, err := gossip.Run(p, adv, cfg.Seed+int64(n), bodies)
+		res, err := gossip.RunContext(ctx, p, adv, cfg.Seed+int64(n), bodies)
 		if err != nil {
 			return nil, err
 		}
@@ -65,7 +66,7 @@ func expGossip(w io.Writer, cfg config) ([]*metrics.Table, error) {
 		return gossip.Rumor{Origin: round % n, Body: "POISON"}
 	}
 	gp := gossip.Params{N: n, C: c, T: t, Rounds: 800 * n, TxProb: float64(c) / float64(n)}
-	gres, err := gossip.Run(gp, adversary.NewRandomSpoofer(t, c, cfg.Seed+3, forge), cfg.Seed+3, bodies)
+	gres, err := gossip.RunContext(ctx, gp, adversary.NewRandomSpoofer(t, c, cfg.Seed+3, forge), cfg.Seed+3, bodies)
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +81,7 @@ func expGossip(w io.Writer, cfg config) ([]*metrics.Table, error) {
 	fameForge := func(round int) radio.Message {
 		return &core.VectorMsg{Owner: round % 12, Values: map[int]radio.Message{round % 12: "POISON"}}
 	}
-	fout, err := core.Exchange(fp, pairs, values, adversary.NewRandomSpoofer(t, c, cfg.Seed+5, fameForge), cfg.Seed+5)
+	fout, err := core.ExchangeContext(ctx, fp, pairs, values, adversary.NewRandomSpoofer(t, c, cfg.Seed+5, fameForge), cfg.Seed+5)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +105,7 @@ func expGossip(w io.Writer, cfg config) ([]*metrics.Table, error) {
 
 	// Determinism: the schedule-aware jammer silences round-robin gossip.
 	dp := gossip.Params{N: 8, C: c, T: t, Rounds: 4000}
-	dres, err := gossip.RunDeterministic(dp, &roundRobinJammer{n: 8, c: c}, cfg.Seed+6, bodies[:8])
+	dres, err := gossip.RunDeterministicContext(ctx, dp, &roundRobinJammer{n: 8, c: c}, cfg.Seed+6, bodies[:8])
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -12,7 +13,7 @@ import (
 // expGroupKey regenerates the Section 6 cost and guarantee: the group key
 // is established in Theta(n t^3 log n) rounds, with at least n-t nodes
 // adopting the smallest complete leader's key.
-func expGroupKey(w io.Writer, cfg config) ([]*metrics.Table, error) {
+func expGroupKey(ctx context.Context, w io.Writer, cfg config) ([]*metrics.Table, error) {
 	type point struct{ n, t int }
 	points := []point{{20, 1}, {40, 1}, {80, 1}, {40, 2}}
 	if cfg.Quick {
@@ -25,7 +26,7 @@ func expGroupKey(w io.Writer, cfg config) ([]*metrics.Table, error) {
 	for _, pt := range points {
 		p := groupkey.Params{N: pt.n, C: pt.t + 1, T: pt.t}
 		adv := adversary.NewRandomJammer(pt.t, pt.t+1, cfg.Seed+int64(pt.n))
-		out, err := groupkey.Establish(p, adv, cfg.Seed+int64(pt.n*10+pt.t))
+		out, err := groupkey.EstablishContext(ctx, p, adv, cfg.Seed+int64(pt.n*10+pt.t))
 		if err != nil {
 			return nil, err
 		}

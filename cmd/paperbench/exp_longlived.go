@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -15,7 +16,7 @@ import (
 // emulated round of the long-lived secure channel costs Theta(t log n)
 // real rounds; deliveries survive model-compliant jamming; injections and
 // replays are rejected.
-func expLongLived(w io.Writer, cfg config) ([]*metrics.Table, error) {
+func expLongLived(ctx context.Context, w io.Writer, cfg config) ([]*metrics.Table, error) {
 	// Table 1: the slot cost Theta(t log n).
 	tb1 := metrics.NewTable(
 		"emulated-round cost (real rounds per emulated round)",
@@ -66,7 +67,7 @@ func expLongLived(w io.Writer, cfg config) ([]*metrics.Table, error) {
 			}
 		}
 		rcfg := radio.Config{N: n, C: c, T: t, Seed: cfg.Seed + 5, Adversary: adv}
-		res, rerr := radio.Run(rcfg, procs)
+		res, rerr := radio.RunContext(ctx, rcfg, procs)
 		if rerr != nil {
 			return 0, 0, 0, rerr
 		}

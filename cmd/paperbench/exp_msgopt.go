@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -28,7 +29,7 @@ func starWorkload(degree int) []graph.Edge {
 // (exchange phase) per message, at the same asymptotic round cost, and
 // the reconstruction-phase chain count stays polynomial even under
 // candidate-flooding spoofers.
-func expMsgOpt(w io.Writer, cfg config) ([]*metrics.Table, error) {
+func expMsgOpt(ctx context.Context, w io.Writer, cfg config) ([]*metrics.Table, error) {
 	degrees := []int{4, 8, 12}
 	if cfg.Quick {
 		degrees = []int{4, 8}
@@ -71,14 +72,14 @@ func expMsgOpt(w io.Writer, cfg config) ([]*metrics.Table, error) {
 				}
 			}
 		}}
-		plainRes, err := radio.Run(rcfg, procs)
+		plainRes, err := radio.RunContext(ctx, rcfg, procs)
 		if err != nil {
 			return nil, err
 		}
 
 		// Optimized run.
 		mp := msgopt.Params{Fame: p}
-		mout, err := msgopt.Exchange(mp, pairs, strValues, nil, cfg.Seed+int64(d))
+		mout, err := msgopt.ExchangeContext(ctx, mp, pairs, strValues, nil, cfg.Seed+int64(d))
 		if err != nil {
 			return nil, err
 		}
@@ -102,7 +103,7 @@ func expMsgOpt(w io.Writer, cfg config) ([]*metrics.Table, error) {
 	forge := func(round int) radio.Message {
 		return forgedEpochCandidate(round)
 	}
-	out, err := msgopt.Exchange(mp, pairs, strValues, adversary.NewRandomSpoofer(p.T, p.C, cfg.Seed+99, forge), cfg.Seed+99)
+	out, err := msgopt.ExchangeContext(ctx, mp, pairs, strValues, adversary.NewRandomSpoofer(p.T, p.C, cfg.Seed+99, forge), cfg.Seed+99)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -20,7 +21,7 @@ import (
 // the time. f-AME under the same adversary never accepts a fake: its
 // deterministic schedule turns every adversarial broadcast into a
 // collision.
-func expThm2(w io.Writer, cfg config) ([]*metrics.Table, error) {
+func expThm2(ctx context.Context, w io.Writer, cfg config) ([]*metrics.Table, error) {
 	trials := 400
 	if cfg.Quick {
 		trials = 100
@@ -59,7 +60,7 @@ func expThm2(w io.Writer, cfg config) ([]*metrics.Table, error) {
 		}
 		adv := adversary.NewMirror(c, seed+7777, []radio.Message{"fake"})
 		rcfg := radio.Config{N: 2, C: c, T: t, Seed: seed, Adversary: adv}
-		if _, err := radio.Run(rcfg, procs); err != nil {
+		if _, err := radio.RunContext(ctx, rcfg, procs); err != nil {
 			return nil, err
 		}
 		switch accepted {
@@ -96,7 +97,7 @@ func expThm2(w io.Writer, cfg config) ([]*metrics.Table, error) {
 		adv := adversary.NewMirror(2, cfg.Seed+int64(trial), []radio.Message{
 			&core.VectorMsg{Owner: 0, Values: map[int]radio.Message{1: "fake", 3: "fake", 5: "fake"}},
 		})
-		out, err := core.Exchange(p, pairs, values, adv, cfg.Seed+int64(trial))
+		out, err := core.ExchangeContext(ctx, p, pairs, values, adv, cfg.Seed+int64(trial))
 		if err != nil {
 			return nil, err
 		}

@@ -19,13 +19,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"securadio/internal/metrics"
+	"securadio/internal/radio"
 )
 
 // config carries the harness-wide knobs into each experiment.
@@ -39,7 +44,7 @@ type config struct {
 type experiment struct {
 	id    string
 	title string
-	run   func(w io.Writer, cfg config) ([]*metrics.Table, error)
+	run   func(ctx context.Context, w io.Writer, cfg config) ([]*metrics.Table, error)
 }
 
 func registry() []experiment {
@@ -61,13 +66,18 @@ func registry() []experiment {
 }
 
 func main() {
-	if err := run(); err != nil {
+	// SIGINT/SIGTERM cancel the context: the running experiment aborts at
+	// its next radio round boundary, everything already printed stands as
+	// partial results, and the process exits non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		exps  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 		quick = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
@@ -99,7 +109,10 @@ func run() error {
 		}
 		ran++
 		fmt.Printf("=== %s ===\n", e.title)
-		tables, err := e.run(os.Stdout, cfg)
+		tables, err := e.run(ctx, os.Stdout, cfg)
+		if errors.Is(err, radio.ErrCanceled) {
+			return fmt.Errorf("interrupted during %s after %d completed experiment(s); partial results above", e.id, ran-1)
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.id, err)
 		}

@@ -6,6 +6,7 @@ package main
 // them IS the test).
 
 import (
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -36,7 +37,7 @@ func TestAllExperimentsQuickMode(t *testing.T) {
 		e := e
 		t.Run(e.id, func(t *testing.T) {
 			t.Parallel()
-			tables, err := e.run(io.Discard, cfg)
+			tables, err := e.run(context.Background(), io.Discard, cfg)
 			if err != nil {
 				t.Fatalf("experiment %s: %v", e.id, err)
 			}
@@ -59,7 +60,7 @@ func TestAllExperimentsQuickMode(t *testing.T) {
 
 func TestTablesRenderAsCSV(t *testing.T) {
 	cfg := config{Quick: true, Seed: 1}
-	tables, err := expGreedy(io.Discard, cfg)
+	tables, err := expGreedy(context.Background(), io.Discard, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,13 +11,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"securadio"
 	"securadio/internal/fleet"
@@ -30,7 +33,11 @@ import (
 var errParsed = errors.New("invalid arguments")
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the context; the simulation aborts at the
+	// next radio round boundary and the process exits non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		if !errors.Is(err, errParsed) {
 			fmt.Fprintln(os.Stderr, "radiosim:", err)
 		}
@@ -38,7 +45,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("radiosim", flag.ContinueOnError)
 	var (
 		proto   = fs.String("proto", "fame", "protocol: fame | fame-compact | fame-direct | groupkey | gossip | gossip-det")
@@ -60,43 +67,54 @@ func run(args []string, out io.Writer) error {
 		return errParsed
 	}
 
-	net := securadio.Network{N: *n, C: *c, T: *t, Seed: *seed}
-	adv, err := securadio.NewAdversary(*advName, net, *seed+1)
-	if err != nil {
-		return err
-	}
-	net.Adversary = adv
-
-	opts := securadio.Options{Kappa: *kappa, Cleanup: *cleanup}
+	var rgm securadio.Regime
 	switch *regime {
 	case "auto":
-		opts.Regime = securadio.RegimeAuto
+		rgm = securadio.RegimeAuto
 	case "base":
-		opts.Regime = securadio.RegimeBase
+		rgm = securadio.RegimeBase
 	case "2t":
-		opts.Regime = securadio.Regime2T
+		rgm = securadio.Regime2T
 	case "2t2":
-		opts.Regime = securadio.Regime2T2
+		rgm = securadio.Regime2T2
 	default:
 		return fmt.Errorf("unknown regime %q", *regime)
 	}
 
+	net := securadio.Network{N: *n, C: *c, T: *t, Seed: *seed}
+	runner, err := securadio.NewRunner(net,
+		securadio.WithAdversary(*advName),
+		securadio.WithRegime(rgm),
+		securadio.WithKappa(*kappa),
+		securadio.WithCleanup(*cleanup),
+		securadio.WithDirect(*proto == "fame-direct"),
+	)
+	if err != nil {
+		return err
+	}
+
 	switch *proto {
 	case "fame", "fame-direct":
-		opts.Direct = *proto == "fame-direct"
-		return runFame(out, net, opts, *pairs, false)
+		return runFame(ctx, out, runner, net, *pairs, false)
 	case "fame-compact":
-		return runFame(out, net, opts, *pairs, true)
+		return runFame(ctx, out, runner, net, *pairs, true)
 	case "groupkey":
-		return runGroupKey(out, net, opts)
+		return runGroupKey(ctx, out, runner, net)
 	case "gossip", "gossip-det":
-		return runGossip(out, net, *rounds, *proto == "gossip-det")
+		// The gossip baselines predate the paper's protocols and live
+		// outside the Runner's layer set; they still honor ctx.
+		adv, aerr := securadio.NewAdversary(*advName, net, *seed+1)
+		if aerr != nil {
+			return aerr
+		}
+		net.Adversary = adv
+		return runGossip(ctx, out, net, *rounds, *proto == "gossip-det")
 	default:
 		return fmt.Errorf("unknown protocol %q", *proto)
 	}
 }
 
-func runFame(out io.Writer, net securadio.Network, opts securadio.Options, k int, compact bool) error {
+func runFame(ctx context.Context, out io.Writer, runner *securadio.Runner, net securadio.Network, k int, compact bool) error {
 	rng := rand.New(rand.NewSource(net.Seed))
 	pairs := graph.RandomPairs(fleet.PairSpan(net.N), k, rng.Intn)
 
@@ -107,13 +125,13 @@ func runFame(out io.Writer, net securadio.Network, opts securadio.Options, k int
 		for _, p := range pairs {
 			payloads[p] = fmt.Sprintf("m/%v", p)
 		}
-		rep, err = securadio.ExchangeMessagesCompact(net, pairs, payloads, opts)
+		rep, err = runner.ExchangeCompact(ctx, pairs, payloads)
 	} else {
 		payloads := make(map[securadio.Pair]securadio.Message, len(pairs))
 		for _, p := range pairs {
 			payloads[p] = fmt.Sprintf("m/%v", p)
 		}
-		rep, err = securadio.ExchangeMessages(net, pairs, payloads, opts)
+		rep, err = runner.Exchange(ctx, pairs, payloads)
 	}
 	if err != nil {
 		return err
@@ -127,8 +145,8 @@ func runFame(out io.Writer, net securadio.Network, opts securadio.Options, k int
 	return nil
 }
 
-func runGroupKey(out io.Writer, net securadio.Network, opts securadio.Options) error {
-	rep, err := securadio.EstablishGroupKey(net, opts)
+func runGroupKey(ctx context.Context, out io.Writer, runner *securadio.Runner, net securadio.Network) error {
+	rep, err := runner.GroupKey(ctx)
 	if err != nil {
 		return err
 	}
@@ -136,7 +154,7 @@ func runGroupKey(out io.Writer, net securadio.Network, opts securadio.Options) e
 	return nil
 }
 
-func runGossip(out io.Writer, net securadio.Network, rounds int, deterministic bool) error {
+func runGossip(ctx context.Context, out io.Writer, net securadio.Network, rounds int, deterministic bool) error {
 	bodies := make([]securadio.Message, net.N)
 	for i := range bodies {
 		bodies[i] = fmt.Sprintf("rumor-%d", i)
@@ -147,9 +165,9 @@ func runGossip(out io.Writer, net securadio.Network, rounds int, deterministic b
 		err error
 	)
 	if deterministic {
-		res, err = gossip.RunDeterministic(p, net.Adversary, net.Seed, bodies)
+		res, err = gossip.RunDeterministicContext(ctx, p, net.Adversary, net.Seed, bodies)
 	} else {
-		res, err = gossip.Run(p, net.Adversary, net.Seed, bodies)
+		res, err = gossip.RunContext(ctx, p, net.Adversary, net.Seed, bodies)
 	}
 	if err != nil {
 		return err

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -27,7 +28,7 @@ func TestRunProtocols(t *testing.T) {
 			t.Parallel()
 			args := append([]string{"-proto", tc.proto, "-seed", "1"}, tc.extra...)
 			var out bytes.Buffer
-			if err := run(args, &out); err != nil {
+			if err := run(context.Background(), args, &out); err != nil {
 				t.Fatalf("run(%v): %v", args, err)
 			}
 			if !strings.Contains(out.String(), tc.want) {
@@ -45,7 +46,7 @@ func TestRunAdversaries(t *testing.T) {
 			t.Parallel()
 			var out bytes.Buffer
 			args := []string{"-proto", "fame", "-adv", adv, "-pairs", "4", "-seed", "2"}
-			if err := run(args, &out); err != nil {
+			if err := run(context.Background(), args, &out); err != nil {
 				t.Fatalf("run(%v): %v", args, err)
 			}
 			if !strings.Contains(out.String(), "cover=") {
@@ -77,7 +78,7 @@ func TestRunRegimes(t *testing.T) {
 				"-proto", "fame", "-regime", tc.regime, "-pairs", "4",
 				"-n", fmt.Sprint(tc.n), "-c", fmt.Sprint(tc.c), "-t", fmt.Sprint(tc.tt),
 			}
-			err := run(args, &out)
+			err := run(context.Background(), args, &out)
 			if tc.ok && err != nil {
 				t.Fatalf("run(%v): %v", args, err)
 			}
@@ -90,20 +91,20 @@ func TestRunRegimes(t *testing.T) {
 
 func TestHelpExitsClean(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-h"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-h"}, &out); err != nil {
 		t.Fatalf("-h returned %v, want nil", err)
 	}
 }
 
 func TestRunRejectsUnknownFlags(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-proto", "bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-proto", "bogus"}, &out); err == nil {
 		t.Fatal("unknown protocol accepted")
 	}
-	if err := run([]string{"-adv", "bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-adv", "bogus"}, &out); err == nil {
 		t.Fatal("unknown adversary accepted")
 	}
-	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-no-such-flag"}, &out); err == nil {
 		t.Fatal("unknown flag accepted")
 	}
 }

@@ -9,25 +9,43 @@
 // the C channels per round — with no pre-shared secrets and no trusted
 // infrastructure.
 //
-// The package exposes four layers, mirroring the paper:
+// The single composable entrypoint is the Runner: built once from a
+// Network plus functional options (WithRegime, WithDirect, WithKappa,
+// WithCleanup, WithAdversary, WithObserver), it exposes every protocol
+// layer of the paper as a context-aware method:
 //
-//   - ExchangeMessages: the f-AME protocol (the paper's core
+//   - Runner.Exchange: the f-AME protocol (the paper's core
 //     contribution) — a single-shot authenticated message exchange for an
 //     arbitrary pair set, optimally t-disruptable.
-//   - ExchangeMessagesCompact: f-AME with the Section 5.6 message-size
+//   - Runner.ExchangeCompact: f-AME with the Section 5.6 message-size
 //     optimization (constant AME values per protocol message).
-//   - EstablishGroupKey: the Section 6 protocol — Diffie-Hellman over a
+//   - Runner.GroupKey: the Section 6 protocol — Diffie-Hellman over a
 //     (t+1)-leader spanner via f-AME, leader-key dissemination on secret
 //     hopping sequences, and reporter-quorum agreement.
-//   - RunSecureGroup: the Section 7 long-lived service — an emulated
+//   - Runner.SecureGroup: the Section 7 long-lived service — an emulated
 //     reliable, secret, authenticated broadcast channel that applications
 //     drive one emulated round at a time.
+//
+// All methods honor context cancellation at radio-round granularity, and
+// all errors fold into a typed hierarchy: ErrBadParams, ErrCanceled,
+// ErrNoQuorum and ErrSetupFailed are errors.Is-matchable sentinels whose
+// concrete values (*ParamError, *CanceledError, *QuorumError,
+// *SetupError) carry structured fields. A Runner built WithObserver
+// streams every radio round as a RoundEvent — per-channel transmit, jam,
+// collision, delivery and spoof activity plus checkpoint-derived protocol
+// phase transitions — with a zero-cost nil fast path.
+//
+// The legacy one-shot functions (ExchangeMessages,
+// ExchangeMessagesCompact, EstablishGroupKey, RunSecureGroup) remain as
+// thin wrappers delegating to a Runner with an uncancellable context.
 //
 // Beyond the paper's four layers, RunCampaign fans scenario campaigns —
 // hundreds to thousands of independent simulations drawn from the named
 // scenario registry (see Scenarios) — across all cores and aggregates
 // delivery rates, round-count percentiles and disruption-cover
-// distributions into deterministic JSON.
+// distributions into deterministic JSON; campaigns run the exact same
+// internal protocol entrypoints as the Runner, and cancelling a
+// campaign's context aborts even the in-flight simulations.
 //
 // Everything runs on a deterministic discrete-event simulation of the
 // paper's synchronous radio model (internal/radio); the adversary zoo in

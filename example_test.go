@@ -1,11 +1,60 @@
 package securadio_test
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
 	"securadio"
 )
+
+// ExampleNewRunner builds the context-aware Runner once and drives two
+// protocol layers through the same configuration, watching the spectrum
+// with a streaming observer.
+func ExampleNewRunner() {
+	net := securadio.Network{N: 20, C: 2, T: 1, Seed: 7}
+	var jammedRounds atomic.Int64
+	r, err := securadio.NewRunner(net,
+		securadio.WithAdversary("jam"), // registry strategy; an Interferer works too
+		securadio.WithObserver(securadio.ObserverFunc(func(ev *securadio.RoundEvent) {
+			for _, ch := range ev.Channels {
+				if ch.Jammed {
+					jammedRounds.Add(1)
+					break
+				}
+			}
+		})))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	ctx := context.Background() // cancelable in production
+	pairs := []securadio.Pair{{Src: 2, Dst: 5}, {Src: 3, Dst: 6}}
+	payloads := map[securadio.Pair]securadio.Message{pairs[0]: "alpha", pairs[1]: "bravo"}
+	rep, err := r.Exchange(ctx, pairs, payloads)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// The jammer blocks what its budget covers (here one of the two
+	// pairs); the sender is aware of every failure.
+	fmt.Println("delivered:", len(rep.Delivered), "of", len(pairs))
+	fmt.Println("cover within t:", rep.DisruptionCover <= net.T)
+
+	keys, err := r.GroupKey(ctx)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("keyed quorum:", keys.Agreed >= net.N-net.T)
+	fmt.Println("observed jamming:", jammedRounds.Load() > 0)
+	// Output:
+	// delivered: 1 of 2
+	// cover within t: true
+	// keyed quorum: true
+	// observed jamming: true
+}
 
 // ExampleExchangeMessages runs f-AME on a small jammed network. The run is
 // fully deterministic for a fixed seed.

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -28,12 +29,16 @@ func run() error {
 	net := securadio.Network{N: 40, C: 3, T: 2, Seed: 11}
 	// A model-compliant jammer: it cannot predict current-round choices,
 	// which is exactly the property the keyed channel hopping exploits.
-	net.Adversary = securadio.NewJammer(net, 99)
+	runner, err := securadio.NewRunner(net,
+		securadio.WithAdversary(securadio.NewJammer(net, 99)))
+	if err != nil {
+		return err
+	}
 
 	fmt.Printf("establishing a group key: n=%d nodes, C=%d channels, t=%d jammed per round\n",
 		net.N, net.C, net.T)
 
-	report, err := securadio.EstablishGroupKey(net, securadio.Options{})
+	report, err := runner.GroupKey(context.Background())
 	if err != nil {
 		return err
 	}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -53,9 +54,12 @@ func run() error {
 
 func pairAndReport(net securadio.Network, seed int64) (*[32]byte, error) {
 	net.Seed = seed
-	net.Adversary = securadio.NewJammer(net, seed*31)
-
-	report, err := securadio.EstablishGroupKey(net, securadio.Options{})
+	runner, err := securadio.NewRunner(net,
+		securadio.WithAdversary(securadio.NewJammer(net, seed*31)))
+	if err != nil {
+		return nil, err
+	}
+	report, err := runner.GroupKey(context.Background())
 	if err != nil {
 		return nil, err
 	}

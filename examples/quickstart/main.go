@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -32,7 +33,11 @@ func run() error {
 	}
 	// The strongest jammer in the library: it watches the schedule and
 	// always disrupts the most damaging channel.
-	net.Adversary = securadio.NewWorstCaseJammer(net)
+	runner, err := securadio.NewRunner(net,
+		securadio.WithAdversary(securadio.NewWorstCaseJammer(net)))
+	if err != nil {
+		return err
+	}
 
 	pairs := []securadio.Pair{
 		{Src: 0, Dst: 1}, {Src: 1, Dst: 0},
@@ -44,7 +49,7 @@ func run() error {
 		payloads[p] = fmt.Sprintf("hello %d, from %d", p.Dst, p.Src)
 	}
 
-	report, err := securadio.ExchangeMessages(net, pairs, payloads, securadio.Options{})
+	report, err := runner.Exchange(context.Background(), pairs, payloads)
 	if err != nil {
 		return err
 	}

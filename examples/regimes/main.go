@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -44,8 +45,13 @@ func run() error {
 		{securadio.Regime2T2, 2 * t * t, "2t^2"},
 	} {
 		net := securadio.Network{N: 130, C: row.c, T: t, Seed: 7}
-		net.Adversary = securadio.NewWorstCaseJammer(net)
-		rep, err := securadio.ExchangeMessages(net, pairs, payloads, securadio.Options{Regime: row.regime})
+		runner, err := securadio.NewRunner(net,
+			securadio.WithRegime(row.regime),
+			securadio.WithAdversary(securadio.NewWorstCaseJammer(net)))
+		if err != nil {
+			return fmt.Errorf("regime %s: %w", row.label, err)
+		}
+		rep, err := runner.Exchange(context.Background(), pairs, payloads)
 		if err != nil {
 			return fmt.Errorf("regime %s: %w", row.label, err)
 		}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -31,7 +32,11 @@ func run() error {
 	net := securadio.Network{N: 20, C: 2, T: 1, Seed: 3}
 	// The replayer records every frame it hears and re-broadcasts it —
 	// the round-bound nonces make all of it bounce off.
-	net.Adversary = securadio.NewReplayer(net, 123)
+	runner, err := securadio.NewRunner(net,
+		securadio.WithAdversary(securadio.NewReplayer(net, 123)))
+	if err != nil {
+		return err
+	}
 
 	script := []struct {
 		speaker int
@@ -61,7 +66,7 @@ func run() error {
 		}
 	}
 
-	report, err := securadio.RunSecureGroup(net, securadio.Options{}, app)
+	report, err := runner.SecureGroup(context.Background(), app)
 	if err != nil {
 		return err
 	}

@@ -41,8 +41,13 @@ func NewAdversary(name string, net Network, seed int64) (Interferer, error) {
 // RunCampaign executes a campaign across all cores: Runs independent
 // simulations of the scenario with deterministic per-run seeds, panic
 // isolation, and streaming aggregation. Cancelling ctx stops dispatching
-// new runs; the aggregate of the completed runs is returned along with the
-// context's error.
+// new runs and aborts the in-flight simulations at their next radio round
+// boundary (aborted partials stay out of the aggregate); the aggregate of
+// the completed runs is returned along with the context's error.
+//
+// Campaigns execute the same internal protocol entrypoints as the Runner
+// methods, so a scenario run and a single Runner call with the same
+// parameters are the same code path.
 func RunCampaign(ctx context.Context, c Campaign) (*CampaignResult, error) {
 	return fleet.Run(ctx, c)
 }

@@ -103,6 +103,12 @@ type Params struct {
 	// in hand at that point; cleanup only ever improves delivery. Zero
 	// disables the extension (paper-faithful behaviour).
 	Cleanup int
+
+	// Trace, when non-nil, streams every round's observation out of the
+	// underlying radio run (see radio.Config.Trace). Purely observational:
+	// it cannot influence the execution, so a traced run is byte-identical
+	// to an untraced one.
+	Trace func(radio.RoundObservation)
 }
 
 // Errors reported by the protocol.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -41,8 +42,16 @@ var ErrInconsistent = errors.New("core: nodes disagree on the exchange outcome")
 // Exchange runs a complete f-AME execution on a fresh simulated network:
 // pairs is the AME set E, values assigns each pair its message, adv is the
 // interferer (nil for none), and seed drives all randomness. It validates
-// cross-node consistency before returning.
+// cross-node consistency before returning. Exchange is ExchangeContext
+// with an uncancellable context.
 func Exchange(p Params, pairs []graph.Edge, values map[graph.Edge]radio.Message, adv radio.Adversary, seed int64) (*Outcome, error) {
+	return ExchangeContext(context.Background(), p, pairs, values, adv, seed)
+}
+
+// ExchangeContext is Exchange with cancellation: when ctx is done the
+// underlying radio run aborts at the next round boundary and the returned
+// error wraps radio.ErrCanceled (and, transitively, the context's error).
+func ExchangeContext(ctx context.Context, p Params, pairs []graph.Edge, values map[graph.Edge]radio.Message, adv radio.Adversary, seed int64) (*Outcome, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -64,8 +73,8 @@ func Exchange(p Params, pairs []graph.Edge, values map[graph.Edge]radio.Message,
 		procs[i] = Proc(p, pairs, myValues, &results[i])
 	}
 
-	cfg := radio.Config{N: p.N, C: p.C, T: p.T, Seed: seed, Adversary: adv}
-	radioRes, err := radio.Run(cfg, procs)
+	cfg := radio.Config{N: p.N, C: p.C, T: p.T, Seed: seed, Adversary: adv, Trace: p.Trace}
+	radioRes, err := radio.RunContext(ctx, cfg, procs)
 	if err != nil {
 		return nil, fmt.Errorf("core: radio run: %w", err)
 	}

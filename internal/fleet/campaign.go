@@ -74,6 +74,11 @@ type RunResult struct {
 	// Err is the protocol-level failure, if any ("" on success).
 	Err string
 
+	// Canceled reports that the run was aborted mid-flight by campaign
+	// cancellation rather than failing on its own; the campaign runner
+	// keeps such partial runs out of the aggregate.
+	Canceled bool
+
 	// Panicked reports that the run died in a panic (Err carries the
 	// recovered value).
 	Panicked bool

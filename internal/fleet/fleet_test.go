@@ -81,7 +81,7 @@ func TestScenarioValidateRejections(t *testing.T) {
 func TestExecuteUnknownAdversaryIsAnError(t *testing.T) {
 	s := fastScenario()
 	s.Adversary = "no-such-strategy"
-	res := s.Execute(0, 1) // bypasses Validate on purpose
+	res := s.Execute(context.Background(), 0, 1) // bypasses Validate on purpose
 	if res.OK() || !strings.Contains(res.Err, "no-such-strategy") {
 		t.Fatalf("result = %+v, want recorded unknown-adversary error", res)
 	}
@@ -198,6 +198,13 @@ func TestCampaignCancellation(t *testing.T) {
 	if agg.Runs >= 10_000 {
 		t.Fatalf("campaign ran to completion (%d runs) despite cancellation", agg.Runs)
 	}
+	// Cancellation now reaches the radio engine: the in-flight runs abort
+	// mid-simulation, and those aborted partials must be dropped, not
+	// recorded as protocol failures.
+	if agg.Failures != 0 || len(agg.Errors) != 0 {
+		t.Fatalf("aborted in-flight runs leaked into the aggregate: failures=%d errors=%v",
+			agg.Failures, agg.Errors)
+	}
 }
 
 func TestCampaignAlreadyCancelled(t *testing.T) {
@@ -258,7 +265,7 @@ func TestEveryScenarioExecutes(t *testing.T) {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
 			t.Parallel()
-			res := s.Execute(0, 5)
+			res := s.Execute(context.Background(), 0, 5)
 			if !res.OK() {
 				t.Fatalf("run failed: %s", res.Err)
 			}

@@ -24,9 +24,11 @@ import (
 //     node goroutines are outside this boundary — the radio engine
 //     re-raises them and they crash the process, exactly as they would in
 //     a single-run invocation;
-//   - cancelling ctx stops dispatching new runs; Run drains the in-flight
-//     ones, returns the aggregate of everything that completed, and reports
-//     ctx's error.
+//   - cancelling ctx stops dispatching new runs AND aborts the in-flight
+//     simulations at their next round boundary (the context reaches the
+//     radio engine itself). Aborted partial runs never enter the
+//     aggregate; Run returns the aggregate of everything that completed
+//     and reports ctx's error.
 func Run(ctx context.Context, c Campaign) (*Aggregate, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -54,7 +56,14 @@ func Run(ctx context.Context, c Campaign) (*Aggregate, error) {
 			// 10k-run campaign stops churning the GC.
 			st := newRunState()
 			for run := range jobs {
-				results <- c.runOne(run, st)
+				res := c.runOne(ctx, run, st)
+				if res.Canceled {
+					// The run was cut short by cancellation, not by its
+					// own failure: it represents no completed simulation,
+					// so it must not skew the aggregate's failure counts.
+					continue
+				}
+				results <- res
 			}
 		}()
 	}
@@ -95,7 +104,7 @@ func Run(ctx context.Context, c Campaign) (*Aggregate, error) {
 }
 
 // runOne executes a single grid run with panic isolation.
-func (c Campaign) runOne(run int, st *runState) (res RunResult) {
+func (c Campaign) runOne(ctx context.Context, run int, st *runState) (res RunResult) {
 	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
@@ -106,5 +115,5 @@ func (c Campaign) runOne(run int, st *runState) (res RunResult) {
 		}
 		res.Elapsed = time.Since(start)
 	}()
-	return c.Scenario.execute(run, c.SeedFor(run), st)
+	return c.Scenario.execute(ctx, run, c.SeedFor(run), st)
 }

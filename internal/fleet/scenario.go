@@ -19,6 +19,8 @@
 package fleet
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -196,31 +198,35 @@ func (st *runState) bufs(n int) ([]radio.Process, []groupkey.NodeResult, []int) 
 
 // Execute runs the scenario once with the given seed and returns the run's
 // outcome. A protocol-level error is recorded in RunResult.Err rather than
-// returned, so a campaign keeps streaming past individual failures.
-func (s Scenario) Execute(run int, seed int64) RunResult {
-	return s.execute(run, seed, newRunState())
+// returned, so a campaign keeps streaming past individual failures; a run
+// aborted by ctx is additionally marked Canceled, which the campaign
+// runner uses to keep interrupted partial runs out of the aggregate.
+func (s Scenario) Execute(ctx context.Context, run int, seed int64) RunResult {
+	return s.execute(ctx, run, seed, newRunState())
 }
 
 // execute is Execute with caller-owned reusable buffers (the campaign
 // runner's per-worker runState).
-func (s Scenario) execute(run int, seed int64, st *runState) RunResult {
+func (s Scenario) execute(ctx context.Context, run int, seed int64, st *runState) RunResult {
 	res := RunResult{Run: run, Seed: seed}
 	adv, err := NewAdversary(s.Adversary, s.T, s.C, seed+1)
+	if err == nil {
+		switch s.Proto {
+		case ProtoFame, ProtoFameDirect:
+			err = s.executeFame(ctx, adv, seed, st, &res)
+		case ProtoFameCompact:
+			err = s.executeCompact(ctx, adv, seed, st, &res)
+		case ProtoGroupKey:
+			err = s.executeGroupKey(ctx, adv, seed, &res)
+		case ProtoSecureGroup:
+			err = s.executeSecureGroup(ctx, adv, seed, st, &res)
+		default:
+			err = fmt.Errorf("fleet: unknown protocol %q", s.Proto)
+		}
+	}
 	if err != nil {
 		res.Err = err.Error()
-		return res
-	}
-	switch s.Proto {
-	case ProtoFame, ProtoFameDirect:
-		s.executeFame(adv, seed, st, &res)
-	case ProtoFameCompact:
-		s.executeCompact(adv, seed, st, &res)
-	case ProtoGroupKey:
-		s.executeGroupKey(adv, seed, &res)
-	case ProtoSecureGroup:
-		s.executeSecureGroup(adv, seed, st, &res)
-	default:
-		res.Err = fmt.Sprintf("fleet: unknown protocol %q", s.Proto)
+		res.Canceled = errors.Is(err, radio.ErrCanceled)
 	}
 	return res
 }
@@ -241,25 +247,25 @@ func (s Scenario) randomPairs(seed int64) []graph.Edge {
 	return graph.RandomPairs(PairSpan(s.N), s.Pairs, rng.Intn)
 }
 
-func (s Scenario) executeFame(adv radio.Adversary, seed int64, st *runState, res *RunResult) {
+func (s Scenario) executeFame(ctx context.Context, adv radio.Adversary, seed int64, st *runState, res *RunResult) error {
 	pairs := s.randomPairs(seed)
 	values := st.msgValues
 	clear(values)
 	for _, e := range pairs {
 		values[e] = fmt.Sprintf("m/%v", e)
 	}
-	out, err := core.Exchange(s.fameParams(), pairs, values, adv, seed)
+	out, err := core.ExchangeContext(ctx, s.fameParams(), pairs, values, adv, seed)
 	if err != nil {
-		res.Err = err.Error()
-		return
+		return err
 	}
 	res.Rounds = out.Rounds
 	res.Attempted = len(pairs)
 	res.Delivered = len(pairs) - len(out.Disruption.Edges())
 	res.Cover = out.CoverSize
+	return nil
 }
 
-func (s Scenario) executeCompact(adv radio.Adversary, seed int64, st *runState, res *RunResult) {
+func (s Scenario) executeCompact(ctx context.Context, adv radio.Adversary, seed int64, st *runState, res *RunResult) error {
 	pairs := s.randomPairs(seed)
 	values := st.strValues
 	clear(values)
@@ -267,35 +273,35 @@ func (s Scenario) executeCompact(adv radio.Adversary, seed int64, st *runState, 
 		values[e] = fmt.Sprintf("m/%v", e)
 	}
 	p := msgopt.Params{Fame: s.fameParams()}
-	out, err := msgopt.Exchange(p, pairs, values, adv, seed)
+	out, err := msgopt.ExchangeContext(ctx, p, pairs, values, adv, seed)
 	if err != nil {
-		res.Err = err.Error()
-		return
+		return err
 	}
 	res.Rounds = out.Rounds
 	res.Attempted = len(pairs)
 	res.Delivered = len(pairs) - len(out.Disruption.Edges())
 	res.Cover = out.CoverSize
+	return nil
 }
 
-func (s Scenario) executeGroupKey(adv radio.Adversary, seed int64, res *RunResult) {
+func (s Scenario) executeGroupKey(ctx context.Context, adv radio.Adversary, seed int64, res *RunResult) error {
 	p := groupkey.Params{N: s.N, C: s.C, T: s.T, Regime: s.Regime}
-	out, err := groupkey.Establish(p, adv, seed)
+	out, err := groupkey.EstablishContext(ctx, p, adv, seed)
 	if err != nil {
-		res.Err = err.Error()
-		return
+		return err
 	}
 	res.Rounds = out.Rounds
 	res.Attempted = s.N
 	res.Delivered = out.Agreed
 	res.Cover = s.N - out.Agreed
+	return nil
 }
 
 // executeSecureGroup composes the full stack inline — Section 6 setup
 // followed by EmRounds emulated rounds of the Section 7 channel, one
 // rotating broadcaster per emulated round — and counts authenticated
 // deliveries at the receivers.
-func (s Scenario) executeSecureGroup(adv radio.Adversary, seed int64, st *runState, res *RunResult) {
+func (s Scenario) executeSecureGroup(ctx context.Context, adv radio.Adversary, seed int64, st *runState, res *RunResult) error {
 	gk := groupkey.Params{N: s.N, C: s.C, T: s.T, Regime: s.Regime}
 	ch := secure.Params{N: s.N, C: s.C, T: s.T}
 	em := s.emRounds()
@@ -328,16 +334,14 @@ func (s Scenario) executeSecureGroup(adv radio.Adversary, seed int64, st *runSta
 		}
 	}
 	cfg := radio.Config{N: s.N, C: s.C, T: s.T, Seed: seed, Adversary: adv}
-	radioRes, err := radio.Run(cfg, procs)
+	radioRes, err := radio.RunContext(ctx, cfg, procs)
 	if err != nil {
-		res.Err = err.Error()
-		return
+		return err
 	}
 	holders := 0
 	for i := range gkResults {
 		if gkResults[i].Err != nil {
-			res.Err = fmt.Sprintf("node %d setup: %v", i, gkResults[i].Err)
-			return
+			return fmt.Errorf("node %d setup: %w", i, gkResults[i].Err)
 		}
 		if gkResults[i].GroupKey != nil {
 			holders++
@@ -349,6 +353,7 @@ func (s Scenario) executeSecureGroup(adv radio.Adversary, seed int64, st *runSta
 		res.Delivered += n
 	}
 	res.Cover = s.N - holders
+	return nil
 }
 
 // registry holds the built-in scenarios in definition order.

@@ -15,6 +15,7 @@
 package gossip
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -65,8 +66,16 @@ type Result struct {
 }
 
 // Run executes the randomized oblivious gossip protocol. bodies[v] is node
-// v's authentic rumor body.
+// v's authentic rumor body. Run is RunContext with an uncancellable
+// context.
 func Run(p Params, adv radio.Adversary, seed int64, bodies []radio.Message) (*Result, error) {
+	return RunContext(context.Background(), p, adv, seed, bodies)
+}
+
+// RunContext is Run with cancellation: when ctx is done the underlying
+// radio run aborts at the next round boundary and the returned error
+// wraps radio.ErrCanceled.
+func RunContext(ctx context.Context, p Params, adv radio.Adversary, seed int64, bodies []radio.Message) (*Result, error) {
 	if p.N <= 0 || p.C < 2 || p.T < 0 || p.T >= p.C || p.Rounds <= 0 {
 		return nil, fmt.Errorf("%w: %+v", ErrBadParams, p)
 	}
@@ -115,7 +124,7 @@ func Run(p Params, adv radio.Adversary, seed int64, bodies []radio.Message) (*Re
 	}
 
 	cfg := radio.Config{N: p.N, C: p.C, T: p.T, Seed: seed, Adversary: adv}
-	res, err := radio.Run(cfg, procs)
+	res, err := radio.RunContext(ctx, cfg, procs)
 	if err != nil {
 		return nil, fmt.Errorf("gossip: radio run: %w", err)
 	}
@@ -168,6 +177,11 @@ func completedAt(learnAt [][]int, n, t int) int {
 // conjecture anticipates. Returns the number of (node, origin) deliveries
 // that still succeeded.
 func RunDeterministic(p Params, adv radio.Adversary, seed int64, bodies []radio.Message) (*Result, error) {
+	return RunDeterministicContext(context.Background(), p, adv, seed, bodies)
+}
+
+// RunDeterministicContext is RunDeterministic with cancellation.
+func RunDeterministicContext(ctx context.Context, p Params, adv radio.Adversary, seed int64, bodies []radio.Message) (*Result, error) {
 	if p.N <= 0 || p.C < 2 || p.T < 0 || p.T >= p.C || p.Rounds <= 0 {
 		return nil, fmt.Errorf("%w: %+v", ErrBadParams, p)
 	}
@@ -203,7 +217,7 @@ func RunDeterministic(p Params, adv radio.Adversary, seed int64, bodies []radio.
 		}
 	}
 	cfg := radio.Config{N: p.N, C: p.C, T: p.T, Seed: seed, Adversary: adv}
-	res, err := radio.Run(cfg, procs)
+	res, err := radio.RunContext(ctx, cfg, procs)
 	if err != nil {
 		return nil, fmt.Errorf("gossip: radio run: %w", err)
 	}

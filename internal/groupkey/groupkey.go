@@ -53,6 +53,10 @@ type Params struct {
 
 	// Regime forwards to the underlying f-AME execution.
 	Regime core.Regime
+
+	// Trace, when non-nil, streams every round's observation out of the
+	// underlying radio run (see radio.Config.Trace). Purely observational.
+	Trace func(radio.RoundObservation)
 }
 
 // ErrBadParams reports an invalid configuration.

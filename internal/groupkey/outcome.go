@@ -1,6 +1,7 @@
 package groupkey
 
 import (
+	"context"
 	"fmt"
 
 	"securadio/internal/radio"
@@ -35,6 +36,13 @@ type Outcome struct {
 // adversaries violate exactly that assumption and defeat Part 2 by
 // construction — see the package tests, which demonstrate both sides.
 func Establish(p Params, adv radio.Adversary, seed int64) (*Outcome, error) {
+	return EstablishContext(context.Background(), p, adv, seed)
+}
+
+// EstablishContext is Establish with cancellation: when ctx is done the
+// underlying radio run aborts at the next round boundary and the returned
+// error wraps radio.ErrCanceled.
+func EstablishContext(ctx context.Context, p Params, adv radio.Adversary, seed int64) (*Outcome, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -43,8 +51,8 @@ func Establish(p Params, adv radio.Adversary, seed int64) (*Outcome, error) {
 	for i := 0; i < p.N; i++ {
 		procs[i] = Proc(p, &results[i])
 	}
-	cfg := radio.Config{N: p.N, C: p.C, T: p.T, Seed: seed, Adversary: adv}
-	radioRes, err := radio.Run(cfg, procs)
+	cfg := radio.Config{N: p.N, C: p.C, T: p.T, Seed: seed, Adversary: adv, Trace: p.Trace}
+	radioRes, err := radio.RunContext(ctx, cfg, procs)
 	if err != nil {
 		return nil, fmt.Errorf("groupkey: radio run: %w", err)
 	}

@@ -1,6 +1,7 @@
 package msgopt
 
 import (
+	"context"
 	"fmt"
 
 	"securadio/internal/graph"
@@ -32,7 +33,16 @@ type Outcome struct {
 }
 
 // Exchange runs the complete Section 5.6 protocol on a fresh network.
+// Exchange is ExchangeContext with an uncancellable context.
 func Exchange(p Params, pairs []graph.Edge, values map[graph.Edge]string, adv radio.Adversary, seed int64) (*Outcome, error) {
+	return ExchangeContext(context.Background(), p, pairs, values, adv, seed)
+}
+
+// ExchangeContext is Exchange with cancellation: when ctx is done the
+// underlying radio run aborts at the next round boundary and the returned
+// error wraps radio.ErrCanceled. A caller trace supplied via p.Fame.Trace
+// is chained after the package's own message-size instrumentation.
+func ExchangeContext(ctx context.Context, p Params, pairs []graph.Edge, values map[graph.Edge]string, adv radio.Adversary, seed int64) (*Outcome, error) {
 	if err := p.Fame.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadParams, err)
 	}
@@ -52,6 +62,7 @@ func Exchange(p Params, pairs []graph.Edge, values map[graph.Edge]string, adv ra
 	}
 
 	out := &Outcome{PerNode: results}
+	callerTrace := p.Fame.Trace
 	cfg := radio.Config{
 		N: p.Fame.N, C: p.Fame.C, T: p.Fame.T, Seed: seed, Adversary: adv,
 		Trace: func(obs radio.RoundObservation) {
@@ -63,9 +74,12 @@ func Exchange(p Params, pairs []graph.Edge, values map[graph.Edge]string, adv ra
 					out.MaxValuesPerMessage = c
 				}
 			}
+			if callerTrace != nil {
+				callerTrace(obs)
+			}
 		},
 	}
-	radioRes, err := radio.Run(cfg, procs)
+	radioRes, err := radio.RunContext(ctx, cfg, procs)
 	if err != nil {
 		return nil, fmt.Errorf("msgopt: radio run: %w", err)
 	}

@@ -1,6 +1,7 @@
 package radio
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -58,6 +59,12 @@ type engine struct {
 	isOmni    bool
 	silent    bool // no adversary configured: skip the adversary phases
 	maxRounds int
+
+	// Cancellation. ctxDone is nil for an uncancellable context
+	// (context.Background and friends), which keeps the steady-state
+	// round loop at a single nil comparison per round.
+	ctx     context.Context
+	ctxDone <-chan struct{}
 
 	// Barrier state. gen is mutated only while holding mu but is atomic
 	// so the leader's post-resolution check can read it without the lock.
@@ -172,6 +179,7 @@ func newEngine(cfg *Config, adv Adversary, maxRounds int) *engine {
 func (eng *engine) recycle() {
 	eng.cfg = Config{}
 	eng.adv, eng.omni = nil, nil
+	eng.ctx, eng.ctxDone = nil, nil
 	eng.err = nil
 	eng.leaderPanic = nil
 	clear(eng.actions)
@@ -282,10 +290,25 @@ func (silentAdversary) Observe(RoundObservation) {}
 
 // Run executes the given node programs on a network described by cfg and
 // returns the run statistics. It blocks until every Process has returned
-// (or the run is aborted), and never leaks goroutines.
+// (or the run is aborted), and never leaks goroutines. Run is
+// RunContext with an uncancellable context.
 func Run(cfg Config, procs []Process) (Result, error) {
+	return RunContext(context.Background(), cfg, procs)
+}
+
+// RunContext is Run with cancellation: the engine checks ctx once per
+// round (before resolving it) and, when the context is done, aborts the
+// run through the normal teardown path — no goroutine leaks, no partially
+// resolved rounds — returning an error that wraps both ErrCanceled and
+// the context's own error. An uncancellable context costs the round loop
+// one nil comparison per round, preserving the zero-allocation steady
+// state.
+func RunContext(ctx context.Context, cfg Config, procs []Process) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("%w before the run started: %w", ErrCanceled, context.Cause(ctx))
 	}
 	if len(procs) != cfg.N {
 		return Result{}, fmt.Errorf("%w: got %d processes for N = %d", ErrProcessCount, len(procs), cfg.N)
@@ -306,6 +329,9 @@ func Run(cfg Config, procs []Process) (Result, error) {
 	}
 
 	eng := newEngine(&cfg, adv, maxRounds)
+	if done := ctx.Done(); done != nil {
+		eng.ctx, eng.ctxDone = ctx, done
+	}
 	if usePump() {
 		res, err := eng.runPump(procs)
 		eng.recycle()
@@ -414,6 +440,19 @@ func (eng *engine) resolveRound() {
 // when the round resolved and the run continues, false when the run ended
 // (protocol completion sets finished; violations go through fail).
 func (eng *engine) resolveCommitted() bool {
+	// Cancellation is observed at round granularity: the leader checks the
+	// context once per round, before resolving, so a canceled run tears
+	// down through the same abort path as any other failure and the
+	// aborted round contributes nothing to the statistics.
+	if eng.ctxDone != nil {
+		select {
+		case <-eng.ctxDone:
+			eng.fail(fmt.Errorf("%w after %d rounds: %w", ErrCanceled, eng.res.Rounds, context.Cause(eng.ctx)))
+			return false
+		default:
+		}
+	}
+
 	cfg := &eng.cfg
 	round := eng.round
 	actions := eng.actions

@@ -1,0 +1,20 @@
+package radio
+
+// Test hooks. These live in a non-test file because the cross-scheduler
+// equivalence suites span packages: internal/radio pins the raw Trace
+// stream and the root package pins the public Observer event stream, and
+// both need to force each drive mode. The package is internal, so the
+// hooks never reach the public API surface.
+
+// SchedulerModes names the drive modes the equivalence suites exercise.
+var SchedulerModes = map[string]int32{
+	"barrier": modeBarrier,
+	"pump":    modePump,
+}
+
+// ForceSchedulerMode overrides drive-mode selection until the returned
+// restore function runs.
+func ForceSchedulerMode(mode int32) (restore func()) {
+	prev := schedulerMode.Swap(mode)
+	return func() { schedulerMode.Store(prev) }
+}

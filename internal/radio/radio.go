@@ -239,6 +239,12 @@ type Result struct {
 
 // Validation and runtime errors returned by Run.
 var (
+	// ErrCanceled reports that the run's context was canceled before the
+	// protocol completed. The returned error also wraps the context's own
+	// error, so errors.Is(err, context.Canceled) and
+	// errors.Is(err, context.DeadlineExceeded) keep working up the stack.
+	ErrCanceled = errors.New("radio: run canceled")
+
 	ErrMaxRounds    = errors.New("radio: protocol exceeded the configured round budget")
 	ErrBadConfig    = errors.New("radio: invalid configuration")
 	ErrBadAction    = errors.New("radio: node issued an invalid action")

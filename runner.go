@@ -1,0 +1,286 @@
+package securadio
+
+import (
+	"context"
+	"fmt"
+
+	"securadio/internal/core"
+	"securadio/internal/groupkey"
+	"securadio/internal/msgopt"
+	"securadio/internal/radio"
+	"securadio/internal/secure"
+	"securadio/internal/wcrypto"
+)
+
+// Runner is the composable entrypoint to every protocol layer of the
+// paper: it binds a Network to a set of options (regime, kappa, cleanup,
+// adversary, observer) once, and then runs any of the four layers —
+// Exchange, ExchangeCompact, GroupKey, SecureGroup — against that shared
+// configuration. All methods take a context.Context and honor
+// cancellation at radio-round granularity; all errors fold into the
+// package's typed hierarchy (ErrBadParams, ErrCanceled, ErrNoQuorum,
+// ErrSetupFailed).
+//
+// A Runner is stateless between calls (each method simulates a fresh
+// network from Network.Seed) and safe for concurrent use as long as the
+// configured adversary and observer are; the stock adversaries are
+// stateful, so concurrent callers should build one Runner per goroutine.
+//
+// The legacy one-shot functions (ExchangeMessages, EstablishGroupKey,
+// RunSecureGroup, ...) are thin wrappers over a Runner, so both styles are
+// the same code path — as are fleet campaigns, which share the internal
+// protocol entrypoints the Runner calls.
+type Runner struct {
+	net  Network
+	opts Options
+	obs  Observer
+}
+
+// RunnerOption configures a Runner at construction time.
+type RunnerOption func(*Runner) error
+
+// WithRegime selects the f-AME channel-usage strategy (default
+// RegimeAuto).
+func WithRegime(regime Regime) RunnerOption {
+	return func(r *Runner) error { r.opts.Regime = regime; return nil }
+}
+
+// WithDirect toggles surrogate-free direct exchange (the 2t-disruptable
+// baseline / Byzantine-tolerant variant of Section 8).
+func WithDirect(direct bool) RunnerOption {
+	return func(r *Runner) error { r.opts.Direct = direct; return nil }
+}
+
+// WithKappa scales all with-high-probability repetition counts;
+// non-positive selects the library default.
+func WithKappa(kappa float64) RunnerOption {
+	return func(r *Runner) error { r.opts.Kappa = kappa; return nil }
+}
+
+// WithCleanup enables the best-effort post-termination delivery extension
+// with the given move budget (see Options.Cleanup).
+func WithCleanup(moves int) RunnerOption {
+	return func(r *Runner) error { r.opts.Cleanup = moves; return nil }
+}
+
+// WithObserver streams every radio round of every run into obs as
+// RoundEvents. A nil obs disables observation (the default), which keeps
+// the engine's zero-allocation round loop fully intact.
+func WithObserver(obs Observer) RunnerOption {
+	return func(r *Runner) error { r.obs = obs; return nil }
+}
+
+// WithAdversary installs the interferer, overriding Network.Adversary. It
+// accepts either a registry strategy name (see AdversaryStrategies) — the
+// instance is then built exactly as fleet campaigns build it, seeded with
+// Network.Seed+1 like the CLIs — or a ready Interferer instance. A nil
+// Interferer (or the name "none") means no interference.
+func WithAdversary(adv any) RunnerOption {
+	return func(r *Runner) error {
+		switch a := adv.(type) {
+		case nil:
+			r.net.Adversary = nil
+		case string:
+			built, err := NewAdversary(a, r.net, r.net.Seed+1)
+			if err != nil {
+				return &ParamError{Op: "configure adversary", Err: err}
+			}
+			r.net.Adversary = built
+		case Interferer:
+			r.net.Adversary = a
+		default:
+			return &ParamError{Op: "configure adversary",
+				Err: fmt.Errorf("want a strategy name or an Interferer, got %T", adv)}
+		}
+		return nil
+	}
+}
+
+// NewRunner builds a Runner for the given network. The network's basic
+// shape (N > 0, C >= 2, 0 <= T < C) is validated here — one shared
+// validation path for every protocol layer; layer-specific model bounds
+// (e.g. f-AME's minimum node count) are validated by the method that
+// needs them. All returned errors match ErrBadParams.
+func NewRunner(net Network, options ...RunnerOption) (*Runner, error) {
+	r := &Runner{net: net}
+	for _, opt := range options {
+		if err := opt(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := (radio.Config{N: net.N, C: net.C, T: net.T}).Validate(); err != nil {
+		return nil, &ParamError{Op: "configure network", Err: err}
+	}
+	return r, nil
+}
+
+// withOptions is the legacy bridge: it installs a complete Options value
+// on the Runner, so the one-shot functions delegate without re-encoding
+// each field.
+func withOptions(opts Options) RunnerOption {
+	return func(r *Runner) error { r.opts = opts; return nil }
+}
+
+// Exchange runs the f-AME protocol (the paper's core contribution): each
+// pair (v, w) attempts to deliver payloads[pair] from v to w, with
+// authentication, sender awareness, and t-disruptability, despite the
+// configured adversary. Cancelling ctx aborts the simulation at the next
+// round boundary with an error matching ErrCanceled.
+func (r *Runner) Exchange(ctx context.Context, pairs []Pair, payloads map[Pair]Message) (*ExchangeReport, error) {
+	p := r.opts.fameParams(r.net)
+	p.Trace = r.trace()
+	out, err := core.ExchangeContext(ctx, p, pairs, payloads, r.net.Adversary, r.net.Seed)
+	if err != nil {
+		return nil, wrapErr("exchange", err)
+	}
+	report := &ExchangeReport{
+		Delivered:       make(map[Pair]Message),
+		Failed:          out.Disruption.Edges(),
+		DisruptionCover: out.CoverSize,
+		Rounds:          out.Rounds,
+		GameRounds:      out.GameRounds,
+	}
+	for _, e := range pairs {
+		if !out.Disruption.Has(e) {
+			report.Delivered[e] = out.PerNode[e.Dst].Delivered[e]
+		}
+	}
+	return report, nil
+}
+
+// ExchangeCompact runs f-AME with the Section 5.6 message-size
+// optimization: payloads travel through an epoch-gossip phase and only
+// constant-size vector signatures ride the authenticated exchange.
+// Payloads must be strings (the optimization hashes them).
+func (r *Runner) ExchangeCompact(ctx context.Context, pairs []Pair, payloads map[Pair]string) (*ExchangeReport, error) {
+	p := msgopt.Params{Fame: r.opts.fameParams(r.net), EpochKappa: r.opts.Kappa}
+	p.Fame.Trace = r.trace()
+	out, err := msgopt.ExchangeContext(ctx, p, pairs, payloads, r.net.Adversary, r.net.Seed)
+	if err != nil {
+		return nil, wrapErr("compact exchange", err)
+	}
+	report := &ExchangeReport{
+		Delivered:       make(map[Pair]Message),
+		Failed:          out.Disruption.Edges(),
+		DisruptionCover: out.CoverSize,
+		Rounds:          out.Rounds,
+	}
+	for _, e := range pairs {
+		if !out.Disruption.Has(e) {
+			report.Delivered[e] = string(out.PerNode[e.Dst].Delivered[e])
+		}
+	}
+	return report, nil
+}
+
+// GroupKey runs the Section 6 protocol end to end and returns the
+// per-node keys. No pre-shared secrets are assumed; secrecy rests on the
+// computational Diffie-Hellman assumption exactly as in the paper.
+func (r *Runner) GroupKey(ctx context.Context) (*GroupKeyReport, error) {
+	p := r.groupKeyParams()
+	p.Trace = r.trace()
+	out, err := groupkey.EstablishContext(ctx, p, r.net.Adversary, r.net.Seed)
+	if err != nil {
+		return nil, wrapErr("group key", err)
+	}
+	if out.Agreed == 0 {
+		return nil, &QuorumError{N: r.net.N, T: r.net.T}
+	}
+	report := &GroupKeyReport{
+		Keys:   make([]*[32]byte, r.net.N),
+		Leader: out.Leader,
+		Agreed: out.Agreed,
+		Rounds: out.Rounds,
+	}
+	for i := range out.PerNode {
+		if k := out.PerNode[i].GroupKey; k != nil && out.PerNode[i].Leader == out.Leader {
+			kk := [32]byte(*k)
+			report.Keys[i] = &kk
+		}
+	}
+	return report, nil
+}
+
+// SecureGroup executes the complete stack of the paper: group-key
+// establishment (Section 6, bootstrapped by f-AME) followed by the
+// long-lived secure channel emulation (Section 7), on which the supplied
+// application runs. The application callback is invoked once per node,
+// inside the simulation; all callbacks must perform the same number of
+// Step calls.
+func (r *Runner) SecureGroup(ctx context.Context, app SecureGroupApp) (*SecureGroupReport, error) {
+	net := r.net
+	gkParams := r.groupKeyParams()
+	if err := gkParams.Validate(); err != nil {
+		return nil, wrapErr("secure group", err)
+	}
+	chParams := secure.Params{N: net.N, C: net.C, T: net.T, Kappa: r.opts.Kappa}
+
+	report := &SecureGroupReport{
+		SlotRounds:        chParams.SlotRounds(),
+		SetupRoundsByNode: make([]int, net.N),
+	}
+	gkResults := make([]groupkey.NodeResult, net.N)
+	setupRounds := report.SetupRoundsByNode
+
+	procs := make([]radio.Process, net.N)
+	for i := 0; i < net.N; i++ {
+		i := i
+		procs[i] = func(env radio.Env) {
+			groupkey.RunNode(env, gkParams, &gkResults[i])
+			setupRounds[i] = env.Round()
+			s := &session{env: env, n: net.N, slot: chParams.SlotRounds()}
+			if k := gkResults[i].GroupKey; k != nil {
+				ch, err := secure.Attach(env, chParams, wcrypto.Key(*k))
+				if err == nil {
+					s.ch = ch
+				}
+			}
+			app(s)
+		}
+	}
+
+	cfg := radio.Config{
+		N: net.N, C: net.C, T: net.T, Seed: net.Seed,
+		Adversary: net.Adversary, Trace: r.trace(),
+	}
+	radioRes, err := radio.RunContext(ctx, cfg, procs)
+	if err != nil {
+		return nil, wrapErr("secure group", fmt.Errorf("secure group run: %w", err))
+	}
+	report.TotalRounds = radioRes.Rounds
+
+	holders := 0
+	for i := range gkResults {
+		if gkResults[i].Err != nil {
+			// A node-local protocol failure during setup is a setup
+			// failure: keep it errors.Is-matchable against ErrSetupFailed
+			// while preserving the node's own error as the cause.
+			return nil, fmt.Errorf("%w: node %d setup: %w", ErrSetupFailed, i, gkResults[i].Err)
+		}
+		if gkResults[i].GroupKey != nil {
+			holders++
+		}
+	}
+	report.KeyHolders = holders
+	// The true lock-step setup cost is the slowest node's: no node can
+	// enter the emulated channel before every other node is done setting
+	// up, so the max — not node 0's view — is what the application pays.
+	for _, rounds := range setupRounds {
+		if rounds > report.SetupRounds {
+			report.SetupRounds = rounds
+		}
+	}
+	if holders < net.N-net.T {
+		return report, &SetupError{Holders: holders, N: net.N, T: net.T}
+	}
+	return report, nil
+}
+
+// groupKeyParams assembles the Section 6 parameters from the Runner's
+// shared configuration.
+func (r *Runner) groupKeyParams() groupkey.Params {
+	return groupkey.Params{
+		N: r.net.N, C: r.net.C, T: r.net.T,
+		Kappa: r.opts.Kappa, Regime: r.opts.Regime,
+	}
+}

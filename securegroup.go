@@ -1,13 +1,10 @@
 package securadio
 
 import (
-	"errors"
-	"fmt"
+	"context"
 
-	"securadio/internal/groupkey"
 	"securadio/internal/radio"
 	"securadio/internal/secure"
-	"securadio/internal/wcrypto"
 )
 
 // Delivery is one authenticated message received on the emulated secure
@@ -55,8 +52,13 @@ type SecureGroupReport struct {
 	KeyHolders int
 
 	// SetupRounds is the number of radio rounds the Section 6 setup
-	// consumed.
+	// consumed: the maximum across nodes, i.e. the true lock-step cost
+	// the application pays before its first emulated round can start.
 	SetupRounds int
+
+	// SetupRoundsByNode is each node's own view of its setup cost,
+	// indexed by node ID (SetupRounds is this slice's maximum).
+	SetupRoundsByNode []int
 
 	// TotalRounds is the complete run's radio round count.
 	TotalRounds int
@@ -64,9 +66,6 @@ type SecureGroupReport struct {
 	// SlotRounds is the real-round cost of one emulated round.
 	SlotRounds int
 }
-
-// ErrSetupFailed is returned when group-key setup did not reach quorum.
-var ErrSetupFailed = errors.New("securadio: secure group setup failed")
 
 // session implements Session.
 type session struct {
@@ -101,54 +100,13 @@ func (s *session) Step(body []byte) []Delivery {
 // application runs. The application callback is invoked once per node,
 // inside the simulation; all callbacks must perform the same number of
 // Step calls.
+//
+// It is a convenience wrapper over Runner.SecureGroup with an
+// uncancellable context.
 func RunSecureGroup(net Network, opts Options, app SecureGroupApp) (*SecureGroupReport, error) {
-	gkParams := groupkey.Params{N: net.N, C: net.C, T: net.T, Kappa: opts.Kappa, Regime: opts.Regime}
-	if err := gkParams.Validate(); err != nil {
+	r, err := NewRunner(net, withOptions(opts))
+	if err != nil {
 		return nil, err
 	}
-	chParams := secure.Params{N: net.N, C: net.C, T: net.T, Kappa: opts.Kappa}
-
-	report := &SecureGroupReport{SlotRounds: chParams.SlotRounds()}
-	gkResults := make([]groupkey.NodeResult, net.N)
-	setupRounds := make([]int, net.N)
-
-	procs := make([]radio.Process, net.N)
-	for i := 0; i < net.N; i++ {
-		i := i
-		procs[i] = func(env radio.Env) {
-			groupkey.RunNode(env, gkParams, &gkResults[i])
-			setupRounds[i] = env.Round()
-			s := &session{env: env, n: net.N, slot: chParams.SlotRounds()}
-			if k := gkResults[i].GroupKey; k != nil {
-				ch, err := secure.Attach(env, chParams, wcrypto.Key(*k))
-				if err == nil {
-					s.ch = ch
-				}
-			}
-			app(s)
-		}
-	}
-
-	cfg := radio.Config{N: net.N, C: net.C, T: net.T, Seed: net.Seed, Adversary: net.Adversary}
-	radioRes, err := radio.Run(cfg, procs)
-	if err != nil {
-		return nil, fmt.Errorf("securadio: secure group run: %w", err)
-	}
-	report.TotalRounds = radioRes.Rounds
-
-	holders := 0
-	for i := range gkResults {
-		if gkResults[i].Err != nil {
-			return nil, fmt.Errorf("securadio: node %d setup: %w", i, gkResults[i].Err)
-		}
-		if gkResults[i].GroupKey != nil {
-			holders++
-		}
-	}
-	report.KeyHolders = holders
-	report.SetupRounds = setupRounds[0]
-	if holders < net.N-net.T {
-		return report, fmt.Errorf("%w: only %d of %d nodes hold the key", ErrSetupFailed, holders, net.N)
-	}
-	return report, nil
+	return r.SecureGroup(context.Background(), app)
 }
