@@ -222,6 +222,15 @@ func NewHopJammer(net Network, seed int64) Interferer {
 	return mustAdversary("hop", net, seed)
 }
 
+// NewComboAdversary returns the layered jam + replay composite: random
+// jamming and replay spoofing share the t-transmission budget, with
+// per-round priority rotation so both layers get airtime even at t=1. It
+// delegates to the fleet registry's "combo" strategy, so single runs and
+// campaigns agree on what "combo" means by construction.
+func NewComboAdversary(net Network, seed int64) Interferer {
+	return mustAdversary("combo", net, seed)
+}
+
 // mustAdversary builds a registry strategy known to exist.
 func mustAdversary(name string, net Network, seed int64) Interferer {
 	adv, err := NewAdversary(name, net, seed)

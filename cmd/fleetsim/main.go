@@ -1,16 +1,18 @@
-// Command fleetsim runs scenario campaigns: fleets of independent radio-
-// network simulations fanned across all cores, with streaming aggregation.
+// Command fleetsim runs scenario campaigns and parameter sweeps: fleets of
+// independent radio-network simulations fanned across all cores, with
+// streaming aggregation and deterministic matrix reports.
 //
 // Usage:
 //
-//	fleetsim list
+//	fleetsim list [-scenarios file.json]
 //	fleetsim run -campaign fame-jam -runs 500
-//	fleetsim run -campaign groupkey-burst -runs 200 -seed 7 -format json
-//	fleetsim run -campaign fame-worst -runs 1000 -format csv -out agg.csv
+//	fleetsim run -scenarios my.json -campaign my-scenario -runs 200 -format json
+//	fleetsim sweep -base fame-clear -n 20,32,64 -t 0,1 -adv none,jam,combo -runs 100
+//	fleetsim sweep -scenarios my.json -sweep my-grid -format csv -out grid.csv
 //
-// For a fixed -seed the aggregate JSON is byte-for-byte deterministic,
-// independent of worker count and scheduling, making it suitable for
-// cross-PR trajectory tracking.
+// For a fixed -seed the aggregate and sweep JSON are byte-for-byte
+// deterministic, independent of worker count and scheduling, making them
+// suitable for cross-PR trajectory tracking.
 package main
 
 import (
@@ -21,6 +23,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"securadio"
@@ -48,24 +52,79 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return errors.New("usage: fleetsim <list|run> [flags]")
+		return errors.New("usage: fleetsim <list|run|sweep> [flags]")
 	}
 	switch args[0] {
 	case "list":
-		return runList(out)
+		return runList(args[1:], out)
 	case "run":
 		return runCampaign(ctx, args[1:], out)
+	case "sweep":
+		return runSweep(ctx, args[1:], out)
 	default:
-		return fmt.Errorf("unknown command %q (want list or run)", args[0])
+		return fmt.Errorf("unknown command %q (want list, run or sweep)", args[0])
 	}
 }
 
-func runList(out io.Writer) error {
+// loadCatalog parses -scenarios when given; a nil catalog means built-ins
+// only.
+func loadCatalog(path string) (*securadio.ScenarioFile, error) {
+	if path == "" {
+		return nil, nil
+	}
+	return securadio.LoadScenarioFile(path)
+}
+
+// lookupScenario resolves a name through the catalog (which shadows and
+// falls back to the built-ins) or the built-in registry alone.
+func lookupScenario(catalog *securadio.ScenarioFile, name string) (securadio.Scenario, bool) {
+	if catalog != nil {
+		return catalog.Lookup(name)
+	}
+	return securadio.LookupScenario(name)
+}
+
+func runList(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fleetsim list", flag.ContinueOnError)
+	scenariosPath := fs.String("scenarios", "", "also list scenarios/sweeps from a JSON catalog file")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errReported
+	}
+	catalog, err := loadCatalog(*scenariosPath)
+	if err != nil {
+		return err
+	}
+
 	t := metrics.NewTable("built-in scenarios", "name", "proto", "n", "c", "t", "adversary", "description")
 	for _, s := range securadio.Scenarios() {
 		t.AddRow(s.Name, s.Proto, s.N, s.C, s.T, s.Adversary, s.Desc)
 	}
 	t.Render(out)
+	if catalog != nil {
+		ft := metrics.NewTable("scenarios from "+*scenariosPath, "name", "proto", "n", "c", "t", "adversary", "description")
+		for _, s := range catalog.Scenarios {
+			ft.AddRow(s.Name, s.Proto, s.N, s.C, s.T, s.Adversary, s.Desc)
+		}
+		if ft.Len() > 0 {
+			fmt.Fprintln(out)
+			ft.Render(out)
+		}
+		st := metrics.NewTable("sweeps from "+*scenariosPath, "name", "base", "cells", "runs/cell", "description")
+		for _, sw := range catalog.Sweeps {
+			cells := "?"
+			if cs, err := sw.Cells(); err == nil {
+				cells = strconv.Itoa(len(cs))
+			}
+			st.AddRow(sw.Name, sw.Base.Name, cells, sw.Runs, sw.Desc)
+		}
+		if st.Len() > 0 {
+			fmt.Fprintln(out)
+			st.Render(out)
+		}
+	}
 	fmt.Fprintf(out, "\nadversary strategies: %v\n", securadio.AdversaryStrategies())
 	return nil
 }
@@ -73,13 +132,14 @@ func runList(out io.Writer) error {
 func runCampaign(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fleetsim run", flag.ContinueOnError)
 	var (
-		campaign = fs.String("campaign", "", "scenario name (see fleetsim list)")
-		runs     = fs.Int("runs", 500, "number of independent runs in the seed grid")
-		seed     = fs.Int64("seed", 1, "campaign master seed")
-		workers  = fs.Int("workers", 0, "worker pool size (0 = all cores)")
-		format   = fs.String("format", "table", "report format: table | json | csv")
-		outPath  = fs.String("out", "", "write the report to a file instead of stdout")
-		timeout  = fs.Duration("timeout", 0, "abort the campaign after this duration (0 = none)")
+		campaign      = fs.String("campaign", "", "scenario name (see fleetsim list)")
+		scenariosPath = fs.String("scenarios", "", "JSON scenario catalog extending the built-ins")
+		runs          = fs.Int("runs", 500, "number of independent runs in the seed grid")
+		seed          = fs.Int64("seed", 1, "campaign master seed")
+		workers       = fs.Int("workers", 0, "worker pool size (0 = all cores)")
+		format        = fs.String("format", "table", "report format: table | json | csv")
+		outPath       = fs.String("out", "", "write the report to a file instead of stdout")
+		timeout       = fs.Duration("timeout", 0, "abort the campaign after this duration (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -90,36 +150,27 @@ func runCampaign(ctx context.Context, args []string, out io.Writer) error {
 	if *campaign == "" {
 		return errors.New("missing -campaign (see fleetsim list)")
 	}
-	sc, ok := securadio.LookupScenario(*campaign)
+	catalog, err := loadCatalog(*scenariosPath)
+	if err != nil {
+		return err
+	}
+	sc, ok := lookupScenario(catalog, *campaign)
 	if !ok {
 		return fmt.Errorf("unknown campaign %q (see fleetsim list)", *campaign)
 	}
-	switch *format {
-	case "table", "json", "csv":
-	default:
-		// Reject before the campaign runs: a typo here must not cost a
-		// multi-minute run (or truncate an existing -out file).
-		return fmt.Errorf("unknown format %q (want table, json or csv)", *format)
+	if err := checkFormat(*format); err != nil {
+		return err
 	}
 	c := securadio.Campaign{Scenario: sc, Runs: *runs, Seed: *seed, Workers: *workers}
 	if err := c.Validate(); err != nil {
 		return err
 	}
-	// Open the report destination before the campaign runs: an unwritable
-	// -out path must not cost a multi-minute run.
-	var file *os.File
-	w := out
-	if *outPath != "" {
-		f, cerr := os.Create(*outPath)
-		if cerr != nil {
-			return cerr
-		}
-		file = f
-		// Backstop close for the error-return paths below; the success
-		// path closes explicitly so flush errors are observed (the
-		// harmless second Close just errors and is ignored).
-		defer f.Close()
-		w = f
+	w, file, err := openOut(out, *outPath)
+	if err != nil {
+		return err
+	}
+	if file != nil {
+		defer file.Close()
 	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -148,6 +199,219 @@ func runCampaign(ctx context.Context, args []string, out io.Writer) error {
 	case "csv":
 		agg.WriteCSV(tw)
 	}
+	return finishReport(tw, file, err)
+}
+
+// splitInts parses a comma-separated axis flag ("20,32,64"); empty means
+// no axis.
+func splitInts(flagName, s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("-%s: bad value %q (want comma-separated integers)", flagName, p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// splitStrings parses a comma-separated string axis; empty means no axis.
+func splitStrings(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func runSweep(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fleetsim sweep", flag.ContinueOnError)
+	var (
+		base          = fs.String("base", "", "base scenario name the grid derives from")
+		sweepName     = fs.String("sweep", "", "named sweep from the -scenarios catalog (instead of -base + axis flags)")
+		scenariosPath = fs.String("scenarios", "", "JSON scenario catalog providing scenarios and sweeps")
+		nAxis         = fs.String("n", "", "N axis: comma-separated node counts")
+		cAxis         = fs.String("c", "", "C axis: comma-separated channel counts")
+		tAxis         = fs.String("t", "", "T axis: comma-separated adversary budgets")
+		pairsAxis     = fs.String("pairs", "", "Pairs axis: comma-separated AME pair counts")
+		regimeAxis    = fs.String("regime", "", "Regime axis: comma-separated of auto|base|2t|2t2")
+		advAxis       = fs.String("adv", "", "Adversary axis: comma-separated strategy names")
+		emAxis        = fs.String("em", "", "EmRounds axis: comma-separated emulated round counts (secure-group)")
+		runs          = fs.Int("runs", 100, "runs per grid cell")
+		seed          = fs.Int64("seed", 1, "sweep master seed")
+		workers       = fs.Int("workers", 0, "shared worker pool size (0 = all cores)")
+		format        = fs.String("format", "table", "report format: table | json | csv")
+		outPath       = fs.String("out", "", "write the report to a file instead of stdout")
+		timeout       = fs.Duration("timeout", 0, "abort the sweep after this duration (0 = none)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errReported
+	}
+	// Flags the user explicitly passed, as opposed to defaults: explicit
+	// execution knobs must override a catalog sweep's values rather than
+	// being silently ignored.
+	explicit := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	catalog, err := loadCatalog(*scenariosPath)
+	if err != nil {
+		return err
+	}
+
+	var sweep securadio.Sweep
+	switch {
+	case *sweepName != "":
+		if catalog == nil {
+			return errors.New("-sweep requires -scenarios (sweeps are defined in catalog files)")
+		}
+		if explicit["base"] {
+			return fmt.Errorf("-base and -sweep are mutually exclusive (catalog sweep %q defines its own base)", *sweepName)
+		}
+		for _, axis := range []string{"n", "c", "t", "pairs", "regime", "adv", "em"} {
+			if explicit[axis] {
+				return fmt.Errorf("-%s defines a -base grid axis and cannot reshape the catalog sweep %q", axis, *sweepName)
+			}
+		}
+		sw, ok := catalog.LookupSweep(*sweepName)
+		if !ok {
+			return fmt.Errorf("unknown sweep %q in %s (have: %s)", *sweepName, *scenariosPath, catalog.Names())
+		}
+		sweep = sw
+		// Execution knobs: an explicit flag wins over the catalog; the
+		// catalog wins over the flag's default.
+		if explicit["runs"] || sweep.Runs == 0 {
+			sweep.Runs = *runs
+		}
+		if explicit["seed"] || sweep.Seed == 0 {
+			sweep.Seed = *seed
+		}
+	case *base != "":
+		sc, ok := lookupScenario(catalog, *base)
+		if !ok {
+			return fmt.Errorf("unknown base scenario %q (see fleetsim list)", *base)
+		}
+		sweep = securadio.Sweep{Base: sc, Runs: *runs, Seed: *seed}
+		if sweep.N, err = splitInts("n", *nAxis); err != nil {
+			return err
+		}
+		if sweep.C, err = splitInts("c", *cAxis); err != nil {
+			return err
+		}
+		if sweep.T, err = splitInts("t", *tAxis); err != nil {
+			return err
+		}
+		if sweep.Pairs, err = splitInts("pairs", *pairsAxis); err != nil {
+			return err
+		}
+		if sweep.EmRounds, err = splitInts("em", *emAxis); err != nil {
+			return err
+		}
+		sweep.Adversary = splitStrings(*advAxis)
+		for _, spell := range splitStrings(*regimeAxis) {
+			// ParseRegime maps "" to auto for scenario files that omit the
+			// field; on an axis flag an empty element is a typo (trailing
+			// comma) that would silently widen the grid.
+			if spell == "" {
+				return errors.New("-regime: empty axis element (want comma-separated of auto|base|2t|2t2)")
+			}
+			r, rerr := securadio.ParseRegime(spell)
+			if rerr != nil {
+				return rerr
+			}
+			sweep.Regime = append(sweep.Regime, r)
+		}
+	default:
+		return errors.New("missing -base (grid from flags) or -sweep (grid from a -scenarios catalog)")
+	}
+	// An explicit -workers overrides the catalog's setting; the flag's
+	// default leaves a catalog value (or GOMAXPROCS) in charge.
+	if explicit["workers"] {
+		sweep.Workers = *workers
+	}
+
+	if err := checkFormat(*format); err != nil {
+		return err
+	}
+	if err := sweep.Validate(); err != nil {
+		return err
+	}
+	w, file, err := openOut(out, *outPath)
+	if err != nil {
+		return err
+	}
+	if file != nil {
+		defer file.Close()
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	matrix, err := securadio.RunSweep(ctx, sweep)
+	if err != nil && matrix == nil {
+		return err
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetsim: sweep interrupted (%v); reporting completed runs\n", err)
+		err = errReported
+	}
+	tw := &trackedWriter{w: w}
+	switch *format {
+	case "table":
+		matrix.WriteTable(tw)
+	case "json":
+		if jerr := matrix.WriteJSON(tw); jerr != nil {
+			return jerr
+		}
+	case "csv":
+		matrix.WriteCSV(tw)
+	}
+	return finishReport(tw, file, err)
+}
+
+// checkFormat rejects unknown report formats before a campaign runs: a
+// typo must not cost a multi-minute run (or truncate an existing -out
+// file).
+func checkFormat(format string) error {
+	switch format {
+	case "table", "json", "csv":
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q (want table, json or csv)", format)
+	}
+}
+
+// openOut resolves the report destination before the campaign runs: an
+// unwritable -out path must not cost a multi-minute run. The returned
+// file (nil for stdout) carries a backstop Close for error paths; the
+// success path closes explicitly through finishReport so flush errors are
+// observed.
+func openOut(out io.Writer, path string) (io.Writer, *os.File, error) {
+	if path == "" {
+		return out, nil, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f, nil
+}
+
+// finishReport surfaces report I/O failures: write errors tracked by tw,
+// then the -out file's Close (the harmless second Close from the deferred
+// backstop just errors and is ignored).
+func finishReport(tw *trackedWriter, file *os.File, err error) error {
 	if tw.err != nil {
 		return fmt.Errorf("writing report: %w", tw.err)
 	}

@@ -78,11 +78,125 @@ func TestRunRejections(t *testing.T) {
 		{"run"},
 		{"run", "-campaign", "no-such"},
 		{"run", "-campaign", "fame-clear", "-format", "bogus"},
+		{"run", "-campaign", "fame-clear", "-scenarios", "no-such-file.json"},
+		{"sweep"},
+		{"sweep", "-base", "no-such"},
+		{"sweep", "-base", "fame-clear", "-n", "20,bogus"},
+		{"sweep", "-base", "fame-clear", "-regime", "3t"},
+		{"sweep", "-base", "fame-clear", "-format", "bogus"},
+		{"sweep", "-base", "fame-clear", "-runs", "0"},
+		{"sweep", "-sweep", "grid"}, // -sweep without -scenarios
+		{"sweep", "-sweep", "no-such", "-scenarios", fixturePath},
+		{"sweep", "-sweep", "spectrum-grid", "-scenarios", fixturePath, "-n", "24"},          // axis flags are -base only
+		{"sweep", "-sweep", "spectrum-grid", "-scenarios", fixturePath, "-base", "fame-jam"}, // mutually exclusive
+		{"sweep", "-base", "fame-clear", "-em", "4,8"},                                       // em axis needs a secure-group base
+		{"sweep", "-base", "fame-clear", "-adv", "none,jma"},                                 // adversary typos fail fast
 	}
 	for _, args := range cases {
 		if err := run(context.Background(), args, &out); err == nil {
 			t.Fatalf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+// fixturePath is the in-repo example catalog, shared with the CI
+// scenario-file check.
+const fixturePath = "../../testdata/scenarios.example.json"
+
+func TestListWithCatalog(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"list", "-scenarios", fixturePath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"wide-fame", "long-securegroup", "spectrum-grid", "combo"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("catalog listing missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunCatalogScenario(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"run", "-scenarios", fixturePath, "-campaign", "wide-fame", "-runs", "3", "-seed", "2", "-format", "json"}
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatal(err)
+	}
+	var agg struct {
+		Scenario string `json:"scenario"`
+		N        int    `json:"n"`
+		Runs     int    `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &agg); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if agg.Scenario != "wide-fame" || agg.N != 32 || agg.Runs != 3 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers is the CLI half of the acceptance
+// criterion: a 3-axis grid emits byte-identical JSON for -workers 1 and 8.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{filepath.Join(dir, "w1.json"), filepath.Join(dir, "w8.json")}
+	for i, workers := range []string{"1", "8"} {
+		var out bytes.Buffer
+		args := []string{"sweep", "-base", "fame-clear", "-n", "20,24", "-t", "0,1",
+			"-adv", "none,jam", "-runs", "3", "-seed", "9", "-workers", workers,
+			"-format", "json", "-out", paths[i]}
+		if err := run(context.Background(), args, &out); err != nil {
+			t.Fatalf("workers=%s: %v", workers, err)
+		}
+	}
+	w1, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	w8, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w1, w8) {
+		t.Fatalf("sweep JSON differs between -workers 1 and 8:\n%s\nvs\n%s", w1, w8)
+	}
+	var matrix struct {
+		Cells []struct {
+			Cell string `json:"cell"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(w1, &matrix); err != nil {
+		t.Fatal(err)
+	}
+	if len(matrix.Cells) != 8 {
+		t.Fatalf("matrix has %d cells, want 8", len(matrix.Cells))
+	}
+}
+
+func TestSweepFromCatalog(t *testing.T) {
+	var out bytes.Buffer
+	// An explicit -runs overrides the catalog's 25 runs/cell.
+	args := []string{"sweep", "-scenarios", fixturePath, "-sweep", "spectrum-grid", "-runs", "2", "-format", "json"}
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatal(err)
+	}
+	var matrix struct {
+		RunsPerCell int `json:"runs_per_cell"`
+		Cells       []struct {
+			Cell string `json:"cell"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &matrix); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	// 2 x 2 x 3 grid.
+	if len(matrix.Cells) != 12 {
+		t.Fatalf("matrix has %d cells, want 12:\n%s", len(matrix.Cells), out.String())
+	}
+	if matrix.RunsPerCell != 2 {
+		t.Fatalf("runs_per_cell = %d, want the explicit -runs 2", matrix.RunsPerCell)
+	}
+	if matrix.Cells[11].Cell != "spectrum-grid/n=32,t=1,adv=combo" {
+		t.Fatalf("last cell = %q", matrix.Cells[11].Cell)
 	}
 }
 

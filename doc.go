@@ -45,7 +45,14 @@
 // delivery rates, round-count percentiles and disruption-cover
 // distributions into deterministic JSON; campaigns run the exact same
 // internal protocol entrypoints as the Runner, and cancelling a
-// campaign's context aborts even the in-flight simulations.
+// campaign's context aborts even the in-flight simulations. RunSweep
+// lifts campaigns to parameter families: a Sweep expands a cartesian
+// grid of axes (N, C, T, Pairs, Regime, Adversary, EmRounds) over a base
+// scenario and executes every cell through one shared worker pool,
+// emitting a worker-count-independent matrix report (SweepResult).
+// User-defined JSON scenario catalogs (ParseScenarioFile,
+// LoadScenarioFile) extend both campaigns and sweeps beyond the built-in
+// registry.
 //
 // Everything runs on a deterministic discrete-event simulation of the
 // paper's synchronous radio model (internal/radio); the adversary zoo in

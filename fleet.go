@@ -2,6 +2,7 @@ package securadio
 
 import (
 	"context"
+	"io"
 
 	"securadio/internal/fleet"
 )
@@ -50,4 +51,53 @@ func NewAdversary(name string, net Network, seed int64) (Interferer, error) {
 // parameters are the same code path.
 func RunCampaign(ctx context.Context, c Campaign) (*CampaignResult, error) {
 	return fleet.Run(ctx, c)
+}
+
+// Sweep is a cartesian parameter grid over a base scenario: every
+// combination of the non-empty axes (N, C, T, Pairs, Regime, Adversary,
+// EmRounds) becomes one derived Scenario cell, each executed as a
+// Runs-sized seed grid through one shared worker pool. When the N axis is
+// set, each cell's pair universe tracks its N (see Scenario.Span).
+type Sweep = fleet.Sweep
+
+// SweepResult is the deterministic matrix report of a sweep: one entry per
+// grid cell in expansion order, each carrying the cell's campaign
+// aggregate (or the validation error that made the cell unrunnable). Its
+// JSON encoding is byte-identical for a fixed sweep definition and seed,
+// independent of worker count.
+type SweepResult = fleet.SweepResult
+
+// ScenarioFile is a user-defined scenario/sweep catalog parsed from JSON,
+// extending campaigns beyond the built-in registry. See
+// ParseScenarioFile for the schema; file scenarios shadow same-named
+// built-ins for lookups through the file.
+type ScenarioFile = fleet.ScenarioFile
+
+// RunSweep expands the sweep grid and executes every runnable cell
+// through one shared worker pool, with the same determinism, panic
+// isolation and cancellation contract as RunCampaign. Cells whose derived
+// parameters fail validation are recorded as skipped in the matrix rather
+// than failing the sweep.
+func RunSweep(ctx context.Context, s Sweep) (*SweepResult, error) {
+	return fleet.RunSweep(ctx, s)
+}
+
+// ParseScenarioFile decodes a JSON scenario/sweep catalog. Structural
+// problems — missing or duplicate names, unknown protocols, regimes or
+// adversary strategies, unresolvable sweep bases, unknown keys — are
+// reported at parse time; model-bound validation happens when a scenario
+// is actually run (Scenario.Validate, Campaign.Validate).
+func ParseScenarioFile(r io.Reader) (*ScenarioFile, error) {
+	return fleet.ParseScenarioFile(r)
+}
+
+// LoadScenarioFile reads and parses a scenario/sweep catalog from disk.
+func LoadScenarioFile(path string) (*ScenarioFile, error) {
+	return fleet.LoadScenarioFile(path)
+}
+
+// ParseRegime parses the channel-usage regime spelling shared by scenario
+// files, sweep axes and the CLIs: "auto" (or ""), "base", "2t", "2t2".
+func ParseRegime(s string) (Regime, error) {
+	return fleet.ParseRegime(s)
 }

@@ -1,0 +1,82 @@
+package adversary
+
+import (
+	"securadio/internal/radio"
+)
+
+// Layered composes several strategies under one shared transmission
+// budget: each round it concatenates the layers' plans and keeps the
+// first T transmissions, one per channel (a jam and a spoof on the same
+// channel would just collide with each other, wasting budget). Layer
+// priority rotates with the round number so a tight budget (t=1) still
+// gives every layer airtime instead of starving the later ones.
+// Observations fan out to all layers, so adaptive layers keep learning
+// even in rounds they did not transmit.
+//
+// Layered itself implements radio.OmniscientAdversary: layers that are
+// omniscient receive the pending honest actions through PlanOmniscient,
+// while model-compliant layers keep planning from completed-round
+// observations alone. A composite whose layers are all model-compliant
+// therefore behaves identically under either engine dispatch path.
+type Layered struct {
+	T      int
+	Layers []radio.Adversary
+}
+
+var (
+	_ radio.Adversary           = (*Layered)(nil)
+	_ radio.OmniscientAdversary = (*Layered)(nil)
+)
+
+// NewLayered composes the given strategies under a shared budget of t
+// transmissions per round.
+func NewLayered(t int, layers ...radio.Adversary) *Layered {
+	return &Layered{T: t, Layers: layers}
+}
+
+// Plan implements radio.Adversary (unused when the engine prefers
+// PlanOmniscient).
+func (a *Layered) Plan(round int) []radio.Transmission {
+	return a.plan(round, nil, false)
+}
+
+// PlanOmniscient implements radio.OmniscientAdversary.
+func (a *Layered) PlanOmniscient(round int, pending []radio.NodeAction) []radio.Transmission {
+	return a.plan(round, pending, true)
+}
+
+func (a *Layered) plan(round int, pending []radio.NodeAction, omni bool) []radio.Transmission {
+	k := len(a.Layers)
+	if k == 0 || a.T <= 0 {
+		return nil
+	}
+	out := make([]radio.Transmission, 0, a.T)
+	used := make(map[int]bool, a.T)
+	for i := 0; i < k && len(out) < a.T; i++ {
+		layer := a.Layers[(round+i)%k]
+		var txs []radio.Transmission
+		if o, ok := layer.(radio.OmniscientAdversary); ok && omni {
+			txs = o.PlanOmniscient(round, pending)
+		} else {
+			txs = layer.Plan(round)
+		}
+		for _, tx := range txs {
+			if len(out) >= a.T {
+				break
+			}
+			if used[tx.Channel] {
+				continue
+			}
+			used[tx.Channel] = true
+			out = append(out, tx)
+		}
+	}
+	return out
+}
+
+// Observe implements radio.Adversary.
+func (a *Layered) Observe(obs radio.RoundObservation) {
+	for _, layer := range a.Layers {
+		layer.Observe(obs)
+	}
+}

@@ -33,17 +33,51 @@ func Run(ctx context.Context, c Campaign) (*Aggregate, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	workers := c.Workers
+	start := time.Now()
+	agg := newAggregate(c)
+	runPool(ctx, c.Workers, c.Runs, []Campaign{c}, func(i int) poolJob {
+		return poolJob{run: i}
+	}, func(_ poolJob, r RunResult) {
+		agg.observe(r)
+	})
+	agg.finalize(time.Since(start))
+	// A cancellation that lands after the last run completed changed
+	// nothing: the aggregate is whole, so don't report it as interrupted.
+	if agg.Runs == c.Runs {
+		return agg, nil
+	}
+	return agg, ctx.Err()
+}
+
+// poolJob identifies one simulation in a pooled execution: an index into
+// the caller's campaign-plan table and a run index within that campaign.
+type poolJob struct{ plan, run int }
+
+// runPool is the worker-pool core shared by Run and RunSweep: it fans
+// jobAt(0..total-1) across workers goroutines (GOMAXPROCS when
+// non-positive, never more than there are jobs), executes each through
+// its campaign's runOne with a per-worker reusable runState, and folds
+// every completed result — serially, from the caller's goroutine — via
+// fold. Jobs come through a generator rather than a slice so a
+// multi-million-run campaign never materializes its grid. Runs cut short
+// by cancellation are dropped, not folded (they represent no completed
+// simulation); fold order is scheduling-dependent, so callers must fold
+// into order-insensitive accumulators. Returns the number of results
+// folded.
+func runPool(ctx context.Context, workers, total int, campaigns []Campaign, jobAt func(int) poolJob, fold func(poolJob, RunResult)) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > c.Runs {
-		workers = c.Runs
+	if workers > total {
+		workers = total
 	}
 
-	start := time.Now()
-	jobs := make(chan int)
-	results := make(chan RunResult, workers)
+	jobCh := make(chan poolJob)
+	type outcome struct {
+		job poolJob
+		res RunResult
+	}
+	results := make(chan outcome, workers)
 
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -55,22 +89,19 @@ func Run(ctx context.Context, c Campaign) (*Aggregate, error) {
 			// once per worker and reused by every run it executes, so a
 			// 10k-run campaign stops churning the GC.
 			st := newRunState()
-			for run := range jobs {
-				res := c.runOne(ctx, run, st)
+			for j := range jobCh {
+				res := campaigns[j.plan].runOne(ctx, j.run, st)
 				if res.Canceled {
-					// The run was cut short by cancellation, not by its
-					// own failure: it represents no completed simulation,
-					// so it must not skew the aggregate's failure counts.
 					continue
 				}
-				results <- res
+				results <- outcome{job: j, res: res}
 			}
 		}()
 	}
 
 	go func() {
-		defer close(jobs)
-		for run := 0; run < c.Runs; run++ {
+		defer close(jobCh)
+		for i := 0; i < total; i++ {
 			// select picks randomly among ready cases, so an
 			// already-cancelled context could still win the job send;
 			// check it first so cancellation stops dispatch immediately.
@@ -78,7 +109,7 @@ func Run(ctx context.Context, c Campaign) (*Aggregate, error) {
 				return
 			}
 			select {
-			case jobs <- run:
+			case jobCh <- jobAt(i):
 			case <-ctx.Done():
 				return
 			}
@@ -90,17 +121,12 @@ func Run(ctx context.Context, c Campaign) (*Aggregate, error) {
 		close(results)
 	}()
 
-	agg := newAggregate(c)
-	for r := range results {
-		agg.observe(r)
+	folded := 0
+	for o := range results {
+		fold(o.job, o.res)
+		folded++
 	}
-	agg.finalize(time.Since(start))
-	// A cancellation that lands after the last run completed changed
-	// nothing: the aggregate is whole, so don't report it as interrupted.
-	if agg.Runs == c.Runs {
-		return agg, nil
-	}
-	return agg, ctx.Err()
+	return folded
 }
 
 // runOne executes a single grid run with panic isolation.

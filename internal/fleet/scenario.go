@@ -61,6 +61,13 @@ type Scenario struct {
 	// Pairs is the size of the random AME pair set (f-AME protocols).
 	Pairs int
 
+	// Span bounds the node range the random AME pairs are drawn from:
+	// pair endpoints come from [0, Span). Zero selects the legacy default
+	// PairSpan(N) — min(N, 12) — which keeps the built-in scenarios and
+	// historical campaign JSON unchanged; sweeps over the N axis set Span
+	// explicitly so the workload actually grows with the network.
+	Span int
+
 	// Regime forwards to the f-AME channel-usage strategy.
 	Regime core.Regime
 
@@ -95,6 +102,18 @@ var advFactories = map[string]AdversaryFactory{
 		return adversary.NewBurstJammer(t, c, 0, -1, seed)
 	},
 	"hop": func(t, c int, seed int64) radio.Adversary { return adversary.NewHopJammer(t, c, seed) },
+	// Layered jam + replay: random jamming and replay spoofing share one
+	// budget, with per-round priority rotation so both layers transmit
+	// even at t=1. The sub-seeds are distinct streams derived from the
+	// run seed, keeping the composite fully deterministic. (Distinct from
+	// the omniscient adversary.Combo combinator — greedy jam + idle
+	// spoof — which needs a protocol-specific Forge and so cannot be
+	// built from (t, c, seed) alone.)
+	"combo": func(t, c int, seed int64) radio.Adversary {
+		return adversary.NewLayered(t,
+			adversary.NewRandomJammer(t, c, seed),
+			adversary.NewReplaySpoofer(t, c, seed+0x636f6d626f))
+	},
 }
 
 // NewAdversary builds a fresh instance of a registered interferer strategy
@@ -132,6 +151,9 @@ func (s Scenario) Validate() error {
 	case ProtoFame, ProtoFameCompact, ProtoFameDirect:
 		if s.Pairs <= 0 {
 			return fmt.Errorf("fleet: scenario %q: Pairs = %d, want > 0", s.Name, s.Pairs)
+		}
+		if s.Span != 0 && (s.Span < 2 || s.Span > s.N) {
+			return fmt.Errorf("fleet: scenario %q: Span = %d, want 0 (default) or 2..N=%d", s.Name, s.Span, s.N)
 		}
 		return s.fameParams().Validate()
 	case ProtoGroupKey, ProtoSecureGroup:
@@ -231,10 +253,12 @@ func (s Scenario) execute(ctx context.Context, run int, seed int64, st *runState
 	return res
 }
 
-// PairSpan bounds the node range random AME pairs are drawn from —
-// the shared workload shape of fleet campaigns and cmd/radiosim, so
-// single-run and campaign results for the same parameters stay
-// comparable.
+// PairSpan is the legacy default pair universe bound — min(n, 12) — used
+// whenever a scenario does not set Span explicitly. It is the shared
+// workload shape of the built-in campaigns and cmd/radiosim, so
+// single-run and historical campaign results stay comparable; scenarios
+// that want the pair universe to track N (every sweep over the N axis
+// does) set Scenario.Span instead.
 func PairSpan(n int) int {
 	if n < 12 {
 		return n
@@ -242,9 +266,18 @@ func PairSpan(n int) int {
 	return 12
 }
 
+// pairSpan resolves the effective pair universe bound: an explicit Span,
+// or the legacy PairSpan default.
+func (s Scenario) pairSpan() int {
+	if s.Span > 0 {
+		return s.Span
+	}
+	return PairSpan(s.N)
+}
+
 func (s Scenario) randomPairs(seed int64) []graph.Edge {
 	rng := rand.New(rand.NewSource(seed))
-	return graph.RandomPairs(PairSpan(s.N), s.Pairs, rng.Intn)
+	return graph.RandomPairs(s.pairSpan(), s.Pairs, rng.Intn)
 }
 
 func (s Scenario) executeFame(ctx context.Context, adv radio.Adversary, seed int64, st *runState, res *RunResult) error {
@@ -338,22 +371,45 @@ func (s Scenario) executeSecureGroup(ctx context.Context, adv radio.Adversary, s
 	if err != nil {
 		return err
 	}
-	holders := 0
-	for i := range gkResults {
-		if gkResults[i].Err != nil {
-			return fmt.Errorf("node %d setup: %w", i, gkResults[i].Err)
-		}
-		if gkResults[i].GroupKey != nil {
-			holders++
-		}
+	// A node-local setup failure leaves that node keyless, exactly like a
+	// node the agreement phase excluded: both are tolerated, idle through
+	// the emulated rounds, and surface in Cover — the run as a whole fails
+	// only when the key-holder quorum of the paper (n-t) is missed.
+	attempted, holders := secureGroupAccounting(gkResults, em)
+	if holders < s.N-s.T {
+		return fmt.Errorf("fleet: secure-group setup missed quorum: %d of %d nodes hold the key, need n-t = %d",
+			holders, s.N, s.N-s.T)
 	}
 	res.Rounds = radioRes.Rounds
-	res.Attempted = em * (s.N - 1)
+	res.Attempted = attempted
 	for _, n := range received {
 		res.Delivered += n
 	}
 	res.Cover = s.N - holders
 	return nil
+}
+
+// secureGroupAccounting derives the delivery denominator of a secure-group
+// run from the actual per-node setup outcomes. Only emulated rounds whose
+// scheduled broadcaster (round e is node e mod n) holds the group key can
+// deliver anything, and only the other key holders can authenticate the
+// broadcast — so each such round attempts holders-1 deliveries. Emulated
+// rounds scheduled on a keyless broadcaster attempt nothing: counting them
+// (the old em*(n-1) formula) silently deflated the delivery rate whenever
+// setup excluded a node.
+func secureGroupAccounting(results []groupkey.NodeResult, em int) (attempted, holders int) {
+	n := len(results)
+	for i := range results {
+		if results[i].GroupKey != nil {
+			holders++
+		}
+	}
+	for e := 0; e < em; e++ {
+		if results[e%n].GroupKey != nil {
+			attempted += holders - 1
+		}
+	}
+	return attempted, holders
 }
 
 // registry holds the built-in scenarios in definition order.
@@ -377,6 +433,10 @@ var registry = []Scenario{
 	{
 		Name: "fame-hop-2t", Desc: "f-AME in the 2t regime vs adaptive channel-hopping jammer",
 		Proto: ProtoFame, N: 64, C: 4, T: 2, Pairs: 6, Regime: core.Regime2T, Adversary: "hop",
+	},
+	{
+		Name: "fame-combo", Desc: "f-AME vs layered combo adversary (jam + replay)",
+		Proto: ProtoFame, N: 20, C: 2, T: 1, Pairs: 8, Adversary: "combo",
 	},
 	{
 		Name: "compact-replay", Desc: "compact f-AME (Section 5.6) vs replay spoofer",

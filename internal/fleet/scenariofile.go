@@ -1,0 +1,236 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"securadio/internal/core"
+)
+
+// ScenarioFile is a user-defined scenario/sweep catalog, parsed from JSON.
+// Campaigns and sweeps are no longer limited to the built-in registry: a
+// file defines named scenarios exactly as expressive as the built-ins, and
+// sweeps whose base may be a file scenario or a built-in. File scenarios
+// shadow same-named built-ins for lookups through the file.
+//
+// The JSON schema mirrors the Scenario and Sweep fields in snake_case;
+// regimes are spelled like the CLIs spell them ("auto", "base", "2t",
+// "2t2") and unknown keys are rejected so typos fail loudly:
+//
+//	{
+//	  "scenarios": [
+//	    {"name": "wide-fame", "proto": "fame", "n": 48, "c": 3, "t": 2,
+//	     "pairs": 16, "span": 48, "regime": "base", "adversary": "combo"}
+//	  ],
+//	  "sweeps": [
+//	    {"name": "wide-grid", "base": "wide-fame", "n": [24, 48],
+//	     "adversary": ["jam", "combo"], "runs": 100, "seed": 7}
+//	  ]
+//	}
+type ScenarioFile struct {
+	Scenarios []Scenario
+	Sweeps    []Sweep
+}
+
+// fileScenario is the on-disk scenario schema.
+type fileScenario struct {
+	Name      string `json:"name"`
+	Desc      string `json:"desc,omitempty"`
+	Proto     string `json:"proto"`
+	N         int    `json:"n"`
+	C         int    `json:"c"`
+	T         int    `json:"t"`
+	Pairs     int    `json:"pairs,omitempty"`
+	Span      int    `json:"span,omitempty"`
+	Regime    string `json:"regime,omitempty"`
+	Cleanup   int    `json:"cleanup,omitempty"`
+	Adversary string `json:"adversary"`
+	EmRounds  int    `json:"em_rounds,omitempty"`
+}
+
+// fileSweep is the on-disk sweep schema. Base names a scenario from the
+// same file or the built-in registry.
+type fileSweep struct {
+	Name      string   `json:"name"`
+	Desc      string   `json:"desc,omitempty"`
+	Base      string   `json:"base"`
+	N         []int    `json:"n,omitempty"`
+	C         []int    `json:"c,omitempty"`
+	T         []int    `json:"t,omitempty"`
+	Pairs     []int    `json:"pairs,omitempty"`
+	Regime    []string `json:"regime,omitempty"`
+	Adversary []string `json:"adversary,omitempty"`
+	EmRounds  []int    `json:"em_rounds,omitempty"`
+	Runs      int      `json:"runs,omitempty"`
+	Seed      int64    `json:"seed,omitempty"`
+	Workers   int      `json:"workers,omitempty"`
+}
+
+type fileSchema struct {
+	Scenarios []fileScenario `json:"scenarios,omitempty"`
+	Sweeps    []fileSweep    `json:"sweeps,omitempty"`
+}
+
+// ParseScenarioFile decodes and structurally validates a scenario/sweep
+// catalog: names must be present and unique within the file, protocols,
+// regimes and adversary strategies must be known, and sweep bases must
+// resolve. Full model-bound validation (Scenario.Validate) stays with the
+// execution path, so a file may carry scenarios for parameter ranges the
+// current build rejects without becoming unreadable.
+func ParseScenarioFile(r io.Reader) (*ScenarioFile, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var raw fileSchema
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("fleet: scenario file: %w", err)
+	}
+	// A second document in the stream is a malformed file, not extra data
+	// to silently ignore.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("fleet: scenario file: trailing data after the catalog object")
+	}
+	if len(raw.Scenarios) == 0 && len(raw.Sweeps) == 0 {
+		return nil, fmt.Errorf("fleet: scenario file: no scenarios or sweeps defined")
+	}
+
+	out := &ScenarioFile{}
+	names := make(map[string]bool)
+	for i, fs := range raw.Scenarios {
+		if fs.Name == "" {
+			return nil, fmt.Errorf("fleet: scenario file: scenarios[%d] has no name", i)
+		}
+		if names[fs.Name] {
+			return nil, fmt.Errorf("fleet: scenario file: duplicate scenario name %q", fs.Name)
+		}
+		names[fs.Name] = true
+		s, err := fs.scenario()
+		if err != nil {
+			return nil, err
+		}
+		out.Scenarios = append(out.Scenarios, s)
+	}
+
+	sweepNames := make(map[string]bool)
+	for i, fw := range raw.Sweeps {
+		if fw.Name == "" {
+			return nil, fmt.Errorf("fleet: scenario file: sweeps[%d] has no name", i)
+		}
+		if sweepNames[fw.Name] {
+			return nil, fmt.Errorf("fleet: scenario file: duplicate sweep name %q", fw.Name)
+		}
+		sweepNames[fw.Name] = true
+		sw, err := fw.sweep(out)
+		if err != nil {
+			return nil, err
+		}
+		out.Sweeps = append(out.Sweeps, sw)
+	}
+	return out, nil
+}
+
+// LoadScenarioFile reads and parses a scenario/sweep catalog from disk.
+func LoadScenarioFile(path string) (*ScenarioFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sf, err := ParseScenarioFile(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sf, nil
+}
+
+// scenario converts the on-disk form, rejecting unknown enum spellings.
+func (fs fileScenario) scenario() (Scenario, error) {
+	switch fs.Proto {
+	case ProtoFame, ProtoFameCompact, ProtoFameDirect, ProtoGroupKey, ProtoSecureGroup:
+	default:
+		return Scenario{}, fmt.Errorf("fleet: scenario file: scenario %q: unknown protocol %q", fs.Name, fs.Proto)
+	}
+	if _, ok := advFactories[fs.Adversary]; !ok {
+		return Scenario{}, fmt.Errorf("fleet: scenario file: scenario %q: unknown adversary %q (have %v)",
+			fs.Name, fs.Adversary, Adversaries())
+	}
+	regime, err := ParseRegime(fs.Regime)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("fleet: scenario file: scenario %q: %w", fs.Name, err)
+	}
+	return Scenario{
+		Name: fs.Name, Desc: fs.Desc, Proto: fs.Proto,
+		N: fs.N, C: fs.C, T: fs.T,
+		Pairs: fs.Pairs, Span: fs.Span,
+		Regime: regime, Cleanup: fs.Cleanup,
+		Adversary: fs.Adversary, EmRounds: fs.EmRounds,
+	}, nil
+}
+
+// sweep converts the on-disk form, resolving Base against the file's own
+// scenarios first and the built-in registry second.
+func (fw fileSweep) sweep(sf *ScenarioFile) (Sweep, error) {
+	if fw.Base == "" {
+		return Sweep{}, fmt.Errorf("fleet: scenario file: sweep %q has no base scenario", fw.Name)
+	}
+	base, ok := sf.Lookup(fw.Base)
+	if !ok {
+		return Sweep{}, fmt.Errorf("fleet: scenario file: sweep %q: unknown base scenario %q", fw.Name, fw.Base)
+	}
+	var regimes []core.Regime
+	for _, spell := range fw.Regime {
+		r, err := ParseRegime(spell)
+		if err != nil {
+			return Sweep{}, fmt.Errorf("fleet: scenario file: sweep %q: %w", fw.Name, err)
+		}
+		regimes = append(regimes, r)
+	}
+	for _, adv := range fw.Adversary {
+		if _, ok := advFactories[adv]; !ok {
+			return Sweep{}, fmt.Errorf("fleet: scenario file: sweep %q: unknown adversary %q (have %v)",
+				fw.Name, adv, Adversaries())
+		}
+	}
+	return Sweep{
+		Name: fw.Name, Desc: fw.Desc, Base: base,
+		N: fw.N, C: fw.C, T: fw.T, Pairs: fw.Pairs,
+		Regime: regimes, Adversary: fw.Adversary, EmRounds: fw.EmRounds,
+		Runs: fw.Runs, Seed: fw.Seed, Workers: fw.Workers,
+	}, nil
+}
+
+// Lookup resolves a scenario name against the file's scenarios first and
+// the built-in registry second, so files can shadow built-ins.
+func (sf *ScenarioFile) Lookup(name string) (Scenario, bool) {
+	for _, s := range sf.Scenarios {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Lookup(name)
+}
+
+// LookupSweep resolves a sweep defined in the file.
+func (sf *ScenarioFile) LookupSweep(name string) (Sweep, bool) {
+	for _, s := range sf.Sweeps {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Sweep{}, false
+}
+
+// Names returns the file's scenario and sweep names, comma-separated, for
+// error messages and listings.
+func (sf *ScenarioFile) Names() string {
+	var parts []string
+	for _, s := range sf.Scenarios {
+		parts = append(parts, s.Name)
+	}
+	for _, s := range sf.Sweeps {
+		parts = append(parts, s.Name+" (sweep)")
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,136 @@
+package fleet
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"securadio/internal/core"
+)
+
+const validCatalog = `{
+  "scenarios": [
+    {"name": "file-fame", "desc": "wide f-AME", "proto": "fame",
+     "n": 24, "c": 3, "t": 1, "pairs": 6, "span": 24, "regime": "base",
+     "adversary": "combo"},
+    {"name": "file-gk", "proto": "groupkey", "n": 20, "c": 2, "t": 1,
+     "adversary": "jam"}
+  ],
+  "sweeps": [
+    {"name": "file-grid", "base": "file-fame", "n": [24, 32],
+     "adversary": ["none", "combo"], "runs": 3, "seed": 11}
+  ]
+}`
+
+// TestScenarioFileRoundTrip is the satellite acceptance test: parse ->
+// Validate -> Execute, end to end.
+func TestScenarioFileRoundTrip(t *testing.T) {
+	sf, err := ParseScenarioFile(strings.NewReader(validCatalog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sf.Scenarios) != 2 || len(sf.Sweeps) != 1 {
+		t.Fatalf("parsed %d scenarios, %d sweeps", len(sf.Scenarios), len(sf.Sweeps))
+	}
+	s, ok := sf.Lookup("file-fame")
+	if !ok {
+		t.Fatal("file-fame not found")
+	}
+	if s.Proto != ProtoFame || s.N != 24 || s.Span != 24 || s.Regime != core.RegimeBase || s.Adversary != "combo" {
+		t.Fatalf("file-fame decoded wrong: %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := s.Execute(context.Background(), 0, 5)
+	if !res.OK() {
+		t.Fatalf("file scenario failed to execute: %s", res.Err)
+	}
+	if res.Attempted != 6 {
+		t.Fatalf("attempted = %d, want 6 pairs", res.Attempted)
+	}
+
+	// File lookups still fall through to the built-ins.
+	if _, ok := sf.Lookup("fame-jam"); !ok {
+		t.Fatal("built-in fallback broken")
+	}
+
+	// The file's sweep runs end to end with its own Runs/Seed.
+	sw, ok := sf.LookupSweep("file-grid")
+	if !ok {
+		t.Fatal("file-grid not found")
+	}
+	if sw.Runs != 3 || sw.Seed != 11 || sw.Base.Name != "file-fame" {
+		t.Fatalf("sweep decoded wrong: %+v", sw)
+	}
+	matrix, err := RunSweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matrix.Cells) != 4 {
+		t.Fatalf("sweep ran %d cells, want 4", len(matrix.Cells))
+	}
+	for _, cr := range matrix.Cells {
+		if cr.Agg == nil || cr.Agg.Runs != 3 {
+			t.Fatalf("cell %q: %+v (skip=%q)", cr.Cell, cr.Agg, cr.Skip)
+		}
+	}
+}
+
+func TestLoadScenarioFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.json")
+	if err := os.WriteFile(path, []byte(validCatalog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := LoadScenarioFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sf.Scenarios) != 2 {
+		t.Fatalf("loaded %d scenarios", len(sf.Scenarios))
+	}
+	if _, err := LoadScenarioFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestParseScenarioFileRejections(t *testing.T) {
+	cases := map[string]string{
+		"not json":          `{"scenarios": [`,
+		"trailing data":     `{"scenarios": [{"name":"x","proto":"fame","n":20,"c":2,"t":1,"pairs":4,"adversary":"none"}]} {"extra": true}`,
+		"empty catalog":     `{}`,
+		"unknown key":       `{"scenarios": [{"name":"x","proto":"fame","n":20,"c":2,"t":1,"pairs":4,"adversary":"none","bogus":1}]}`,
+		"missing name":      `{"scenarios": [{"proto":"fame","n":20,"c":2,"t":1,"pairs":4,"adversary":"none"}]}`,
+		"duplicate name":    `{"scenarios": [{"name":"x","proto":"fame","n":20,"c":2,"t":1,"pairs":4,"adversary":"none"},{"name":"x","proto":"fame","n":20,"c":2,"t":1,"pairs":4,"adversary":"none"}]}`,
+		"unknown proto":     `{"scenarios": [{"name":"x","proto":"bogus","n":20,"c":2,"t":1,"adversary":"none"}]}`,
+		"unknown adversary": `{"scenarios": [{"name":"x","proto":"fame","n":20,"c":2,"t":1,"pairs":4,"adversary":"bogus"}]}`,
+		"unknown regime":    `{"scenarios": [{"name":"x","proto":"fame","n":20,"c":2,"t":1,"pairs":4,"adversary":"none","regime":"3t"}]}`,
+		"sweep no name":     `{"sweeps": [{"base":"fame-jam","runs":2}]}`,
+		"sweep no base":     `{"sweeps": [{"name":"g","runs":2}]}`,
+		"sweep bad base":    `{"sweeps": [{"name":"g","base":"no-such","runs":2}]}`,
+		"sweep bad regime":  `{"sweeps": [{"name":"g","base":"fame-jam","regime":["3t"],"runs":2}]}`,
+		"sweep bad adv":     `{"sweeps": [{"name":"g","base":"fame-jam","adversary":["bogus"],"runs":2}]}`,
+		"duplicate sweep":   `{"sweeps": [{"name":"g","base":"fame-jam","runs":2},{"name":"g","base":"fame-jam","runs":2}]}`,
+	}
+	for label, blob := range cases {
+		if _, err := ParseScenarioFile(strings.NewReader(blob)); err == nil {
+			t.Errorf("%s: parsed without error", label)
+		}
+	}
+}
+
+// TestScenarioFileShadowsBuiltins: a file scenario with a built-in's name
+// wins lookups through the file.
+func TestScenarioFileShadowsBuiltins(t *testing.T) {
+	blob := `{"scenarios": [{"name":"fame-jam","proto":"fame","n":40,"c":2,"t":1,"pairs":4,"adversary":"none"}]}`
+	sf, err := ParseScenarioFile(strings.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := sf.Lookup("fame-jam")
+	if !ok || s.N != 40 || s.Adversary != "none" {
+		t.Fatalf("shadowing broken: %+v (ok=%v)", s, ok)
+	}
+}

@@ -1,0 +1,446 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"securadio/internal/core"
+	"securadio/internal/metrics"
+)
+
+// Sweep is a cartesian parameter grid over a base scenario: every
+// combination of the non-empty axes becomes one derived Scenario ("cell"),
+// and each cell is executed as a Runs-sized seed grid. All cells' runs fan
+// through one shared worker pool, so a sweep costs the same wall clock as
+// a single campaign of equal total size, and the matrix report is a
+// deterministic function of (Base, axes, Runs, Seed) regardless of worker
+// count.
+type Sweep struct {
+	// Name identifies the sweep in reports; empty selects the base
+	// scenario's name.
+	Name string
+
+	// Desc is a one-line description for listings.
+	Desc string
+
+	// Base is the cell template: every cell starts from it and overrides
+	// the axis fields below.
+	Base Scenario
+
+	// Axes. An empty axis keeps the base scenario's value; a non-empty
+	// axis multiplies the grid by its values, in the declared order
+	// (N outermost, EmRounds innermost).
+	//
+	// When the N axis is set, each cell's pair universe tracks its N: the
+	// cell's Span becomes n (or min(Base.Span, n) when the base pins a
+	// span), so sweeping N actually changes the workload instead of
+	// silently redrawing pairs among the first PairSpan(N) nodes.
+	N         []int
+	C         []int
+	T         []int
+	Pairs     []int
+	Regime    []core.Regime
+	Adversary []string
+	EmRounds  []int
+
+	// Runs is the per-cell seed-grid size.
+	Runs int
+
+	// Seed is the sweep master seed; per-cell campaign seeds derive from
+	// it by cell index, and per-run seeds from the cell seed, so the whole
+	// matrix is reproducible from one integer.
+	Seed int64
+
+	// Workers bounds the shared worker pool; non-positive selects
+	// GOMAXPROCS.
+	Workers int
+}
+
+// name resolves the sweep's report name.
+func (s Sweep) name() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return s.Base.Name
+}
+
+// Axis is one expanded sweep dimension, named for reports.
+type Axis struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+// axes renders the non-empty dimensions in expansion order.
+func (s Sweep) axes() []Axis {
+	var out []Axis
+	add := func(name string, n int, value func(int) string) {
+		if n == 0 {
+			return
+		}
+		ax := Axis{Name: name}
+		for i := 0; i < n; i++ {
+			ax.Values = append(ax.Values, value(i))
+		}
+		out = append(out, ax)
+	}
+	add("n", len(s.N), func(i int) string { return fmt.Sprint(s.N[i]) })
+	add("c", len(s.C), func(i int) string { return fmt.Sprint(s.C[i]) })
+	add("t", len(s.T), func(i int) string { return fmt.Sprint(s.T[i]) })
+	add("pairs", len(s.Pairs), func(i int) string { return fmt.Sprint(s.Pairs[i]) })
+	add("regime", len(s.Regime), func(i int) string { return RegimeName(s.Regime[i]) })
+	add("adv", len(s.Adversary), func(i int) string { return s.Adversary[i] })
+	add("em", len(s.EmRounds), func(i int) string { return fmt.Sprint(s.EmRounds[i]) })
+	return out
+}
+
+// Validate reports whether the sweep is runnable. Individual cells may
+// still fail Scenario.Validate — for example a (C, T) combination outside
+// the model bounds — which RunSweep records as skipped cells in the
+// matrix instead of failing the whole sweep; only a grid with no runnable
+// cell at all is an error.
+func (s Sweep) Validate() error {
+	_, _, err := s.expand()
+	return err
+}
+
+// expand is the single grid expansion + validation pass shared by
+// Validate and RunSweep: it returns the derived cells and, aligned with
+// them, each unrunnable cell's validation error (nil for runnable cells).
+func (s Sweep) expand() (cells []Scenario, skips []error, err error) {
+	if s.Runs <= 0 {
+		return nil, nil, fmt.Errorf("fleet: sweep %q: Runs = %d, want > 0", s.name(), s.Runs)
+	}
+	// Axes the base protocol never reads would multiply the grid into
+	// cells whose only real difference is the derived seed — a matrix
+	// that shows pure seed noise as variation along the axis — so they
+	// are rejected up front.
+	fameBase := s.Base.Proto == ProtoFame || s.Base.Proto == ProtoFameCompact || s.Base.Proto == ProtoFameDirect
+	if len(s.EmRounds) > 0 && s.Base.Proto != ProtoSecureGroup {
+		return nil, nil, fmt.Errorf("fleet: sweep %q: the EmRounds axis applies only to %s scenarios (base %q is %q)",
+			s.name(), ProtoSecureGroup, s.Base.Name, s.Base.Proto)
+	}
+	if len(s.Pairs) > 0 && !fameBase {
+		return nil, nil, fmt.Errorf("fleet: sweep %q: the Pairs axis applies only to f-AME scenarios (base %q is %q)",
+			s.name(), s.Base.Name, s.Base.Proto)
+	}
+	// A typo on the adversary axis must fail fast, not silently demote
+	// its whole slice of the grid to skipped cells.
+	for _, adv := range s.Adversary {
+		if _, ok := advFactories[adv]; !ok {
+			return nil, nil, fmt.Errorf("fleet: sweep %q: unknown adversary %q on the Adversary axis (have %v)",
+				s.name(), adv, Adversaries())
+		}
+	}
+	cells, err = s.Cells()
+	if err != nil {
+		return nil, nil, err
+	}
+	skips = make([]error, len(cells))
+	var firstSkip error
+	valid := 0
+	for i, cell := range cells {
+		if verr := cell.Validate(); verr != nil {
+			skips[i] = verr
+			if firstSkip == nil {
+				firstSkip = verr
+			}
+			continue
+		}
+		valid++
+	}
+	if valid == 0 {
+		return nil, nil, fmt.Errorf("fleet: sweep %q: none of the %d grid cells validates (first: %v)",
+			s.name(), len(cells), firstSkip)
+	}
+	return cells, skips, nil
+}
+
+// Cells expands the grid into derived scenarios, row-major in axis
+// declaration order (N outermost, EmRounds innermost). Cell names append
+// the axis coordinates to the base name ("base/n=24,adv=combo"), so every
+// cell is identifiable in flat reports.
+func (s Sweep) Cells() ([]Scenario, error) {
+	if s.Base.Name == "" {
+		return nil, fmt.Errorf("fleet: sweep has no base scenario")
+	}
+	cells := []Scenario{s.Base}
+	coords := [][]string{nil}
+
+	// expand multiplies the current cell set by one axis.
+	expand := func(n int, apply func(cell *Scenario, i int) string) {
+		if n == 0 {
+			return
+		}
+		next := make([]Scenario, 0, len(cells)*n)
+		nextCoords := make([][]string, 0, len(cells)*n)
+		for ci, cell := range cells {
+			for i := 0; i < n; i++ {
+				derived := cell
+				coord := apply(&derived, i)
+				next = append(next, derived)
+				nextCoords = append(nextCoords, append(append([]string(nil), coords[ci]...), coord))
+			}
+		}
+		cells, coords = next, nextCoords
+	}
+
+	expand(len(s.N), func(cell *Scenario, i int) string {
+		cell.N = s.N[i]
+		// Scale the pair universe with the axis: the legacy PairSpan
+		// default would cap it at 12 nodes and make the N axis a no-op
+		// for the f-AME workload.
+		cell.Span = cell.N
+		if s.Base.Span > 0 && s.Base.Span < cell.N {
+			cell.Span = s.Base.Span
+		}
+		return fmt.Sprintf("n=%d", s.N[i])
+	})
+	expand(len(s.C), func(cell *Scenario, i int) string {
+		cell.C = s.C[i]
+		return fmt.Sprintf("c=%d", s.C[i])
+	})
+	expand(len(s.T), func(cell *Scenario, i int) string {
+		cell.T = s.T[i]
+		return fmt.Sprintf("t=%d", s.T[i])
+	})
+	expand(len(s.Pairs), func(cell *Scenario, i int) string {
+		cell.Pairs = s.Pairs[i]
+		return fmt.Sprintf("pairs=%d", s.Pairs[i])
+	})
+	expand(len(s.Regime), func(cell *Scenario, i int) string {
+		cell.Regime = s.Regime[i]
+		return fmt.Sprintf("regime=%s", RegimeName(s.Regime[i]))
+	})
+	expand(len(s.Adversary), func(cell *Scenario, i int) string {
+		cell.Adversary = s.Adversary[i]
+		return fmt.Sprintf("adv=%s", s.Adversary[i])
+	})
+	expand(len(s.EmRounds), func(cell *Scenario, i int) string {
+		cell.EmRounds = s.EmRounds[i]
+		return fmt.Sprintf("em=%d", s.EmRounds[i])
+	})
+
+	base := s.name()
+	for i := range cells {
+		if len(coords[i]) == 0 {
+			cells[i].Name = base
+			continue
+		}
+		name := base + "/"
+		for k, c := range coords[i] {
+			if k > 0 {
+				name += ","
+			}
+			name += c
+		}
+		cells[i].Name = name
+	}
+	return cells, nil
+}
+
+// CellResult is one grid cell's entry in the sweep matrix: either the
+// cell's campaign aggregate, or the validation error that made the cell
+// unrunnable (Skip), for grids whose axes combine into parameter sets the
+// model rejects.
+type CellResult struct {
+	Cell string     `json:"cell"`
+	Skip string     `json:"skip,omitempty"`
+	Agg  *Aggregate `json:"aggregate,omitempty"`
+
+	scen Scenario // derived cell config, for table/CSV rendering
+}
+
+// SweepResult is the deterministic matrix report of a sweep: one entry per
+// grid cell, in expansion order. Like Aggregate, every JSON field is a
+// deterministic function of the sweep definition and seed; wall-clock
+// measurements stay out of the encoding.
+type SweepResult struct {
+	Name        string       `json:"name"`
+	Axes        []Axis       `json:"axes"`
+	RunsPerCell int          `json:"runs_per_cell"`
+	Seed        int64        `json:"seed"`
+	Cells       []CellResult `json:"cells"`
+
+	// Wall-clock summary (excluded from JSON for determinism).
+	Elapsed    time.Duration `json:"-"`
+	RunsPerSec float64       `json:"-"`
+}
+
+// RunSweep expands the grid and executes every runnable cell's seed grid
+// through one shared worker pool (the same pool core Run uses). Cells
+// stream concurrently — the pool draws (cell, run) jobs from the
+// flattened grid, so a slow cell never serializes the sweep — while each
+// run's outcome folds into its own cell's aggregate. Cancelling ctx stops
+// dispatching and aborts in-flight simulations exactly as in Run; the
+// partial matrix of completed runs is returned along with the context's
+// error. Cells whose derived parameters fail validation are recorded as
+// skipped in the matrix; a sweep with no runnable cell at all is an
+// error.
+func RunSweep(ctx context.Context, s Sweep) (*SweepResult, error) {
+	cells, skips, err := s.expand()
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-cell campaign plans: cell seeds derive from the sweep seed by
+	// cell index through the same splitmix stream runs use, so every cell
+	// gets a statistically independent seed grid.
+	campaigns := make([]Campaign, len(cells))
+	aggs := make([]*Aggregate, len(cells))
+	result := &SweepResult{
+		Name:        s.name(),
+		Axes:        s.axes(),
+		RunsPerCell: s.Runs,
+		Seed:        s.Seed,
+		Cells:       make([]CellResult, len(cells)),
+	}
+	var jobs []poolJob
+	for i, cell := range cells {
+		result.Cells[i] = CellResult{Cell: cell.Name, scen: cell}
+		if skips[i] != nil {
+			result.Cells[i].Skip = skips[i].Error()
+			continue
+		}
+		campaigns[i] = Campaign{
+			Scenario: cell,
+			Runs:     s.Runs,
+			Seed:     Campaign{Seed: s.Seed}.SeedFor(i),
+		}
+		aggs[i] = newAggregate(campaigns[i])
+		for run := 0; run < s.Runs; run++ {
+			jobs = append(jobs, poolJob{plan: i, run: run})
+		}
+	}
+
+	start := time.Now()
+	completed := runPool(ctx, s.Workers, len(jobs), campaigns, func(i int) poolJob {
+		return jobs[i]
+	}, func(j poolJob, r RunResult) {
+		aggs[j.plan].observe(r)
+	})
+	elapsed := time.Since(start)
+	for i, agg := range aggs {
+		if agg == nil {
+			continue
+		}
+		// Cells interleave on the shared pool, so no cell owns a
+		// wall-clock span: per-cell aggregates carry zero Elapsed /
+		// RunsPerSec and the sweep-level result reports the real totals.
+		agg.finalize(0)
+		result.Cells[i].Agg = agg
+	}
+	result.Elapsed = elapsed
+	if sec := elapsed.Seconds(); sec > 0 {
+		result.RunsPerSec = float64(completed) / sec
+	}
+	if completed == len(jobs) {
+		return result, nil
+	}
+	return result, ctx.Err()
+}
+
+// WriteJSON emits the deterministic sweep matrix as indented JSON.
+func (r *SweepResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// MarshalIndent returns the matrix's canonical JSON bytes.
+func (r *SweepResult) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// matrixHeaders is the flat per-cell column set shared by CSV and table
+// output.
+func matrixHeaders() []string {
+	return []string{
+		"cell", "proto", "adversary", "n", "c", "t", "pairs", "span", "regime", "em",
+		"runs", "failures", "delivery_rate", "rounds_p50", "rounds_p95",
+	}
+}
+
+// matrixRow renders one runnable cell. Columns the cell's protocol never
+// reads (pairs/span outside f-AME, em outside secure-group) render as "-"
+// rather than their internal defaults, which would imply the values had
+// an effect.
+func (cr CellResult) matrixRow() []any {
+	s, a := cr.scen, cr.Agg
+	pairs, span, em := any("-"), any("-"), any("-")
+	switch s.Proto {
+	case ProtoFame, ProtoFameCompact, ProtoFameDirect:
+		pairs, span = s.Pairs, s.pairSpan()
+	case ProtoSecureGroup:
+		em = s.emRounds()
+	}
+	return []any{
+		cr.Cell, s.Proto, s.Adversary, s.N, s.C, s.T, pairs, span, RegimeName(s.Regime), em,
+		a.Runs, a.Failures, a.DeliveryRate, a.Rounds.P50, a.Rounds.P95,
+	}
+}
+
+// WriteCSV emits the matrix as one CSV row per runnable cell; skipped
+// cells are omitted (their absence is visible in the JSON report).
+func (r *SweepResult) WriteCSV(w io.Writer) {
+	t := metrics.NewTable("", matrixHeaders()...)
+	for _, cr := range r.Cells {
+		if cr.Agg == nil {
+			continue
+		}
+		t.AddRow(cr.matrixRow()...)
+	}
+	t.RenderCSV(w)
+}
+
+// WriteTable renders the human-readable matrix report: one row per cell,
+// then any skipped cells with their reasons, then the wall-clock summary.
+func (r *SweepResult) WriteTable(w io.Writer) {
+	title := fmt.Sprintf("sweep %s (%d cells x %d runs, seed %d)", r.Name, len(r.Cells), r.RunsPerCell, r.Seed)
+	t := metrics.NewTable(title, matrixHeaders()...)
+	for _, cr := range r.Cells {
+		if cr.Agg == nil {
+			continue
+		}
+		t.AddRow(cr.matrixRow()...)
+	}
+	t.Render(w)
+
+	skipped := metrics.NewTable("skipped cells", "cell", "reason")
+	for _, cr := range r.Cells {
+		if cr.Skip != "" {
+			skipped.AddRow(cr.Cell, cr.Skip)
+		}
+	}
+	if skipped.Len() > 0 {
+		fmt.Fprintln(w)
+		skipped.Render(w)
+	}
+
+	fmt.Fprintf(w, "\nwall clock: %v (%.1f runs/sec)\n", r.Elapsed.Round(time.Millisecond), r.RunsPerSec)
+}
+
+// RegimeName renders a channel-usage regime the way scenario files and
+// sweep axes spell it; ParseRegime is its inverse.
+func RegimeName(r core.Regime) string {
+	return r.String()
+}
+
+// ParseRegime parses the regime spelling used by scenario files, sweep
+// axes and the CLIs. The empty string selects RegimeAuto.
+func ParseRegime(s string) (core.Regime, error) {
+	switch s {
+	case "", "auto":
+		return core.RegimeAuto, nil
+	case "base":
+		return core.RegimeBase, nil
+	case "2t":
+		return core.Regime2T, nil
+	case "2t2":
+		return core.Regime2T2, nil
+	default:
+		return core.RegimeAuto, fmt.Errorf("fleet: unknown regime %q (want auto, base, 2t or 2t2)", s)
+	}
+}

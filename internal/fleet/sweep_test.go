@@ -1,0 +1,282 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"securadio/internal/core"
+)
+
+// testSweep is a cheap 3-axis grid over the clear-spectrum scenario.
+func testSweep() Sweep {
+	return Sweep{
+		Base:      fastScenario(), // fame-clear: N=20 C=2 T=1 Pairs=8
+		N:         []int{20, 24},
+		T:         []int{0, 1},
+		Adversary: []string{"none", "jam"},
+		Runs:      4,
+		Seed:      7,
+	}
+}
+
+func TestSweepCellsExpansion(t *testing.T) {
+	s := testSweep()
+	cells, err := s.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 8 {
+		t.Fatalf("grid has %d cells, want 2*2*2 = 8", len(cells))
+	}
+	// Row-major: N outermost, Adversary innermost.
+	first, last := cells[0], cells[len(cells)-1]
+	if first.N != 20 || first.T != 0 || first.Adversary != "none" {
+		t.Fatalf("first cell = %+v", first)
+	}
+	if last.N != 24 || last.T != 1 || last.Adversary != "jam" {
+		t.Fatalf("last cell = %+v", last)
+	}
+	if first.Name != "fame-clear/n=20,t=0,adv=none" {
+		t.Fatalf("cell name = %q", first.Name)
+	}
+	names := make(map[string]bool)
+	for _, c := range cells {
+		if names[c.Name] {
+			t.Fatalf("duplicate cell name %q", c.Name)
+		}
+		names[c.Name] = true
+		// Non-axis fields come from the base.
+		if c.C != 2 || c.Pairs != 8 {
+			t.Fatalf("cell %q lost base fields: %+v", c.Name, c)
+		}
+	}
+}
+
+// TestSweepSpanScalesWithN pins the N-axis fix: cells must draw pairs from
+// the full node range, not the legacy 12-node cap.
+func TestSweepSpanScalesWithN(t *testing.T) {
+	s := Sweep{Base: fastScenario(), N: []int{16, 64}, Runs: 1, Seed: 1}
+	cells, err := s.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.Span != c.N {
+			t.Errorf("cell %q: Span = %d, want N = %d", c.Name, c.Span, c.N)
+		}
+		if got := c.pairSpan(); got != c.N {
+			t.Errorf("cell %q: pairSpan() = %d, want %d", c.Name, got, c.N)
+		}
+	}
+	// An explicit base Span is preserved (clamped to the cell's N).
+	base := fastScenario()
+	base.Span = 10
+	cells, err = Sweep{Base: base, N: []int{8, 64}, Runs: 1, Seed: 1}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Span != 8 || cells[1].Span != 10 {
+		t.Fatalf("explicit spans = %d, %d, want 8, 10", cells[0].Span, cells[1].Span)
+	}
+}
+
+// TestScenarioSpanWidensPairUniverse pins the PairSpan bugfix at the
+// scenario level: with Span set, large-N scenarios actually use nodes
+// beyond the legacy 12-node cap.
+func TestScenarioSpanWidensPairUniverse(t *testing.T) {
+	s := fastScenario()
+	s.N, s.Pairs = 64, 24
+	if got := s.pairSpan(); got != 12 {
+		t.Fatalf("default pairSpan for N=64 = %d, want legacy 12", got)
+	}
+	beyond := func(seed int64) bool {
+		for _, e := range s.randomPairs(seed) {
+			if e.Src >= 12 || e.Dst >= 12 {
+				return true
+			}
+		}
+		return false
+	}
+	if beyond(1) || beyond(2) || beyond(3) {
+		t.Fatal("legacy default drew pairs beyond node 11")
+	}
+	s.Span = 64
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !beyond(1) && !beyond(2) && !beyond(3) {
+		t.Fatal("Span=64 still confined pairs to nodes 0..11")
+	}
+}
+
+func TestSweepValidate(t *testing.T) {
+	if err := (Sweep{}).Validate(); err == nil {
+		t.Fatal("empty sweep validated")
+	}
+	s := testSweep()
+	s.Runs = 0
+	if err := s.Validate(); err == nil {
+		t.Fatal("Runs=0 validated")
+	}
+	// A sweep where no cell is runnable must fail up front.
+	s = Sweep{Base: fastScenario(), C: []int{1}, Runs: 4}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "none of the") {
+		t.Fatalf("all-invalid sweep: err = %v", err)
+	}
+	// Axes the base protocol never reads would sweep pure seed noise.
+	s = Sweep{Base: fastScenario(), EmRounds: []int{4, 8}, Runs: 4}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "EmRounds axis") {
+		t.Fatalf("em axis on f-AME base: err = %v", err)
+	}
+	gk, _ := Lookup("groupkey-jam")
+	s = Sweep{Base: gk, Pairs: []int{4, 8}, Runs: 4}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "Pairs axis") {
+		t.Fatalf("pairs axis on groupkey base: err = %v", err)
+	}
+	// A typo on the adversary axis fails fast instead of silently
+	// skipping its whole slice of the grid.
+	s = Sweep{Base: fastScenario(), Adversary: []string{"jam", "jma"}, Runs: 4}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), `unknown adversary "jma"`) {
+		t.Fatalf("adversary typo: err = %v", err)
+	}
+}
+
+// TestSweepDeterministic is the acceptance-criteria test: the same grid
+// must produce byte-identical matrix JSON for workers=1 and workers=8.
+func TestSweepDeterministic(t *testing.T) {
+	var blobs [][]byte
+	for _, workers := range []int{1, 8} {
+		s := testSweep()
+		s.Workers = workers
+		res, err := RunSweep(context.Background(), s)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		blob, err := res.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Fatalf("sweep JSON differs between worker counts:\n%s\nvs\n%s", blobs[0], blobs[1])
+	}
+}
+
+func TestSweepMatrixContents(t *testing.T) {
+	res, err := RunSweep(context.Background(), testSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "fame-clear" || res.RunsPerCell != 4 || res.Seed != 7 {
+		t.Fatalf("header = %q/%d/%d", res.Name, res.RunsPerCell, res.Seed)
+	}
+	if len(res.Axes) != 3 {
+		t.Fatalf("axes = %+v, want 3", res.Axes)
+	}
+	if len(res.Cells) != 8 {
+		t.Fatalf("%d cells, want 8", len(res.Cells))
+	}
+	seeds := make(map[int64]bool)
+	for _, cr := range res.Cells {
+		if cr.Skip != "" || cr.Agg == nil {
+			t.Fatalf("cell %q did not run: skip=%q", cr.Cell, cr.Skip)
+		}
+		if cr.Agg.Runs != 4 || cr.Agg.Requested != 4 {
+			t.Fatalf("cell %q ran %d/%d", cr.Cell, cr.Agg.Runs, cr.Agg.Requested)
+		}
+		if cr.Agg.Scenario != cr.Cell {
+			t.Fatalf("aggregate scenario %q != cell %q", cr.Agg.Scenario, cr.Cell)
+		}
+		if seeds[cr.Agg.Seed] {
+			t.Fatalf("cells share campaign seed %d", cr.Agg.Seed)
+		}
+		seeds[cr.Agg.Seed] = true
+	}
+}
+
+// TestSweepSkipsInvalidCells: a grid mixing runnable and model-rejected
+// parameter combinations runs the former and records the latter.
+func TestSweepSkipsInvalidCells(t *testing.T) {
+	s := Sweep{
+		Base: fastScenario(),
+		C:    []int{2, 1}, // C=1 is below the model bound
+		Runs: 2,
+		Seed: 3,
+	}
+	res, err := RunSweep(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("%d cells, want 2", len(res.Cells))
+	}
+	if res.Cells[0].Skip != "" || res.Cells[0].Agg == nil {
+		t.Fatalf("valid cell skipped: %+v", res.Cells[0])
+	}
+	if res.Cells[1].Skip == "" || res.Cells[1].Agg != nil {
+		t.Fatalf("invalid cell not skipped: %+v", res.Cells[1])
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunSweep(ctx, testSweep())
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	for _, cr := range res.Cells {
+		if cr.Agg != nil && cr.Agg.Runs != 0 {
+			t.Fatalf("pre-cancelled sweep executed %d runs in cell %q", cr.Agg.Runs, cr.Cell)
+		}
+	}
+}
+
+func TestSweepReports(t *testing.T) {
+	res, err := RunSweep(context.Background(), Sweep{
+		Base:      fastScenario(),
+		C:         []int{2, 1}, // include one skipped cell
+		Adversary: []string{"none", "jam"},
+		Runs:      2,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tbl, csv, js bytes.Buffer
+	res.WriteTable(&tbl)
+	res.WriteCSV(&csv)
+	if err := res.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sweep fame-clear", "adv=jam", "skipped cells"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl.String())
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "cell,") {
+		t.Fatalf("csv: want header + 2 runnable cells:\n%s", csv.String())
+	}
+	if strings.Contains(js.String(), "elapsed") {
+		t.Fatalf("timing leaked into JSON:\n%s", js.String())
+	}
+}
+
+func TestParseRegimeRoundTrip(t *testing.T) {
+	for _, r := range []core.Regime{core.RegimeAuto, core.RegimeBase, core.Regime2T, core.Regime2T2} {
+		got, err := ParseRegime(RegimeName(r))
+		if err != nil || got != r {
+			t.Fatalf("round trip %v -> %q -> %v, %v", r, RegimeName(r), got, err)
+		}
+	}
+	if _, err := ParseRegime("bogus"); err == nil {
+		t.Fatal("bogus regime parsed")
+	}
+	if r, err := ParseRegime(""); err != nil || r != core.RegimeAuto {
+		t.Fatalf("empty regime = %v, %v", r, err)
+	}
+}
