@@ -9,10 +9,15 @@
 //	fleetsim run -scenarios my.json -campaign my-scenario -runs 200 -format json
 //	fleetsim sweep -base fame-clear -n 20,32,64 -t 0,1 -adv none,jam,combo -runs 100
 //	fleetsim sweep -scenarios my.json -sweep my-grid -format csv -out grid.csv
+//	fleetsim sweep -base fame-worst -adaptive c -min 2 -max 16 -runs 200
+//	fleetsim analyze -in sweep.json -format table
+//	fleetsim diff -threshold 0.05 old-sweep.json new-sweep.json
 //
 // For a fixed -seed the aggregate and sweep JSON are byte-for-byte
 // deterministic, independent of worker count and scheduling, making them
-// suitable for cross-PR trajectory tracking.
+// suitable for cross-PR trajectory tracking; fleetsim diff compares two
+// such sweep reports cell by cell and exits non-zero when a cell's
+// delivery rate regressed beyond the threshold, so CI can gate on it.
 package main
 
 import (
@@ -52,7 +57,7 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return errors.New("usage: fleetsim <list|run|sweep> [flags]")
+		return errors.New("usage: fleetsim <list|run|sweep|analyze|diff> [flags]")
 	}
 	switch args[0] {
 	case "list":
@@ -61,8 +66,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return runCampaign(ctx, args[1:], out)
 	case "sweep":
 		return runSweep(ctx, args[1:], out)
+	case "analyze":
+		return runAnalyze(args[1:], out)
+	case "diff":
+		return runDiff(args[1:], out)
 	default:
-		return fmt.Errorf("unknown command %q (want list, run or sweep)", args[0])
+		return fmt.Errorf("unknown command %q (want list, run, sweep, analyze or diff)", args[0])
 	}
 }
 
@@ -186,18 +195,31 @@ func runCampaign(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(os.Stderr, "fleetsim: campaign interrupted (%v); reporting %d completed runs\n", err, agg.Runs)
 		err = errReported
 	}
-	// Track write failures: WriteTable/WriteCSV print through fmt and
-	// report nothing themselves, and a full disk must not exit 0.
+	return emitReport(*format, w, file, agg, err)
+}
+
+// report is the rendering surface shared by every deterministic fleet
+// report (campaign aggregate, sweep matrix, adaptive curve, marginals).
+type report interface {
+	WriteTable(w io.Writer)
+	WriteJSON(w io.Writer) error
+	WriteCSV(w io.Writer)
+}
+
+// emitReport renders a report in the requested format and surfaces I/O
+// failures. Track write failures: WriteTable/WriteCSV print through fmt
+// and report nothing themselves, and a full disk must not exit 0.
+func emitReport(format string, w io.Writer, file *os.File, r report, err error) error {
 	tw := &trackedWriter{w: w}
-	switch *format {
+	switch format {
 	case "table":
-		agg.WriteTable(tw)
+		r.WriteTable(tw)
 	case "json":
-		if jerr := agg.WriteJSON(tw); jerr != nil {
+		if jerr := r.WriteJSON(tw); jerr != nil {
 			return jerr
 		}
 	case "csv":
-		agg.WriteCSV(tw)
+		r.WriteCSV(tw)
 	}
 	return finishReport(tw, file, err)
 }
@@ -245,6 +267,12 @@ func runSweep(ctx context.Context, args []string, out io.Writer) error {
 		regimeAxis    = fs.String("regime", "", "Regime axis: comma-separated of auto|base|2t|2t2")
 		advAxis       = fs.String("adv", "", "Adversary axis: comma-separated strategy names")
 		emAxis        = fs.String("em", "", "EmRounds axis: comma-separated emulated round counts (secure-group)")
+		adaptive      = fs.String("adaptive", "", "adaptive threshold search on one numeric axis (n|c|t|em) instead of a cartesian grid")
+		minFlag       = fs.Int("min", 0, "adaptive: axis range lower bound (inclusive)")
+		maxFlag       = fs.Int("max", 0, "adaptive: axis range upper bound (inclusive)")
+		coarse        = fs.Int("coarse", 0, "adaptive: initial evenly-spaced grid size (0 = default)")
+		resolution    = fs.Int("resolution", 0, "adaptive: stop once the threshold bracket is this narrow (0 = default 1)")
+		budget        = fs.Int("budget", 0, "adaptive: total evaluated-point budget, coarse grid included (0 = default)")
 		runs          = fs.Int("runs", 100, "runs per grid cell")
 		seed          = fs.Int64("seed", 1, "sweep master seed")
 		workers       = fs.Int("workers", 0, "shared worker pool size (0 = all cores)")
@@ -266,6 +294,60 @@ func runSweep(ctx context.Context, args []string, out io.Writer) error {
 	catalog, err := loadCatalog(*scenariosPath)
 	if err != nil {
 		return err
+	}
+
+	if *adaptive != "" {
+		if *sweepName != "" {
+			return errors.New("-adaptive and -sweep are mutually exclusive")
+		}
+		if *base == "" {
+			return errors.New("-adaptive requires -base (the scenario the search derives from)")
+		}
+		for _, axis := range []string{"n", "c", "t", "pairs", "regime", "adv", "em"} {
+			if explicit[axis] {
+				return fmt.Errorf("-%s defines a cartesian grid axis and cannot combine with -adaptive", axis)
+			}
+		}
+		if !explicit["min"] || !explicit["max"] {
+			return errors.New("-adaptive requires -min and -max (the axis search range)")
+		}
+		sc, ok := lookupScenario(catalog, *base)
+		if !ok {
+			return fmt.Errorf("unknown base scenario %q (see fleetsim list)", *base)
+		}
+		as := securadio.AdaptiveSweep{
+			Base: sc, Axis: *adaptive,
+			Min: *minFlag, Max: *maxFlag,
+			Coarse: *coarse, Resolution: *resolution, MaxCells: *budget,
+			Runs: *runs, Seed: *seed, Workers: *workers,
+		}
+		if err := checkFormat(*format); err != nil {
+			return err
+		}
+		if err := as.Validate(); err != nil {
+			return err
+		}
+		w, file, err := openOut(out, *outPath)
+		if err != nil {
+			return err
+		}
+		if file != nil {
+			defer file.Close()
+		}
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		res, err := securadio.RunAdaptiveSweep(ctx, as)
+		if err != nil && res == nil {
+			return err
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleetsim: adaptive sweep interrupted (%v); reporting completed points\n", err)
+			err = errReported
+		}
+		return emitReport(*format, w, file, res, err)
 	}
 
 	var sweep securadio.Sweep
@@ -366,18 +448,99 @@ func runSweep(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(os.Stderr, "fleetsim: sweep interrupted (%v); reporting completed runs\n", err)
 		err = errReported
 	}
-	tw := &trackedWriter{w: w}
-	switch *format {
-	case "table":
-		matrix.WriteTable(tw)
-	case "json":
-		if jerr := matrix.WriteJSON(tw); jerr != nil {
-			return jerr
+	return emitReport(*format, w, file, matrix, err)
+}
+
+// runAnalyze loads a sweep matrix report from disk and emits its per-axis
+// marginal summaries — the threshold curves of the paper, computed from
+// the matrix instead of eyeballed off it.
+func runAnalyze(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fleetsim analyze", flag.ContinueOnError)
+	var (
+		inPath  = fs.String("in", "", "sweep matrix JSON (as written by fleetsim sweep -format json)")
+		format  = fs.String("format", "table", "report format: table | json | csv")
+		outPath = fs.String("out", "", "write the report to a file instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
 		}
-	case "csv":
-		matrix.WriteCSV(tw)
+		return errReported
 	}
-	return finishReport(tw, file, err)
+	if *inPath == "" {
+		return errors.New("missing -in (a sweep JSON report)")
+	}
+	if err := checkFormat(*format); err != nil {
+		return err
+	}
+	matrix, err := securadio.LoadSweepResult(*inPath)
+	if err != nil {
+		return err
+	}
+	marginals, err := securadio.Marginals(matrix)
+	if err != nil {
+		return err
+	}
+	w, file, err := openOut(out, *outPath)
+	if err != nil {
+		return err
+	}
+	if file != nil {
+		defer file.Close()
+	}
+	return emitReport(*format, w, file, marginals, nil)
+}
+
+// runDiff compares two sweep matrix reports and exits non-zero when any
+// cell's delivery rate regressed beyond the threshold (or cells vanished /
+// stopped being runnable), so CI can gate cross-PR trajectories on it.
+func runDiff(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fleetsim diff", flag.ContinueOnError)
+	var (
+		threshold = fs.Float64("threshold", 0, "tolerated per-cell delivery-rate drop (0 = any drop regresses)")
+		format    = fs.String("format", "table", "report format: table | json | csv")
+		outPath   = fs.String("out", "", "write the report to a file instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errReported
+	}
+	if fs.NArg() != 2 {
+		return errors.New("usage: fleetsim diff [flags] old-sweep.json new-sweep.json")
+	}
+	if *threshold < 0 {
+		return fmt.Errorf("-threshold %g is negative (it is a tolerated delivery-rate drop, >= 0)", *threshold)
+	}
+	if err := checkFormat(*format); err != nil {
+		return err
+	}
+	older, err := securadio.LoadSweepResult(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newer, err := securadio.LoadSweepResult(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	d := securadio.DiffSweeps(older, newer, securadio.DiffOptions{Threshold: *threshold})
+	w, file, err := openOut(out, *outPath)
+	if err != nil {
+		return err
+	}
+	if file != nil {
+		defer file.Close()
+	}
+	if err := emitReport(*format, w, file, d, nil); err != nil {
+		return err
+	}
+	if d.Regressed() {
+		// The report already names the regressed cells; exit non-zero so a
+		// CI gate fails without parsing the output.
+		return fmt.Errorf("%d regression(s) beyond threshold %g", d.Regressions, *threshold)
+	}
+	return nil
 }
 
 // checkFormat rejects unknown report formats before a campaign runs: a

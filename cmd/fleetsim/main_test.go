@@ -206,3 +206,182 @@ func TestHelpExitsClean(t *testing.T) {
 		t.Fatalf("-h returned %v, want nil", err)
 	}
 }
+
+// sweepJSONFixture runs a small sweep to a temp file and returns the path.
+func sweepJSONFixture(t *testing.T, dir, name string, seed string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	var out bytes.Buffer
+	args := []string{"sweep", "-base", "fame-clear", "-n", "20,24", "-adv", "none,jam",
+		"-runs", "3", "-seed", seed, "-format", "json", "-out", path}
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDiffIdenticalExitsClean is the CLI half of the diff acceptance
+// criterion: identical sweep reports diff to zero deltas and a nil error
+// (exit 0).
+func TestDiffIdenticalExitsClean(t *testing.T) {
+	dir := t.TempDir()
+	a := sweepJSONFixture(t, dir, "a.json", "7")
+	b := sweepJSONFixture(t, dir, "b.json", "7")
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"diff", a, b}, &out); err != nil {
+		t.Fatalf("diff of identical reports: %v", err)
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Fatalf("diff output:\n%s", out.String())
+	}
+}
+
+// TestDiffRegressionExitsNonZero: a perturbed cell beyond the threshold
+// must produce an error (non-zero exit) after the report is written.
+func TestDiffRegressionExitsNonZero(t *testing.T) {
+	dir := t.TempDir()
+	a := sweepJSONFixture(t, dir, "a.json", "7")
+	blob, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the first cell's delivery rate well below the threshold.
+	var doc map[string]any
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatal(err)
+	}
+	agg := doc["cells"].([]any)[0].(map[string]any)["aggregate"].(map[string]any)
+	agg["delivery_rate"] = agg["delivery_rate"].(float64) - 0.5
+	perturbed, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := filepath.Join(dir, "b.json")
+	if err := os.WriteFile(b, perturbed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = run(context.Background(), []string{"diff", "-threshold", "0.05", a, b}, &out)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("perturbed diff err = %v, want a regression failure", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("diff output:\n%s", out.String())
+	}
+	// The same perturbation within a generous threshold passes.
+	if err := run(context.Background(), []string{"diff", "-threshold", "2", a, b}, &out); err != nil {
+		t.Fatalf("tolerant diff: %v", err)
+	}
+}
+
+func TestDiffJSONFormat(t *testing.T) {
+	dir := t.TempDir()
+	a := sweepJSONFixture(t, dir, "a.json", "7")
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"diff", "-format", "json", a, a}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		Regressions int `json:"regressions"`
+		Cells       []struct {
+			DeltaRate float64 `json:"delta_rate"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &d); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if d.Regressions != 0 || len(d.Cells) != 4 {
+		t.Fatalf("diff = %+v", d)
+	}
+	out.Reset()
+	if err := run(context.Background(), []string{"diff", "-format", "csv", a, a}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 5 || !strings.HasPrefix(lines[0], "cell,old_rate,") {
+		t.Fatalf("diff csv: want header + 4 cells:\n%s", out.String())
+	}
+}
+
+func TestAnalyzeMarginals(t *testing.T) {
+	dir := t.TempDir()
+	path := sweepJSONFixture(t, dir, "sweep.json", "7")
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"analyze", "-in", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"marginal over n", "marginal over adv", "delivery_rate"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("analyze output missing %q:\n%s", want, out.String())
+		}
+	}
+	out.Reset()
+	if err := run(context.Background(), []string{"analyze", "-in", path, "-format", "json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Axes []struct {
+			Axis string `json:"axis"`
+		} `json:"axes"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &m); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(m.Axes) != 2 {
+		t.Fatalf("marginals = %+v", m)
+	}
+}
+
+// TestAdaptiveSweepCLI drives the -adaptive flags end to end and checks
+// the JSON report shape.
+func TestAdaptiveSweepCLI(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"sweep", "-base", "fame-clear", "-adaptive", "c",
+		"-min", "2", "-max", "6", "-coarse", "3", "-runs", "3", "-seed", "5", "-format", "json"}
+	if err := run(context.Background(), args, &out); err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Axis         string `json:"axis"`
+		UniformCells int    `json:"uniform_cells"`
+		Points       []struct {
+			Value int `json:"value"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if res.Axis != "c" || res.UniformCells != 5 || len(res.Points) == 0 {
+		t.Fatalf("adaptive report = %+v", res)
+	}
+}
+
+func TestAdaptiveAndDiffRejections(t *testing.T) {
+	dir := t.TempDir()
+	good := sweepJSONFixture(t, dir, "good.json", "7")
+	notJSON := filepath.Join(dir, "mangled.json")
+	if err := os.WriteFile(notJSON, []byte("not a sweep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	cases := [][]string{
+		{"sweep", "-base", "fame-clear", "-adaptive", "c"},                                       // missing -min/-max
+		{"sweep", "-base", "fame-clear", "-adaptive", "kappa", "-min", "2", "-max", "6"},         // unknown axis
+		{"sweep", "-base", "fame-clear", "-adaptive", "c", "-min", "2", "-max", "6", "-n", "20"}, // grid axis with -adaptive
+		{"sweep", "-adaptive", "c", "-min", "2", "-max", "6"},                                    // missing -base
+		{"sweep", "-scenarios", fixturePath, "-sweep", "spectrum-grid", "-adaptive", "c", "-min", "2", "-max", "6"},
+		{"diff"},                // missing operands
+		{"diff", good},          // one operand
+		{"diff", good, notJSON}, // unparseable report
+		{"diff", "-format", "bogus", good, good},
+		{"diff", "-threshold", "-0.1", good, good}, // negative tolerance is a typo, not a gate
+		{"analyze"},                                // missing -in
+		{"analyze", "-in", notJSON},                // unparseable report
+		{"analyze", "-in", good, "-format", "bogus"},
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args, &out); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -54,6 +54,17 @@
 // LoadScenarioFile) extend both campaigns and sweeps beyond the built-in
 // registry.
 //
+// On top of the matrix, the analysis layer computes the paper's
+// threshold curves natively: Marginals collapses a SweepResult onto one
+// axis at a time (pooled delivery rate, round percentiles and mean cover
+// per axis value); RunAdaptiveSweep replaces a uniform grid on one
+// numeric axis with bisection around the largest delivery-rate drop
+// (AdaptiveSweep, AdaptiveResult), localizing the disruption threshold
+// with far fewer cells; and DiffSweeps aligns two sweep reports cell by
+// cell and flags delivery regressions beyond a threshold (SweepDiff,
+// with ParseSweepResult / LoadSweepResult reloading reports from disk),
+// which is what the fleetsim diff CI gate runs.
+//
 // Everything runs on a deterministic discrete-event simulation of the
 // paper's synchronous radio model (internal/radio); the adversary zoo in
 // internal/adversary provides jamming, spoofing, replaying and

@@ -38,9 +38,10 @@ var (
 	ErrNoQuorum = errors.New("securadio: group key establishment reached no quorum")
 
 	// ErrSetupFailed is returned by SecureGroup / RunSecureGroup when
-	// group-key setup did not reach quorum (the concrete value is then a
-	// *SetupError) or when a node failed locally during setup (the chain
-	// then carries the node's own error).
+	// group-key setup left fewer than n-t nodes holding the key; the
+	// concrete value is a *SetupError. Individual nodes failing setup
+	// locally are tolerated as keyless (counted in
+	// SecureGroupReport.SetupErrors), matching the fleet campaign path.
 	ErrSetupFailed = errors.New("securadio: secure group setup failed")
 )
 

@@ -67,6 +67,90 @@ type Sweep = fleet.Sweep
 // independent of worker count.
 type SweepResult = fleet.SweepResult
 
+// MarginalReport carries per-axis marginal summaries of a sweep matrix:
+// for each axis, one point per axis value pooling every cell that shares
+// the coordinate (delivery over raw attempt counts, cover over the summed
+// distributions, round percentiles as run-weighted means).
+type MarginalReport = fleet.MarginalReport
+
+// AxisMarginal is one axis's marginal summary within a MarginalReport.
+type AxisMarginal = fleet.AxisMarginal
+
+// MarginalPoint is one axis value's pooled summary within an AxisMarginal.
+type MarginalPoint = fleet.MarginalPoint
+
+// Marginals collapses a sweep matrix into per-axis marginal summaries —
+// the threshold curves of the paper (delivery rate vs one axis with the
+// rest averaged out). It works from the matrix report's JSON-visible
+// fields alone, so it applies equally to a freshly-run SweepResult and to
+// one loaded back from disk with LoadSweepResult.
+func Marginals(r *SweepResult) (*MarginalReport, error) {
+	return fleet.Marginals(r)
+}
+
+// AdaptiveSweep refines one numeric axis (n, c, t or em) around the
+// disruption threshold: a coarse grid over [Min, Max] first, then repeated
+// bisection of the bracket with the largest delivery-rate change until the
+// bracket is no wider than Resolution or MaxCells points were evaluated.
+type AdaptiveSweep = fleet.AdaptiveSweep
+
+// AdaptiveResult is the deterministic report of an adaptive sweep: every
+// evaluated point in axis order plus the located threshold bracket. Its
+// JSON encoding is byte-identical for a fixed definition and seed,
+// independent of worker count.
+type AdaptiveResult = fleet.AdaptiveResult
+
+// AdaptivePoint is one evaluated axis value within an AdaptiveResult.
+type AdaptivePoint = fleet.AdaptivePoint
+
+// AdaptiveThreshold is the located disruption threshold: the adjacent
+// evaluated pair with the largest delivery-rate change.
+type AdaptiveThreshold = fleet.AdaptiveThreshold
+
+// RunAdaptiveSweep executes an adaptive threshold search with the same
+// worker pool, determinism, panic isolation and cancellation contract as
+// RunSweep. Per-point seeds derive from the axis value rather than the
+// evaluation order, so the report is independent of the bisection path.
+func RunAdaptiveSweep(ctx context.Context, s AdaptiveSweep) (*AdaptiveResult, error) {
+	return fleet.RunAdaptiveSweep(ctx, s)
+}
+
+// DiffOptions configures DiffSweeps (the tolerated per-cell delivery-rate
+// drop).
+type DiffOptions = fleet.DiffOptions
+
+// SweepDiff is the comparison of two sweep matrix reports: per-cell and
+// per-marginal delivery deltas, structural changes, and a regression count
+// suitable for CI gating (Regressed).
+type SweepDiff = fleet.SweepDiff
+
+// CellDelta is one aligned cell's comparison within a SweepDiff.
+type CellDelta = fleet.CellDelta
+
+// MarginalDelta is one axis value's pooled delivery-rate comparison within
+// a SweepDiff.
+type MarginalDelta = fleet.MarginalDelta
+
+// DiffSweeps aligns two sweep matrix reports cell by cell on the axis
+// coordinates encoded in the cell names and reports delivery-rate and
+// p95-round deltas. Delivery drops beyond opts.Threshold, vanished cells
+// and newly-skipped cells count as regressions.
+func DiffSweeps(old, new *SweepResult, opts DiffOptions) *SweepDiff {
+	return fleet.DiffSweeps(old, new, opts)
+}
+
+// ParseSweepResult decodes a sweep matrix report previously written by
+// SweepResult.WriteJSON, with the same strictness as scenario files:
+// unknown fields and trailing data are rejected.
+func ParseSweepResult(r io.Reader) (*SweepResult, error) {
+	return fleet.ParseSweepResult(r)
+}
+
+// LoadSweepResult reads and parses a sweep matrix report from disk.
+func LoadSweepResult(path string) (*SweepResult, error) {
+	return fleet.LoadSweepResult(path)
+}
+
 // ScenarioFile is a user-defined scenario/sweep catalog parsed from JSON,
 // extending campaigns beyond the built-in registry. See
 // ParseScenarioFile for the schema; file scenarios shadow same-named

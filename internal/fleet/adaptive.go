@@ -1,0 +1,483 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"securadio/internal/metrics"
+)
+
+// Adaptive axis names accepted by AdaptiveSweep.Axis: the numeric sweep
+// axes, spelled exactly as Sweep axes and cell coordinates spell them.
+const (
+	AxisN  = "n"
+	AxisC  = "c"
+	AxisT  = "t"
+	AxisEm = "em"
+)
+
+// AdaptiveSweep refines one numeric axis around the disruption threshold
+// instead of sampling it uniformly: a coarse grid over [Min, Max] is
+// evaluated first, and then the bracket with the largest delivery-rate
+// change is repeatedly bisected until the bracket is no wider than
+// Resolution or the cell budget is exhausted. The paper's headline curves
+// are threshold-shaped — delivery collapses once the adversary budget
+// outgrows the spectrum — so bisection spends its cells where the curve
+// actually bends, reaching a given localization with far fewer cells than
+// the equivalent uniform grid.
+//
+// Per-cell seeds derive from the axis value, not from evaluation order, so
+// the report is a deterministic function of (Base, Axis, Min, Max, Coarse,
+// Resolution, MaxCells, Runs, Seed) — byte-identical across worker counts,
+// like every other fleet report.
+type AdaptiveSweep struct {
+	// Name identifies the sweep in reports; empty selects the base
+	// scenario's name.
+	Name string
+
+	// Desc is a one-line description for listings.
+	Desc string
+
+	// Base is the cell template; each evaluated point overrides the axis
+	// field below.
+	Base Scenario
+
+	// Axis is the refined dimension: AxisN, AxisC, AxisT or AxisEm (the
+	// EmRounds axis applies only to secure-group bases, exactly as in
+	// Sweep).
+	Axis string
+
+	// Min and Max bound the search range (inclusive). Points outside the
+	// model's parameter bounds are recorded as skipped, exactly like
+	// unrunnable Sweep cells, and excluded from bisection.
+	Min, Max int
+
+	// Coarse is the initial evenly-spaced grid size over [Min, Max];
+	// non-positive selects 4, and values below 2 are raised to 2.
+	Coarse int
+
+	// Resolution is the bracket width at which bisection stops;
+	// non-positive selects 1 (exact localization to adjacent axis values).
+	Resolution int
+
+	// MaxCells bounds the total number of evaluated points, coarse grid
+	// included; non-positive selects Coarse + 16.
+	MaxCells int
+
+	// Runs is the per-point seed-grid size.
+	Runs int
+
+	// Seed is the master seed; each point's campaign seed derives from it
+	// by axis value (not evaluation order), keeping the report independent
+	// of the bisection path.
+	Seed int64
+
+	// Workers bounds the worker pool each evaluation batch fans through;
+	// non-positive selects GOMAXPROCS.
+	Workers int
+}
+
+// name resolves the sweep's report name.
+func (s AdaptiveSweep) name() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return s.Base.Name
+}
+
+// normalized applies the documented defaults and validates the definition.
+func (s AdaptiveSweep) normalized() (AdaptiveSweep, error) {
+	if s.Base.Name == "" {
+		return s, fmt.Errorf("fleet: adaptive sweep has no base scenario")
+	}
+	if s.Runs <= 0 {
+		return s, fmt.Errorf("fleet: adaptive sweep %q: Runs = %d, want > 0", s.name(), s.Runs)
+	}
+	switch s.Axis {
+	case AxisN, AxisC, AxisT:
+	case AxisEm:
+		if s.Base.Proto != ProtoSecureGroup {
+			return s, fmt.Errorf("fleet: adaptive sweep %q: the %s axis applies only to %s scenarios (base %q is %q)",
+				s.name(), AxisEm, ProtoSecureGroup, s.Base.Name, s.Base.Proto)
+		}
+	default:
+		return s, fmt.Errorf("fleet: adaptive sweep %q: unknown axis %q (want %s, %s, %s or %s)",
+			s.name(), s.Axis, AxisN, AxisC, AxisT, AxisEm)
+	}
+	if s.Min >= s.Max {
+		return s, fmt.Errorf("fleet: adaptive sweep %q: range [%d, %d] is empty", s.name(), s.Min, s.Max)
+	}
+	// Non-positive EmRounds selects the scenario default, so em points
+	// below 1 would all silently run the same workload under different
+	// labels — pure seed noise the bisection could mistake for a drop.
+	if s.Axis == AxisEm && s.Min < 1 {
+		return s, fmt.Errorf("fleet: adaptive sweep %q: the %s axis starts at 1 (non-positive EmRounds selects the default), got Min = %d",
+			s.name(), AxisEm, s.Min)
+	}
+	if s.Coarse <= 0 {
+		s.Coarse = 4
+	}
+	if s.Coarse < 2 {
+		s.Coarse = 2
+	}
+	if span := s.Max - s.Min + 1; s.Coarse > span {
+		s.Coarse = span
+	}
+	if s.Resolution <= 0 {
+		s.Resolution = 1
+	}
+	if s.MaxCells <= 0 {
+		s.MaxCells = s.Coarse + 16
+	}
+	if s.MaxCells < s.Coarse {
+		return s, fmt.Errorf("fleet: adaptive sweep %q: MaxCells = %d below the coarse grid size %d",
+			s.name(), s.MaxCells, s.Coarse)
+	}
+	return s, nil
+}
+
+// Validate reports whether the adaptive sweep definition is runnable.
+// Individual points may still fail Scenario.Validate at execution time and
+// are then recorded as skipped.
+func (s AdaptiveSweep) Validate() error {
+	_, err := s.normalized()
+	return err
+}
+
+// cellFor derives the scenario evaluated at one axis value, named with the
+// same coordinate convention Sweep cells use ("base/c=3").
+func (s AdaptiveSweep) cellFor(value int) Scenario {
+	cell := s.Base
+	switch s.Axis {
+	case AxisN:
+		cell.N = value
+		cell.Span = spanForN(s.Base, value)
+	case AxisC:
+		cell.C = value
+	case AxisT:
+		cell.T = value
+	case AxisEm:
+		cell.EmRounds = value
+	}
+	cell.Name = fmt.Sprintf("%s/%s=%d", s.name(), s.Axis, value)
+	return cell
+}
+
+// AdaptivePoint is one evaluated axis value: the value, and the cell's
+// campaign aggregate (or the validation error that made it unrunnable).
+type AdaptivePoint struct {
+	Value int `json:"value"`
+	CellResult
+}
+
+// AdaptiveThreshold is the located disruption threshold: the adjacent pair
+// of evaluated points with the largest delivery-rate change. After a full
+// bisection (budget permitting) the bracket is no wider than the sweep's
+// Resolution.
+type AdaptiveThreshold struct {
+	// Lo and Hi are the bracketing axis values (Hi - Lo <= Resolution when
+	// bisection ran to completion).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+
+	// LoRate and HiRate are the pooled delivery rates at the bracket ends.
+	LoRate float64 `json:"lo_rate"`
+	HiRate float64 `json:"hi_rate"`
+
+	// Drop is the absolute delivery-rate change across the bracket.
+	Drop float64 `json:"drop"`
+}
+
+// AdaptiveResult is the deterministic report of an adaptive sweep: every
+// evaluated point in axis order, and the located threshold bracket. Like
+// SweepResult, the JSON encoding is a deterministic function of the sweep
+// definition and seed; wall-clock measurements stay out of it.
+type AdaptiveResult struct {
+	Name        string `json:"name"`
+	Axis        string `json:"axis"`
+	Min         int    `json:"min"`
+	Max         int    `json:"max"`
+	Resolution  int    `json:"resolution"`
+	RunsPerCell int    `json:"runs_per_cell"`
+	Seed        int64  `json:"seed"`
+	MaxCells    int    `json:"max_cells"`
+
+	// UniformCells is the size of the uniform grid that would localize the
+	// threshold to the same Resolution — the baseline the adaptive search
+	// is saving cells against.
+	UniformCells int `json:"uniform_cells"`
+
+	Points    []AdaptivePoint    `json:"points"`
+	Threshold *AdaptiveThreshold `json:"threshold,omitempty"`
+
+	// Wall-clock summary (excluded from JSON for determinism).
+	Elapsed    time.Duration `json:"-"`
+	RunsPerSec float64       `json:"-"`
+}
+
+// coarseValues spreads k integer points evenly over [min, max], endpoints
+// included, deduplicating collisions on narrow ranges.
+func coarseValues(min, max, k int) []int {
+	out := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		v := min + int(math.Round(float64(i)*float64(max-min)/float64(k-1)))
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ratePoint is one valid evaluated point on the bisection curve.
+type ratePoint struct {
+	value int
+	rate  float64
+}
+
+// steepestBracket finds the adjacent pair with the largest absolute
+// delivery-rate change among the sorted valid points. Ties resolve to the
+// lowest value, keeping the search deterministic. ok is false when fewer
+// than two points exist or the curve is flat.
+func steepestBracket(pts []ratePoint) (lo, hi int, drop float64, ok bool) {
+	for i := 0; i+1 < len(pts); i++ {
+		if d := math.Abs(pts[i+1].rate - pts[i].rate); d > drop {
+			lo, hi, drop, ok = pts[i].value, pts[i+1].value, d, true
+		}
+	}
+	return lo, hi, drop, ok
+}
+
+// nextBisect selects the midpoint to evaluate next: the steepest bracket,
+// provided it is still wider than resolution. ok is false when the search
+// has converged: bracket localized, flat curve, fewer than two valid
+// points — or the midpoint was already evaluated and skipped as
+// unrunnable (an invalid region inside the bracket is a wall bisection
+// cannot pass; without this check the search would re-evaluate the
+// skipped value forever).
+func nextBisect(pts []ratePoint, resolution int, evaluated func(int) bool) (mid int, ok bool) {
+	lo, hi, _, found := steepestBracket(pts)
+	if !found || hi-lo <= resolution {
+		return 0, false
+	}
+	mid = lo + (hi-lo)/2
+	if evaluated(mid) {
+		return 0, false
+	}
+	return mid, true
+}
+
+// RunAdaptiveSweep evaluates the coarse grid, then repeatedly bisects the
+// steepest delivery-rate bracket until it is no wider than Resolution or
+// MaxCells points have been evaluated. Every evaluation batch fans through
+// the same worker pool RunSweep uses, with the same panic isolation and
+// cancellation contract: cancelling ctx aborts in-flight simulations, and
+// the partial report of completed evaluations is returned along with the
+// context's error.
+func RunAdaptiveSweep(ctx context.Context, s AdaptiveSweep) (*AdaptiveResult, error) {
+	s, err := s.normalized()
+	if err != nil {
+		return nil, err
+	}
+	result := &AdaptiveResult{
+		Name:         s.name(),
+		Axis:         s.Axis,
+		Min:          s.Min,
+		Max:          s.Max,
+		Resolution:   s.Resolution,
+		RunsPerCell:  s.Runs,
+		Seed:         s.Seed,
+		MaxCells:     s.MaxCells,
+		UniformCells: (s.Max-s.Min)/s.Resolution + 1,
+	}
+
+	start := time.Now()
+	points := make(map[int]*AdaptivePoint)
+	totalRuns := 0
+
+	// evaluate runs one batch of new axis values through the shared pool.
+	// Skipped (model-rejected) points are recorded without consuming any
+	// runs; they still count against MaxCells, since rejecting a value is
+	// also information the search paid for.
+	evaluate := func(values []int) error {
+		var campaigns []Campaign
+		var aggs []*Aggregate
+		var jobs []poolJob
+		for _, v := range values {
+			cell := s.cellFor(v)
+			pt := &AdaptivePoint{Value: v, CellResult: CellResult{Cell: cell.Name, scen: cell}}
+			points[v] = pt
+			if verr := cell.Validate(); verr != nil {
+				pt.Skip = verr.Error()
+				continue
+			}
+			campaigns = append(campaigns, Campaign{
+				Scenario: cell,
+				Runs:     s.Runs,
+				// The seed derives from the axis value, so the aggregate at
+				// a given value is independent of when bisection reached it.
+				Seed: Campaign{Seed: s.Seed}.SeedFor(v),
+			})
+			aggs = append(aggs, newAggregate(campaigns[len(campaigns)-1]))
+			plan := len(campaigns) - 1
+			for run := 0; run < s.Runs; run++ {
+				jobs = append(jobs, poolJob{plan: plan, run: run})
+			}
+		}
+		completed := runPool(ctx, s.Workers, len(jobs), campaigns, func(i int) poolJob {
+			return jobs[i]
+		}, func(j poolJob, r RunResult) {
+			aggs[j.plan].observe(r)
+		})
+		totalRuns += completed
+		for i, agg := range aggs {
+			agg.finalize(0)
+			points[axisValue(campaigns[i], s.Axis)].Agg = agg
+		}
+		if completed < len(jobs) {
+			return ctx.Err()
+		}
+		return nil
+	}
+
+	seen := func(v int) bool {
+		_, ok := points[v]
+		return ok
+	}
+	err = evaluate(coarseValues(s.Min, s.Max, s.Coarse))
+	for err == nil && len(points) < s.MaxCells {
+		mid, ok := nextBisect(validCurve(points), s.Resolution, seen)
+		if !ok {
+			break
+		}
+		err = evaluate([]int{mid})
+	}
+
+	// Assemble the report in axis order — independent of evaluation order.
+	for _, pt := range points {
+		result.Points = append(result.Points, *pt)
+	}
+	sort.Slice(result.Points, func(i, j int) bool { return result.Points[i].Value < result.Points[j].Value })
+	// A search in which nothing was runnable is a misconfiguration, not a
+	// flat curve: fail like RunSweep does when no grid cell validates, so
+	// a CI gate cannot silently pass having measured nothing.
+	if err == nil && len(validCurve(points)) == 0 {
+		first := ""
+		for _, pt := range result.Points {
+			if pt.Skip != "" {
+				first = pt.Skip
+				break
+			}
+		}
+		return nil, fmt.Errorf("fleet: adaptive sweep %q: none of the %d evaluated points validates (first: %s)",
+			s.name(), len(result.Points), first)
+	}
+	if lo, hi, drop, ok := steepestBracket(validCurve(points)); ok {
+		var loRate, hiRate float64
+		if p := points[lo]; p.Agg != nil {
+			loRate = p.Agg.DeliveryRate
+		}
+		if p := points[hi]; p.Agg != nil {
+			hiRate = p.Agg.DeliveryRate
+		}
+		result.Threshold = &AdaptiveThreshold{
+			Lo: lo, Hi: hi,
+			LoRate: round3(loRate), HiRate: round3(hiRate),
+			Drop: round3(drop),
+		}
+	}
+	result.Elapsed = time.Since(start)
+	if sec := result.Elapsed.Seconds(); sec > 0 {
+		result.RunsPerSec = float64(totalRuns) / sec
+	}
+	return result, err
+}
+
+// axisValue reads a campaign's coordinate back off its derived scenario.
+func axisValue(c Campaign, axis string) int {
+	switch axis {
+	case AxisN:
+		return c.Scenario.N
+	case AxisC:
+		return c.Scenario.C
+	case AxisT:
+		return c.Scenario.T
+	default:
+		return c.Scenario.EmRounds
+	}
+}
+
+// validCurve extracts the evaluated, runnable points sorted by axis value.
+func validCurve(points map[int]*AdaptivePoint) []ratePoint {
+	out := make([]ratePoint, 0, len(points))
+	for v, pt := range points {
+		if pt.Agg != nil {
+			out = append(out, ratePoint{value: v, rate: pt.Agg.DeliveryRate})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })
+	return out
+}
+
+// WriteJSON emits the deterministic adaptive report as indented JSON.
+func (r *AdaptiveResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// MarshalIndent returns the report's canonical JSON bytes.
+func (r *AdaptiveResult) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// WriteCSV emits one CSV row per runnable point, the axis value as the
+// leading column followed by the shared matrix columns.
+func (r *AdaptiveResult) WriteCSV(w io.Writer) {
+	t := metrics.NewTable("", append([]string{"value"}, matrixHeaders()...)...)
+	for _, pt := range r.Points {
+		if pt.Agg == nil {
+			continue
+		}
+		t.AddRow(append([]any{pt.Value}, pt.matrixRow()...)...)
+	}
+	t.RenderCSV(w)
+}
+
+// WriteTable renders the human-readable report: the evaluated curve, any
+// skipped points, the located threshold and the wall-clock summary.
+func (r *AdaptiveResult) WriteTable(w io.Writer) {
+	title := fmt.Sprintf("adaptive sweep %s over %s in [%d, %d] (%d points of %d-cell uniform grid, %d runs/point, seed %d)",
+		r.Name, r.Axis, r.Min, r.Max, len(r.Points), r.UniformCells, r.RunsPerCell, r.Seed)
+	t := metrics.NewTable(title, append([]string{"value"}, matrixHeaders()...)...)
+	for _, pt := range r.Points {
+		if pt.Agg == nil {
+			continue
+		}
+		t.AddRow(append([]any{pt.Value}, pt.matrixRow()...)...)
+	}
+	t.Render(w)
+
+	skipped := metrics.NewTable("skipped points", "value", "reason")
+	for _, pt := range r.Points {
+		if pt.Skip != "" {
+			skipped.AddRow(pt.Value, pt.Skip)
+		}
+	}
+	if skipped.Len() > 0 {
+		fmt.Fprintln(w)
+		skipped.Render(w)
+	}
+
+	if th := r.Threshold; th != nil {
+		fmt.Fprintf(w, "\nthreshold: delivery rate changes %.3f -> %.3f (drop %.3f) between %s=%d and %s=%d\n",
+			th.LoRate, th.HiRate, th.Drop, r.Axis, th.Lo, r.Axis, th.Hi)
+	} else {
+		fmt.Fprintf(w, "\nthreshold: none located (flat curve or too few runnable points)\n")
+	}
+	fmt.Fprintf(w, "wall clock: %v (%.1f runs/sec)\n", r.Elapsed.Round(time.Millisecond), r.RunsPerSec)
+}

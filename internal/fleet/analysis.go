@@ -1,0 +1,200 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"securadio/internal/metrics"
+)
+
+// MarginalPoint is one axis value's summary in a marginal: the pooled
+// statistics of every grid cell that shares this coordinate on the axis,
+// with all other axes averaged out. Delivery is pooled over raw attempt
+// counts (not averaged over per-cell rates), so cells with more traffic
+// weigh proportionally; round percentiles are run-weighted means of the
+// per-cell percentiles, since the matrix report carries only per-cell
+// summaries, not raw samples.
+type MarginalPoint struct {
+	Value   string `json:"value"`
+	Cells   int    `json:"cells"`
+	Skipped int    `json:"skipped"`
+
+	Runs     int `json:"runs"`
+	Failures int `json:"failures"`
+
+	Attempted    int     `json:"attempted"`
+	Delivered    int     `json:"delivered"`
+	DeliveryRate float64 `json:"delivery_rate"`
+
+	RoundsP50 float64 `json:"rounds_p50"`
+	RoundsP95 float64 `json:"rounds_p95"`
+	MeanCover float64 `json:"mean_cover"`
+}
+
+// AxisMarginal is the marginal summary along one sweep axis: one point per
+// axis value, in the axis's declared value order.
+type AxisMarginal struct {
+	Axis   string          `json:"axis"`
+	Points []MarginalPoint `json:"points"`
+}
+
+// MarginalReport carries the marginal summaries of every axis of a sweep.
+// Like the matrix report it derives from, its JSON encoding is a
+// deterministic function of the sweep definition and seed.
+type MarginalReport struct {
+	Sweep string         `json:"sweep"`
+	Axes  []AxisMarginal `json:"axes"`
+}
+
+// Marginals collapses a sweep matrix into per-axis marginal summaries:
+// for every axis, the cells sharing each coordinate value are pooled
+// (delivery over raw attempt counts, cover over the summed distributions,
+// round percentiles as run-weighted means). It works from the matrix
+// report's JSON-visible fields alone, so it applies equally to a
+// freshly-run SweepResult and to one loaded back from disk
+// (LoadSweepResult). A sweep with no axes (a single-cell grid) yields an
+// empty report; a matrix whose cell count does not match its axis grid is
+// rejected as corrupt.
+func Marginals(r *SweepResult) (*MarginalReport, error) {
+	report := &MarginalReport{Sweep: r.Name}
+	if len(r.Axes) == 0 {
+		return report, nil
+	}
+	total := 1
+	for _, ax := range r.Axes {
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("fleet: sweep %q: axis %q has no values", r.Name, ax.Name)
+		}
+		total *= len(ax.Values)
+	}
+	if total != len(r.Cells) {
+		return nil, fmt.Errorf("fleet: sweep %q: %d cells do not form the %d-cell grid its axes declare",
+			r.Name, len(r.Cells), total)
+	}
+
+	// Cells are in row-major expansion order (first axis outermost), so a
+	// cell's coordinate on axis j is (index / stride_j) mod |axis_j|.
+	strides := make([]int, len(r.Axes))
+	stride := 1
+	for j := len(r.Axes) - 1; j >= 0; j-- {
+		strides[j] = stride
+		stride *= len(r.Axes[j].Values)
+	}
+
+	for j, ax := range r.Axes {
+		m := AxisMarginal{Axis: ax.Name, Points: make([]MarginalPoint, len(ax.Values))}
+		// Weighted percentile accumulators, aligned with Points.
+		p50 := make([]float64, len(ax.Values))
+		p95 := make([]float64, len(ax.Values))
+		weight := make([]float64, len(ax.Values))
+		coverSum := make([]float64, len(ax.Values))
+		coverRuns := make([]int, len(ax.Values))
+		for v := range ax.Values {
+			m.Points[v].Value = ax.Values[v]
+		}
+		for i, cr := range r.Cells {
+			v := (i / strides[j]) % len(ax.Values)
+			pt := &m.Points[v]
+			pt.Cells++
+			if cr.Agg == nil {
+				pt.Skipped++
+				continue
+			}
+			a := cr.Agg
+			pt.Runs += a.Runs
+			pt.Failures += a.Failures
+			pt.Attempted += a.Attempted
+			pt.Delivered += a.Delivered
+			if n := a.Rounds.N; n > 0 {
+				p50[v] += a.Rounds.P50 * float64(n)
+				p95[v] += a.Rounds.P95 * float64(n)
+				weight[v] += float64(n)
+			}
+			for cover, runs := range a.CoverHist {
+				coverSum[v] += float64(cover) * float64(runs)
+				coverRuns[v] += runs
+			}
+		}
+		for v := range m.Points {
+			pt := &m.Points[v]
+			if pt.Attempted > 0 {
+				pt.DeliveryRate = round3(float64(pt.Delivered) / float64(pt.Attempted))
+			}
+			if weight[v] > 0 {
+				pt.RoundsP50 = round3(p50[v] / weight[v])
+				pt.RoundsP95 = round3(p95[v] / weight[v])
+			}
+			if coverRuns[v] > 0 {
+				pt.MeanCover = round3(coverSum[v] / float64(coverRuns[v]))
+			}
+		}
+		report.Axes = append(report.Axes, m)
+	}
+	return report, nil
+}
+
+// round3 trims float noise so marginal and diff JSON stays stable and
+// readable across recomputations.
+func round3(v float64) float64 {
+	return math.Round(v*1000) / 1000
+}
+
+// WriteJSON emits the deterministic marginal report as indented JSON.
+func (m *MarginalReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// MarshalIndent returns the report's canonical JSON bytes.
+func (m *MarginalReport) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(m, "", "  ")
+}
+
+// marginalHeaders is the flat per-point column set shared by CSV and table
+// output (CSV prepends the axis name).
+func marginalHeaders() []string {
+	return []string{
+		"value", "cells", "skipped", "runs", "failures",
+		"delivery_rate", "rounds_p50", "rounds_p95", "mean_cover",
+	}
+}
+
+func (pt MarginalPoint) row() []any {
+	return []any{
+		pt.Value, pt.Cells, pt.Skipped, pt.Runs, pt.Failures,
+		pt.DeliveryRate, pt.RoundsP50, pt.RoundsP95, pt.MeanCover,
+	}
+}
+
+// WriteCSV emits all marginals as one CSV, the axis name as the leading
+// column.
+func (m *MarginalReport) WriteCSV(w io.Writer) {
+	t := metrics.NewTable("", append([]string{"axis"}, marginalHeaders()...)...)
+	for _, ax := range m.Axes {
+		for _, pt := range ax.Points {
+			t.AddRow(append([]any{ax.Axis}, pt.row()...)...)
+		}
+	}
+	t.RenderCSV(w)
+}
+
+// WriteTable renders one aligned table per axis.
+func (m *MarginalReport) WriteTable(w io.Writer) {
+	if len(m.Axes) == 0 {
+		fmt.Fprintf(w, "sweep %s has no axes to marginalize\n", m.Sweep)
+		return
+	}
+	for i, ax := range m.Axes {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		t := metrics.NewTable(fmt.Sprintf("marginal over %s (sweep %s)", ax.Axis, m.Sweep), marginalHeaders()...)
+		for _, pt := range ax.Points {
+			t.AddRow(pt.row()...)
+		}
+		t.Render(w)
+	}
+}

@@ -1,0 +1,149 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// marginalSweep is the shared analysis fixture: a 2x2 grid plus one axis
+// value whose cells are model-rejected (C=1), so marginals must cope with
+// skipped cells.
+func marginalSweep(t *testing.T) *SweepResult {
+	t.Helper()
+	res, err := RunSweep(context.Background(), Sweep{
+		Base:      fastScenario(),
+		C:         []int{2, 1},
+		Adversary: []string{"none", "jam"},
+		Runs:      4,
+		Seed:      11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestMarginalsPoolsCells(t *testing.T) {
+	res := marginalSweep(t)
+	m, err := Marginals(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sweep != "fame-clear" || len(m.Axes) != 2 {
+		t.Fatalf("report = %q with %d axes, want fame-clear with 2", m.Sweep, len(m.Axes))
+	}
+	if m.Axes[0].Axis != "c" || m.Axes[1].Axis != "adv" {
+		t.Fatalf("axes = %q, %q", m.Axes[0].Axis, m.Axes[1].Axis)
+	}
+
+	// The C axis: value 2 pools the two runnable cells, value 1 is all
+	// skipped.
+	c2, c1 := m.Axes[0].Points[0], m.Axes[0].Points[1]
+	if c2.Value != "2" || c2.Cells != 2 || c2.Skipped != 0 || c2.Runs != 8 {
+		t.Fatalf("c=2 marginal = %+v", c2)
+	}
+	if c1.Value != "1" || c1.Cells != 2 || c1.Skipped != 2 || c1.Runs != 0 || c1.DeliveryRate != 0 {
+		t.Fatalf("c=1 marginal = %+v", c1)
+	}
+
+	// Pooled delivery must be the ratio of summed counts, cross-checked
+	// against the raw cells.
+	var attempted, delivered int
+	for _, cr := range res.Cells {
+		if cr.Agg != nil && cr.scen.C == 2 {
+			attempted += cr.Agg.Attempted
+			delivered += cr.Agg.Delivered
+		}
+	}
+	if c2.Attempted != attempted || c2.Delivered != delivered {
+		t.Fatalf("c=2 pooled counts = %d/%d, want %d/%d", c2.Delivered, c2.Attempted, delivered, attempted)
+	}
+	if want := round3(float64(delivered) / float64(attempted)); c2.DeliveryRate != want {
+		t.Fatalf("c=2 rate = %v, want %v", c2.DeliveryRate, want)
+	}
+
+	// The adversary axis separates the clear cell from the jammed cell:
+	// each value owns one runnable and one skipped cell.
+	for _, pt := range m.Axes[1].Points {
+		if pt.Cells != 2 || pt.Skipped != 1 || pt.Runs != 4 {
+			t.Fatalf("adv=%s marginal = %+v", pt.Value, pt)
+		}
+	}
+}
+
+// TestMarginalsFromReloadedJSON pins that marginals are computable from
+// the JSON-visible fields alone: a report round-tripped through its JSON
+// encoding yields byte-identical marginals.
+func TestMarginalsFromReloadedJSON(t *testing.T) {
+	res := marginalSweep(t)
+	fresh, err := Marginals(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := res.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := ParseSweepResult(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Marginals(reloaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := fresh.MarshalIndent()
+	b, _ := again.MarshalIndent()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("marginals differ after JSON round trip:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestMarginalsRejectsCorruptGrid(t *testing.T) {
+	res := marginalSweep(t)
+	res.Cells = res.Cells[:3] // no longer a full 2x2 grid
+	if _, err := Marginals(res); err == nil || !strings.Contains(err.Error(), "grid") {
+		t.Fatalf("corrupt grid: err = %v", err)
+	}
+}
+
+func TestMarginalsNoAxes(t *testing.T) {
+	res, err := RunSweep(context.Background(), Sweep{Base: fastScenario(), Runs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Marginals(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Axes) != 0 {
+		t.Fatalf("axis-less sweep produced %d marginals", len(m.Axes))
+	}
+}
+
+func TestMarginalReportRendering(t *testing.T) {
+	m, err := Marginals(marginalSweep(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tbl, csv, js bytes.Buffer
+	m.WriteTable(&tbl)
+	m.WriteCSV(&csv)
+	if err := m.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"marginal over c", "marginal over adv", "delivery_rate"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl.String())
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 5 || !strings.HasPrefix(lines[0], "axis,value,") {
+		t.Fatalf("csv: want header + 4 points:\n%s", csv.String())
+	}
+	if !strings.Contains(js.String(), `"axes"`) {
+		t.Fatalf("json missing axes:\n%s", js.String())
+	}
+}

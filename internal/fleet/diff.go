@@ -1,0 +1,280 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"securadio/internal/metrics"
+)
+
+// ParseSweepResult decodes a sweep matrix report previously written by
+// SweepResult.WriteJSON. Parsing is as strict as scenario files: unknown
+// fields and trailing data are rejected, so a mangled or truncated report
+// fails loudly instead of silently diffing as all-zero cells.
+func ParseSweepResult(r io.Reader) (*SweepResult, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var out SweepResult
+	if err := dec.Decode(&out); err != nil {
+		return nil, fmt.Errorf("fleet: sweep report: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("fleet: sweep report: trailing data after the report object")
+	}
+	if out.Name == "" || len(out.Cells) == 0 {
+		return nil, fmt.Errorf("fleet: sweep report: missing name or cells (not a sweep matrix report)")
+	}
+	for i, cr := range out.Cells {
+		if cr.Cell == "" {
+			return nil, fmt.Errorf("fleet: sweep report: cells[%d] has no name", i)
+		}
+		if (cr.Agg == nil) == (cr.Skip == "") {
+			return nil, fmt.Errorf("fleet: sweep report: cell %q must carry exactly one of aggregate or skip", cr.Cell)
+		}
+	}
+	return &out, nil
+}
+
+// LoadSweepResult reads and parses a sweep matrix report from disk.
+func LoadSweepResult(path string) (*SweepResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := ParseSweepResult(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// DiffOptions configures sweep comparison.
+type DiffOptions struct {
+	// Threshold is the tolerated per-cell delivery-rate drop: a cell
+	// regresses when old rate minus new rate exceeds it. Zero means any
+	// drop at all regresses (exact-determinism gating); negative values
+	// are treated as zero (a negative tolerance would flag unchanged and
+	// even improved cells as regressions).
+	Threshold float64
+}
+
+// CellDelta compares one grid cell present and runnable in both reports.
+type CellDelta struct {
+	Cell string `json:"cell"`
+
+	OldRate   float64 `json:"old_rate"`
+	NewRate   float64 `json:"new_rate"`
+	DeltaRate float64 `json:"delta_rate"`
+
+	OldP95   float64 `json:"old_p95"`
+	NewP95   float64 `json:"new_p95"`
+	DeltaP95 float64 `json:"delta_p95"`
+
+	// Regressed reports a delivery-rate drop beyond the configured
+	// threshold.
+	Regressed bool `json:"regressed,omitempty"`
+}
+
+// MarginalDelta compares one axis value's pooled delivery rate between the
+// two reports' marginal summaries.
+type MarginalDelta struct {
+	Axis  string  `json:"axis"`
+	Value string  `json:"value"`
+	Old   float64 `json:"old"`
+	New   float64 `json:"new"`
+	Delta float64 `json:"delta"`
+}
+
+// SweepDiff is the comparison of two sweep matrix reports, aligned cell by
+// cell on the axis coordinates encoded in the cell names. It is the
+// cross-PR trajectory gate: Regressions counts delivery-rate drops beyond
+// the threshold plus structural losses (cells that vanished or stopped
+// being runnable), so CI can fail on Regressed().
+type SweepDiff struct {
+	Old       string  `json:"old"`
+	New       string  `json:"new"`
+	Threshold float64 `json:"threshold"`
+
+	// Cells compares every cell runnable in both reports, in the new
+	// report's expansion order.
+	Cells []CellDelta `json:"cells"`
+
+	// OnlyOld and OnlyNew list cells present in exactly one report;
+	// NewlySkipped and NewlyRunnable list cells whose runnability flipped.
+	OnlyOld       []string `json:"only_old,omitempty"`
+	OnlyNew       []string `json:"only_new,omitempty"`
+	NewlySkipped  []string `json:"newly_skipped,omitempty"`
+	NewlyRunnable []string `json:"newly_runnable,omitempty"`
+
+	// Marginals compares per-axis pooled delivery rates when both reports
+	// expose comparable marginal summaries.
+	Marginals []MarginalDelta `json:"marginals,omitempty"`
+
+	// Regressions counts regressed cells, vanished cells and
+	// newly-skipped cells.
+	Regressions int `json:"regressions"`
+}
+
+// Regressed reports whether the comparison found any regression: a
+// delivery-rate drop beyond the threshold, a cell that vanished, or a cell
+// that stopped being runnable.
+func (d *SweepDiff) Regressed() bool { return d.Regressions > 0 }
+
+// DiffSweeps aligns two sweep matrix reports cell by cell (cell names
+// encode the axis coordinates, so identical grids align exactly) and
+// reports per-cell delivery-rate and p95-round deltas, structural changes,
+// and per-marginal deltas. Cells whose delivery rate dropped by more than
+// opts.Threshold, vanished cells and newly-skipped cells count as
+// regressions.
+func DiffSweeps(old, new *SweepResult, opts DiffOptions) *SweepDiff {
+	if opts.Threshold < 0 {
+		opts.Threshold = 0
+	}
+	d := &SweepDiff{Old: old.Name, New: new.Name, Threshold: opts.Threshold}
+
+	oldCells := make(map[string]CellResult, len(old.Cells))
+	for _, cr := range old.Cells {
+		oldCells[cr.Cell] = cr
+	}
+	seen := make(map[string]bool, len(new.Cells))
+	for _, nc := range new.Cells {
+		seen[nc.Cell] = true
+		oc, ok := oldCells[nc.Cell]
+		if !ok {
+			d.OnlyNew = append(d.OnlyNew, nc.Cell)
+			continue
+		}
+		switch {
+		case oc.Agg != nil && nc.Agg != nil:
+			delta := CellDelta{
+				Cell:      nc.Cell,
+				OldRate:   oc.Agg.DeliveryRate,
+				NewRate:   nc.Agg.DeliveryRate,
+				DeltaRate: round3(nc.Agg.DeliveryRate - oc.Agg.DeliveryRate),
+				OldP95:    oc.Agg.Rounds.P95,
+				NewP95:    nc.Agg.Rounds.P95,
+				DeltaP95:  round3(nc.Agg.Rounds.P95 - oc.Agg.Rounds.P95),
+			}
+			if oc.Agg.DeliveryRate-nc.Agg.DeliveryRate > opts.Threshold {
+				delta.Regressed = true
+				d.Regressions++
+			}
+			d.Cells = append(d.Cells, delta)
+		case oc.Agg != nil && nc.Agg == nil:
+			d.NewlySkipped = append(d.NewlySkipped, nc.Cell)
+			d.Regressions++
+		case oc.Agg == nil && nc.Agg != nil:
+			d.NewlyRunnable = append(d.NewlyRunnable, nc.Cell)
+		}
+	}
+	for _, oc := range old.Cells {
+		if !seen[oc.Cell] {
+			d.OnlyOld = append(d.OnlyOld, oc.Cell)
+			d.Regressions++
+		}
+	}
+	sort.Strings(d.OnlyOld)
+
+	// Marginal deltas are informational: they localize which axis value
+	// moved. Reports whose axes do not form comparable grids simply omit
+	// the section.
+	om, oerr := Marginals(old)
+	nm, nerr := Marginals(new)
+	if oerr == nil && nerr == nil {
+		type key struct{ axis, value string }
+		oldPts := make(map[key]MarginalPoint)
+		for _, ax := range om.Axes {
+			for _, pt := range ax.Points {
+				oldPts[key{ax.Axis, pt.Value}] = pt
+			}
+		}
+		for _, ax := range nm.Axes {
+			for _, pt := range ax.Points {
+				opt, ok := oldPts[key{ax.Axis, pt.Value}]
+				if !ok {
+					continue
+				}
+				d.Marginals = append(d.Marginals, MarginalDelta{
+					Axis:  ax.Axis,
+					Value: pt.Value,
+					Old:   opt.DeliveryRate,
+					New:   pt.DeliveryRate,
+					Delta: round3(pt.DeliveryRate - opt.DeliveryRate),
+				})
+			}
+		}
+	}
+	return d
+}
+
+// WriteJSON emits the deterministic diff as indented JSON.
+func (d *SweepDiff) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// MarshalIndent returns the diff's canonical JSON bytes.
+func (d *SweepDiff) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(d, "", "  ")
+}
+
+// WriteCSV emits one CSV row per compared cell (structural changes and
+// marginal deltas are visible in the JSON report, exactly as skipped
+// cells are for the sweep matrix CSV).
+func (d *SweepDiff) WriteCSV(w io.Writer) {
+	t := metrics.NewTable("", "cell", "old_rate", "new_rate", "delta_rate", "old_p95", "new_p95", "delta_p95", "regressed")
+	for _, c := range d.Cells {
+		t.AddRow(c.Cell, c.OldRate, c.NewRate, c.DeltaRate, c.OldP95, c.NewP95, c.DeltaP95, c.Regressed)
+	}
+	t.RenderCSV(w)
+}
+
+// WriteTable renders the human-readable comparison: per-cell deltas,
+// structural changes, marginal deltas and the regression verdict.
+func (d *SweepDiff) WriteTable(w io.Writer) {
+	t := metrics.NewTable(
+		fmt.Sprintf("sweep diff %s -> %s (threshold %.3g)", d.Old, d.New, d.Threshold),
+		"cell", "old_rate", "new_rate", "delta_rate", "old_p95", "new_p95", "delta_p95", "regressed")
+	for _, c := range d.Cells {
+		t.AddRow(c.Cell, c.OldRate, c.NewRate, c.DeltaRate, c.OldP95, c.NewP95, c.DeltaP95, c.Regressed)
+	}
+	t.Render(w)
+
+	structural := metrics.NewTable("structural changes", "cell", "change")
+	for _, name := range d.OnlyOld {
+		structural.AddRow(name, "vanished (only in old)")
+	}
+	for _, name := range d.OnlyNew {
+		structural.AddRow(name, "added (only in new)")
+	}
+	for _, name := range d.NewlySkipped {
+		structural.AddRow(name, "newly skipped")
+	}
+	for _, name := range d.NewlyRunnable {
+		structural.AddRow(name, "newly runnable")
+	}
+	if structural.Len() > 0 {
+		fmt.Fprintln(w)
+		structural.Render(w)
+	}
+
+	if len(d.Marginals) > 0 {
+		mt := metrics.NewTable("marginal delivery deltas", "axis", "value", "old", "new", "delta")
+		for _, m := range d.Marginals {
+			mt.AddRow(m.Axis, m.Value, m.Old, m.New, m.Delta)
+		}
+		fmt.Fprintln(w)
+		mt.Render(w)
+	}
+
+	if d.Regressions > 0 {
+		fmt.Fprintf(w, "\nREGRESSED: %d regression(s) beyond threshold %.3g\n", d.Regressions, d.Threshold)
+	} else {
+		fmt.Fprintf(w, "\nok: no regressions beyond threshold %.3g\n", d.Threshold)
+	}
+}

@@ -1,0 +1,198 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func diffSweep(t *testing.T, seed int64) *SweepResult {
+	t.Helper()
+	res, err := RunSweep(context.Background(), Sweep{
+		Base:      fastScenario(),
+		N:         []int{20, 24},
+		Adversary: []string{"none", "jam"},
+		Runs:      4,
+		Seed:      seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestDiffIdentical is the acceptance-criteria test: diffing a report
+// against itself reports zero deltas everywhere and no regressions.
+func TestDiffIdentical(t *testing.T) {
+	a, b := diffSweep(t, 7), diffSweep(t, 7)
+	d := DiffSweeps(a, b, DiffOptions{})
+	if d.Regressed() || d.Regressions != 0 {
+		t.Fatalf("identical reports regressed: %+v", d)
+	}
+	if len(d.Cells) != 4 || len(d.OnlyOld)+len(d.OnlyNew)+len(d.NewlySkipped)+len(d.NewlyRunnable) != 0 {
+		t.Fatalf("identical reports not fully aligned: %+v", d)
+	}
+	for _, c := range d.Cells {
+		if c.DeltaRate != 0 || c.DeltaP95 != 0 || c.Regressed {
+			t.Fatalf("cell %q has non-zero delta: %+v", c.Cell, c)
+		}
+	}
+	for _, m := range d.Marginals {
+		if m.Delta != 0 {
+			t.Fatalf("marginal %s=%s has non-zero delta: %+v", m.Axis, m.Value, m)
+		}
+	}
+}
+
+func TestDiffFlagsRegression(t *testing.T) {
+	a, b := diffSweep(t, 7), diffSweep(t, 7)
+	// Perturb one cell beyond the threshold, one within it.
+	b.Cells[0].Agg.DeliveryRate -= 0.2
+	b.Cells[1].Agg.DeliveryRate -= 0.01
+	d := DiffSweeps(a, b, DiffOptions{Threshold: 0.05})
+	if !d.Regressed() || d.Regressions != 1 {
+		t.Fatalf("want exactly 1 regression, got %+v", d)
+	}
+	if !d.Cells[0].Regressed || d.Cells[1].Regressed {
+		t.Fatalf("wrong cells flagged: %+v", d.Cells)
+	}
+	// An improvement never regresses, whatever the threshold.
+	b.Cells[0].Agg.DeliveryRate += 0.9
+	d = DiffSweeps(a, b, DiffOptions{})
+	if d.Cells[0].Regressed {
+		t.Fatalf("improvement flagged as regression: %+v", d.Cells[0])
+	}
+}
+
+func TestDiffStructuralChanges(t *testing.T) {
+	a, b := diffSweep(t, 7), diffSweep(t, 7)
+	// A cell that vanished and a cell that stopped being runnable are both
+	// regressions; a newly-runnable cell is not.
+	b.Cells = b.Cells[:3]
+	b.Cells[1].Agg = nil
+	b.Cells[1].Skip = "model bound"
+	a.Cells[2].Agg = nil
+	a.Cells[2].Skip = "model bound"
+	d := DiffSweeps(a, b, DiffOptions{})
+	if len(d.OnlyOld) != 1 || d.OnlyOld[0] != a.Cells[3].Cell {
+		t.Fatalf("OnlyOld = %v", d.OnlyOld)
+	}
+	if len(d.NewlySkipped) != 1 || len(d.NewlyRunnable) != 1 {
+		t.Fatalf("flip lists = %v / %v", d.NewlySkipped, d.NewlyRunnable)
+	}
+	if d.Regressions != 2 {
+		t.Fatalf("regressions = %d, want 2 (vanished + newly skipped)", d.Regressions)
+	}
+}
+
+func TestDiffRendering(t *testing.T) {
+	a, b := diffSweep(t, 7), diffSweep(t, 8)
+	d := DiffSweeps(a, b, DiffOptions{Threshold: 0.5})
+	var tbl, js bytes.Buffer
+	d.WriteTable(&tbl)
+	if err := d.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sweep diff", "delta_rate", "marginal delivery deltas", "no regressions"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl.String())
+		}
+	}
+	if !strings.Contains(js.String(), `"threshold": 0.5`) {
+		t.Fatalf("json missing threshold:\n%s", js.String())
+	}
+}
+
+// TestParseSweepResultRoundTrip: the canonical JSON encoding is a fixed
+// point of parse -> marshal.
+func TestParseSweepResultRoundTrip(t *testing.T) {
+	res := diffSweep(t, 7)
+	blob, err := res.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSweepResult(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := parsed.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, again) {
+		t.Fatalf("JSON round trip not a fixed point:\n%s\nvs\n%s", blob, again)
+	}
+	// A loaded report renders real identification columns (they ride in
+	// the aggregate JSON) and "-" for the config-only columns that exist
+	// solely on the in-process derived scenario.
+	var tbl bytes.Buffer
+	parsed.WriteCSV(&tbl)
+	first := strings.SplitN(tbl.String(), "\n", 3)[1]
+	if !strings.Contains(first, ",fame,none,20,2,1,-,-,-,-,") {
+		t.Fatalf("loaded-report CSV row = %q, want aggregate-derived identification and dashed config columns", first)
+	}
+}
+
+// TestDiffNegativeThresholdClamped: a negative tolerance must not flag
+// identical (or improved) cells as regressions.
+func TestDiffNegativeThresholdClamped(t *testing.T) {
+	a, b := diffSweep(t, 7), diffSweep(t, 7)
+	d := DiffSweeps(a, b, DiffOptions{Threshold: -0.5})
+	if d.Threshold != 0 || d.Regressed() {
+		t.Fatalf("negative threshold: %+v", d)
+	}
+}
+
+func TestParseSweepResultStrictness(t *testing.T) {
+	good := string(mustMarshalSweep(t))
+	cases := map[string]string{
+		"unknown field":   strings.Replace(good, `"name"`, `"nmae"`, 1),
+		"trailing data":   good + "{}",
+		"truncated":       good[:len(good)/2],
+		"empty object":    "{}",
+		"nameless cell":   strings.Replace(good, `"cell": "fame-clear/n=20,adv=none"`, `"cell": ""`, 1),
+		"not json":        "delivery went down",
+		"skip and agg":    addSkipToRunnableCell(good),
+		"missing payload": `{"name": "x", "axes": [], "runs_per_cell": 1, "seed": 1, "cells": [{"cell": "x"}]}`,
+	}
+	for name, data := range cases {
+		if _, err := ParseSweepResult(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+	if _, err := ParseSweepResult(strings.NewReader(good)); err != nil {
+		t.Fatalf("canonical report rejected: %v", err)
+	}
+}
+
+func mustMarshalSweep(t *testing.T) []byte {
+	t.Helper()
+	res, err := RunSweep(context.Background(), Sweep{
+		Base:      fastScenario(),
+		N:         []int{20},
+		Adversary: []string{"none"},
+		Runs:      2,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := res.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// addSkipToRunnableCell violates the exactly-one-of-aggregate-or-skip
+// invariant on the first runnable cell.
+func addSkipToRunnableCell(good string) string {
+	return strings.Replace(good, `"aggregate": {`, `"skip": "bogus", "aggregate": {`, 1)
+}
+
+func TestLoadSweepResultMissingFile(t *testing.T) {
+	if _, err := LoadSweepResult("testdata/does-not-exist.json"); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}

@@ -1,0 +1,103 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseScenarioFile hammers the scenario-catalog parser: arbitrary
+// input must never panic, and any input it accepts must satisfy the
+// catalog invariants (non-empty unique names, known adversaries,
+// resolvable lookups) and keep its strictness — a valid catalog followed
+// by trailing data must be rejected.
+func FuzzParseScenarioFile(f *testing.F) {
+	f.Add(`{"scenarios":[{"name":"a","proto":"fame","n":20,"c":2,"t":1,"pairs":4,"adversary":"jam"}]}`)
+	f.Add(`{"scenarios":[{"name":"b","proto":"secure-group","n":20,"c":2,"t":1,"em_rounds":3,"adversary":"hop"}],` +
+		`"sweeps":[{"name":"g","base":"b","c":[2,3],"runs":4,"seed":7}]}`)
+	f.Add(`{"sweeps":[{"name":"w","base":"fame-clear","n":[20,24],"regime":["2t"],"adversary":["combo"]}]}`)
+	f.Add(`{"scenarios":[]}`)
+	f.Add(`{"scenarios":[{"name":"dup","proto":"fame","n":8,"c":2,"t":1,"pairs":2,"adversary":"none"},` +
+		`{"name":"dup","proto":"fame","n":8,"c":2,"t":1,"pairs":2,"adversary":"none"}]}`)
+	f.Add(`{"scenarios":[{"name":"x","proto":"fame","n":8,"c":2,"t":1,"pairs":2,"adversary":"none","typo":1}]}`)
+	f.Add(`not json at all`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		sf, err := ParseScenarioFile(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		names := make(map[string]bool)
+		for _, s := range sf.Scenarios {
+			if s.Name == "" {
+				t.Fatalf("parsed a scenario without a name from %q", data)
+			}
+			if names[s.Name] {
+				t.Fatalf("duplicate scenario name %q survived parsing", s.Name)
+			}
+			names[s.Name] = true
+			if _, ok := advFactories[s.Adversary]; !ok {
+				t.Fatalf("unknown adversary %q survived parsing", s.Adversary)
+			}
+			if got, ok := sf.Lookup(s.Name); !ok || got.Name != s.Name {
+				t.Fatalf("parsed scenario %q does not resolve through Lookup", s.Name)
+			}
+		}
+		for _, sw := range sf.Sweeps {
+			if sw.Name == "" || sw.Base.Name == "" {
+				t.Fatalf("parsed sweep with empty name or base: %+v", sw)
+			}
+			if _, ok := sf.LookupSweep(sw.Name); !ok {
+				t.Fatalf("parsed sweep %q does not resolve through LookupSweep", sw.Name)
+			}
+		}
+		// Strictness preserved: a second JSON document after a valid
+		// catalog is trailing data, never silently ignored.
+		if _, err := ParseScenarioFile(strings.NewReader(data + "{}")); err == nil {
+			t.Fatalf("trailing data accepted after valid catalog %q", data)
+		}
+	})
+}
+
+// FuzzParseSweepResult hammers the sweep-report loader: arbitrary input
+// must never panic, and any report it accepts must survive a
+// render-reparse round trip with the canonical JSON as a fixed point,
+// while strictness (trailing-data rejection) is preserved.
+func FuzzParseSweepResult(f *testing.F) {
+	f.Add(`{"name":"s","axes":[{"name":"c","values":["2"]}],"runs_per_cell":1,"seed":1,` +
+		`"cells":[{"cell":"s/c=2","aggregate":{"scenario":"s/c=2","proto":"fame","adversary":"none",` +
+		`"n":20,"c":2,"t":1,"seed":5,"requested":1,"runs":1,"failures":0,"panics":0,` +
+		`"attempted":8,"delivered":8,"delivery_rate":1,` +
+		`"rounds":{"n":1,"min":100,"mean":100,"p50":100,"p95":100,"p99":100,"max":100},` +
+		`"delivered_per_run":{"n":1,"min":8,"mean":8,"p50":8,"p95":8,"p99":8,"max":8},` +
+		`"cover_distribution":{"0":1}}}]}`)
+	f.Add(`{"name":"s","axes":[],"runs_per_cell":1,"seed":1,"cells":[{"cell":"s","skip":"model bound"}]}`)
+	f.Add(`{"name":"","cells":[]}`)
+	f.Add(`{"name":"s","cells":[{"cell":"x","skip":"a","aggregate":{}}]}`)
+	f.Add(`[1,2,3]`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		r, err := ParseSweepResult(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		blob, err := r.MarshalIndent()
+		if err != nil {
+			t.Fatalf("accepted report does not re-render: %v", err)
+		}
+		again, err := ParseSweepResult(bytes.NewReader(blob))
+		if err != nil {
+			t.Fatalf("canonical rendering rejected on reparse: %v\n%s", err, blob)
+		}
+		blob2, err := again.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(blob, blob2) {
+			t.Fatalf("canonical JSON is not a parse/render fixed point:\n%s\nvs\n%s", blob, blob2)
+		}
+		if _, err := ParseSweepResult(strings.NewReader(data + "{}")); err == nil {
+			t.Fatalf("trailing data accepted after valid report %q", data)
+		}
+	})
+}

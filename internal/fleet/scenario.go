@@ -399,11 +399,7 @@ func (s Scenario) executeSecureGroup(ctx context.Context, adv radio.Adversary, s
 // setup excluded a node.
 func secureGroupAccounting(results []groupkey.NodeResult, em int) (attempted, holders int) {
 	n := len(results)
-	for i := range results {
-		if results[i].GroupKey != nil {
-			holders++
-		}
-	}
+	holders = groupkey.KeyHolders(results)
 	for e := 0; e < em; e++ {
 		if results[e%n].GroupKey != nil {
 			attempted += holders - 1

@@ -122,6 +122,14 @@ func (s Sweep) expand() (cells []Scenario, skips []error, err error) {
 		return nil, nil, fmt.Errorf("fleet: sweep %q: the EmRounds axis applies only to %s scenarios (base %q is %q)",
 			s.name(), ProtoSecureGroup, s.Base.Name, s.Base.Proto)
 	}
+	// Non-positive EmRounds selects the scenario default, so such cells
+	// would silently run the default workload under a different label.
+	for _, em := range s.EmRounds {
+		if em < 1 {
+			return nil, nil, fmt.Errorf("fleet: sweep %q: EmRounds axis value %d, want >= 1 (non-positive selects the default)",
+				s.name(), em)
+		}
+	}
 	if len(s.Pairs) > 0 && !fameBase {
 		return nil, nil, fmt.Errorf("fleet: sweep %q: the Pairs axis applies only to f-AME scenarios (base %q is %q)",
 			s.name(), s.Base.Name, s.Base.Proto)
@@ -189,13 +197,7 @@ func (s Sweep) Cells() ([]Scenario, error) {
 
 	expand(len(s.N), func(cell *Scenario, i int) string {
 		cell.N = s.N[i]
-		// Scale the pair universe with the axis: the legacy PairSpan
-		// default would cap it at 12 nodes and make the N axis a no-op
-		// for the f-AME workload.
-		cell.Span = cell.N
-		if s.Base.Span > 0 && s.Base.Span < cell.N {
-			cell.Span = s.Base.Span
-		}
+		cell.Span = spanForN(s.Base, cell.N)
 		return fmt.Sprintf("n=%d", s.N[i])
 	})
 	expand(len(s.C), func(cell *Scenario, i int) string {
@@ -239,6 +241,18 @@ func (s Sweep) Cells() ([]Scenario, error) {
 		cells[i].Name = name
 	}
 	return cells, nil
+}
+
+// spanForN is the N-axis pair-universe rule shared by cartesian and
+// adaptive sweeps: a derived cell's Span tracks its n (clamped to an
+// explicit base Span), because the legacy PairSpan default would cap the
+// pair universe at 12 nodes and make the N axis a no-op for the f-AME
+// workload.
+func spanForN(base Scenario, n int) int {
+	if base.Span > 0 && base.Span < n {
+		return base.Span
+	}
+	return n
 }
 
 // CellResult is one grid cell's entry in the sweep matrix: either the
@@ -363,21 +377,27 @@ func matrixHeaders() []string {
 	}
 }
 
-// matrixRow renders one runnable cell. Columns the cell's protocol never
-// reads (pairs/span outside f-AME, em outside secure-group) render as "-"
-// rather than their internal defaults, which would imply the values had
-// an effect.
+// matrixRow renders one runnable cell. The identification columns come
+// from the aggregate, which carries them in JSON, so a report loaded back
+// from disk (ParseSweepResult) renders them correctly; the config-only
+// columns (pairs/span/regime/em) exist only on the in-process derived
+// scenario and render as "-" for loaded reports — as do columns the
+// cell's protocol never reads, whose internal defaults would imply the
+// values had an effect.
 func (cr CellResult) matrixRow() []any {
 	s, a := cr.scen, cr.Agg
-	pairs, span, em := any("-"), any("-"), any("-")
-	switch s.Proto {
-	case ProtoFame, ProtoFameCompact, ProtoFameDirect:
-		pairs, span = s.Pairs, s.pairSpan()
-	case ProtoSecureGroup:
-		em = s.emRounds()
+	pairs, span, regime, em := any("-"), any("-"), any("-"), any("-")
+	if s.Name != "" {
+		regime = RegimeName(s.Regime)
+		switch s.Proto {
+		case ProtoFame, ProtoFameCompact, ProtoFameDirect:
+			pairs, span = s.Pairs, s.pairSpan()
+		case ProtoSecureGroup:
+			em = s.emRounds()
+		}
 	}
 	return []any{
-		cr.Cell, s.Proto, s.Adversary, s.N, s.C, s.T, pairs, span, RegimeName(s.Regime), em,
+		cr.Cell, a.Proto, a.Adversary, a.N, a.C, a.T, pairs, span, regime, em,
 		a.Runs, a.Failures, a.DeliveryRate, a.Rounds.P50, a.Rounds.P95,
 	}
 }

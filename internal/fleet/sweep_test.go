@@ -135,6 +135,13 @@ func TestSweepValidate(t *testing.T) {
 	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "Pairs axis") {
 		t.Fatalf("pairs axis on groupkey base: err = %v", err)
 	}
+	// em <= 0 selects the scenario default: cells would silently rerun the
+	// default workload under a fake em=0 label.
+	sg, _ := Lookup("securegroup-hop")
+	s = Sweep{Base: sg, EmRounds: []int{0, 4}, Runs: 4}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "EmRounds axis value 0") {
+		t.Fatalf("em=0 axis value: err = %v", err)
+	}
 	// A typo on the adversary axis fails fast instead of silently
 	// skipping its whole slice of the grid.
 	s = Sweep{Base: fastScenario(), Adversary: []string{"jam", "jma"}, Runs: 4}

@@ -180,6 +180,23 @@ type NodeResult struct {
 	Err error
 }
 
+// KeyHolders counts the nodes that finished setup holding the group key.
+// It is the single quorum-counting rule shared by the fleet secure-group
+// path and the public Runner.SecureGroup: a node that failed setup
+// locally (NodeResult.Err != nil) is simply keyless — tolerated like a
+// node the agreement phase excluded — and a run fails only when fewer
+// than n-t nodes hold the key. Keeping both paths on this one function is
+// what pins them to identical quorum behavior.
+func KeyHolders(results []NodeResult) int {
+	holders := 0
+	for i := range results {
+		if results[i].GroupKey != nil {
+			holders++
+		}
+	}
+	return holders
+}
+
 // Proc returns the node program. All nodes must start it simultaneously.
 func Proc(p Params, out *NodeResult) radio.Process {
 	return func(env radio.Env) {

@@ -249,19 +249,20 @@ func (r *Runner) SecureGroup(ctx context.Context, app SecureGroupApp) (*SecureGr
 	}
 	report.TotalRounds = radioRes.Rounds
 
-	holders := 0
+	// A node-local setup failure leaves that node keyless, exactly like a
+	// node the agreement phase excluded: both are tolerated, idle through
+	// the emulated rounds in lock-step, and the run as a whole fails only
+	// when the key-holder quorum of the paper (n-t) is missed. This is the
+	// same counting rule the fleet secure-group path applies (shared via
+	// groupkey.KeyHolders), so a Runner call and a campaign run of the
+	// same parameters succeed and fail identically.
+	holders := groupkey.KeyHolders(gkResults)
+	report.KeyHolders = holders
 	for i := range gkResults {
 		if gkResults[i].Err != nil {
-			// A node-local protocol failure during setup is a setup
-			// failure: keep it errors.Is-matchable against ErrSetupFailed
-			// while preserving the node's own error as the cause.
-			return nil, fmt.Errorf("%w: node %d setup: %w", ErrSetupFailed, i, gkResults[i].Err)
-		}
-		if gkResults[i].GroupKey != nil {
-			holders++
+			report.SetupErrors++
 		}
 	}
-	report.KeyHolders = holders
 	// The true lock-step setup cost is the slowest node's: no node can
 	// enter the emulated channel before every other node is done setting
 	// up, so the max — not node 0's view — is what the application pays.

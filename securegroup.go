@@ -51,6 +51,12 @@ type SecureGroupReport struct {
 	// during setup (at least n-t whp).
 	KeyHolders int
 
+	// SetupErrors is the number of nodes whose setup failed locally with a
+	// protocol-level error. Such nodes are keyless — tolerated exactly as
+	// the fleet campaign path tolerates them — and the run fails (with an
+	// error matching ErrSetupFailed) only when KeyHolders falls below n-t.
+	SetupErrors int
+
 	// SetupRounds is the number of radio rounds the Section 6 setup
 	// consumed: the maximum across nodes, i.e. the true lock-step cost
 	// the application pays before its first emulated round can start.
