@@ -10,6 +10,11 @@
 //	fleetsim sweep -base fame-clear -n 20,32,64 -t 0,1 -adv none,jam,combo -runs 100
 //	fleetsim sweep -scenarios my.json -sweep my-grid -format csv -out grid.csv
 //	fleetsim sweep -base fame-worst -adaptive c -min 2 -max 16 -runs 200
+//	fleetsim sweep -base fame-jam -t 0,1,2 -runs 500 -workers-exec self -workers 4
+//	fleetsim sweep -scenarios my.json -sweep my-grid -checkpoint grid.ckpt
+//	fleetsim sweep -scenarios my.json -sweep my-grid -checkpoint grid.ckpt -resume
+//	fleetsim sweep -base fame-jam -t 0,1,2 -runs 500 -listen 127.0.0.1:9000
+//	fleetsim worker -connect 10.0.0.5:9000
 //	fleetsim analyze -in sweep.json -format table
 //	fleetsim diff -threshold 0.05 old-sweep.json new-sweep.json
 //
@@ -18,6 +23,15 @@
 // suitable for cross-PR trajectory tracking; fleetsim diff compares two
 // such sweep reports cell by cell and exits non-zero when a cell's
 // delivery rate regressed beyond the threshold, so CI can gate on it.
+//
+// The fabric flags distribute a sweep cell by cell: -workers-exec spawns
+// subprocess workers ("self" re-executes this binary's worker
+// subcommand, anything else is a command line), -listen accepts remote
+// workers over TCP (started with fleetsim worker -connect), and
+// -checkpoint journals completed cells so -resume can finish a killed
+// sweep without re-running them. Because per-cell aggregates are
+// seed-deterministic, the distributed report is byte-identical to the
+// single-process one.
 package main
 
 import (
@@ -31,6 +45,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"securadio"
 	"securadio/internal/metrics"
@@ -57,7 +72,7 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return errors.New("usage: fleetsim <list|run|sweep|analyze|diff> [flags]")
+		return errors.New("usage: fleetsim <list|run|sweep|worker|analyze|diff> [flags]")
 	}
 	switch args[0] {
 	case "list":
@@ -66,13 +81,37 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return runCampaign(ctx, args[1:], out)
 	case "sweep":
 		return runSweep(ctx, args[1:], out)
+	case "worker":
+		return runWorker(ctx, args[1:], out)
 	case "analyze":
 		return runAnalyze(args[1:], out)
 	case "diff":
 		return runDiff(args[1:], out)
 	default:
-		return fmt.Errorf("unknown command %q (want list, run, sweep, analyze or diff)", args[0])
+		return fmt.Errorf("unknown command %q (want list, run, sweep, worker, analyze or diff)", args[0])
 	}
+}
+
+// runWorker serves the fabric worker protocol: leases arrive on stdin
+// (or a TCP connection with -connect), each cell campaign runs across
+// this process's cores, and the aggregate goes back on the same stream.
+// The process exits cleanly when the coordinator closes the stream.
+func runWorker(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fleetsim worker", flag.ContinueOnError)
+	connect := fs.String("connect", "", "dial a coordinator's -listen address over TCP instead of serving stdin/stdout")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errReported
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (the worker takes leases from its coordinator, not the command line)", fs.Arg(0))
+	}
+	if *connect != "" {
+		return securadio.DialSweepWorker(ctx, *connect)
+	}
+	return securadio.ServeSweepWorker(ctx, os.Stdin, out)
 }
 
 // loadCatalog parses -scenarios when given; a nil catalog means built-ins
@@ -132,6 +171,14 @@ func runList(args []string, out io.Writer) error {
 		if st.Len() > 0 {
 			fmt.Fprintln(out)
 			st.Render(out)
+		}
+		at := metrics.NewTable("adaptive sweeps from "+*scenariosPath, "name", "base", "axis", "range", "runs/cell", "description")
+		for _, as := range catalog.Adaptives {
+			at.AddRow(as.Name, as.Base.Name, as.Axis, fmt.Sprintf("[%d, %d]", as.Min, as.Max), as.Runs, as.Desc)
+		}
+		if at.Len() > 0 {
+			fmt.Fprintln(out)
+			at.Render(out)
 		}
 	}
 	fmt.Fprintf(out, "\nadversary strategies: %v\n", securadio.AdversaryStrategies())
@@ -254,11 +301,79 @@ func splitStrings(s string) []string {
 	return parts
 }
 
+// fabricFlags collects the distributed-sweep knobs of fleetsim sweep.
+// Any of them being set routes the sweep through a fabric coordinator
+// instead of the in-process executor.
+type fabricFlags struct {
+	exec       string
+	listen     string
+	checkpoint string
+	resume     bool
+	lease      time.Duration
+	workers    int // -workers doubles as the subprocess/local session count
+}
+
+func (ff fabricFlags) active() bool {
+	return ff.exec != "" || ff.listen != "" || ff.checkpoint != "" || ff.resume || ff.lease > 0
+}
+
+// open builds the coordinator the flags describe and attaches its
+// workers; the caller must Close it. With neither -workers-exec nor
+// -listen (checkpoint-only use), cells lease to local in-process
+// sessions — one at a time by default, each cell's runs still fanning
+// across all cores.
+func (ff fabricFlags) open() (*securadio.Fabric, error) {
+	co := securadio.NewFabric(securadio.FabricConfig{
+		LeaseTimeout: ff.lease,
+		Checkpoint:   ff.checkpoint,
+		Resume:       ff.resume,
+		Log:          os.Stderr,
+	})
+	attached := false
+	if ff.exec != "" {
+		argv := strings.Fields(ff.exec)
+		if len(argv) == 1 && argv[0] == "self" {
+			exe, err := os.Executable()
+			if err != nil {
+				co.Close()
+				return nil, err
+			}
+			argv = []string{exe, "worker"}
+		}
+		n := ff.workers
+		if n <= 0 {
+			n = 2
+		}
+		if err := co.AttachExec(argv, n); err != nil {
+			co.Close()
+			return nil, err
+		}
+		attached = true
+	}
+	if ff.listen != "" {
+		addr, err := co.ListenTCP(ff.listen)
+		if err != nil {
+			co.Close()
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "fleetsim: fabric listening on %s (start workers with: fleetsim worker -connect %s)\n", addr, addr)
+		attached = true
+	}
+	if !attached {
+		n := ff.workers
+		if n <= 0 {
+			n = 1
+		}
+		co.AttachLocal(n)
+	}
+	return co, nil
+}
+
 func runSweep(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fleetsim sweep", flag.ContinueOnError)
 	var (
 		base          = fs.String("base", "", "base scenario name the grid derives from")
-		sweepName     = fs.String("sweep", "", "named sweep from the -scenarios catalog (instead of -base + axis flags)")
+		sweepName     = fs.String("sweep", "", "named sweep (cartesian or adaptive) from the -scenarios catalog (instead of -base + axis flags)")
 		scenariosPath = fs.String("scenarios", "", "JSON scenario catalog providing scenarios and sweeps")
 		nAxis         = fs.String("n", "", "N axis: comma-separated node counts")
 		cAxis         = fs.String("c", "", "C axis: comma-separated channel counts")
@@ -275,10 +390,15 @@ func runSweep(ctx context.Context, args []string, out io.Writer) error {
 		budget        = fs.Int("budget", 0, "adaptive: total evaluated-point budget, coarse grid included (0 = default)")
 		runs          = fs.Int("runs", 100, "runs per grid cell")
 		seed          = fs.Int64("seed", 1, "sweep master seed")
-		workers       = fs.Int("workers", 0, "shared worker pool size (0 = all cores)")
+		workers       = fs.Int("workers", 0, "worker pool size (0 = all cores); with -workers-exec, the subprocess count (0 = 2)")
 		format        = fs.String("format", "table", "report format: table | json | csv")
 		outPath       = fs.String("out", "", "write the report to a file instead of stdout")
 		timeout       = fs.Duration("timeout", 0, "abort the sweep after this duration (0 = none)")
+		workersExec   = fs.String("workers-exec", "", "distribute cells to subprocess workers running this command (\"self\" = this binary's worker subcommand)")
+		listenAddr    = fs.String("listen", "", "distribute cells to remote workers that connect to this TCP address (see fleetsim worker -connect)")
+		checkpoint    = fs.String("checkpoint", "", "journal completed cells to this file so a killed sweep can -resume")
+		resume        = fs.Bool("resume", false, "replay the -checkpoint journal and run only the remaining cells")
+		leaseTimeout  = fs.Duration("lease-timeout", 0, "re-issue a leased cell after this long without a result (0 = default 2m)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -295,8 +415,23 @@ func runSweep(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	ff := fabricFlags{
+		exec: *workersExec, listen: *listenAddr,
+		checkpoint: *checkpoint, resume: *resume,
+		lease: *leaseTimeout, workers: *workers,
+	}
+	if ff.resume && ff.checkpoint == "" {
+		return errors.New("-resume requires -checkpoint (the journal to replay)")
+	}
 
-	if *adaptive != "" {
+	// Resolve the work definition: exactly one of a cartesian sweep or an
+	// adaptive search, from flags or from the catalog.
+	var (
+		sweep securadio.Sweep
+		adapt *securadio.AdaptiveSweep
+	)
+	switch {
+	case *adaptive != "":
 		if *sweepName != "" {
 			return errors.New("-adaptive and -sweep are mutually exclusive")
 		}
@@ -315,43 +450,13 @@ func runSweep(ctx context.Context, args []string, out io.Writer) error {
 		if !ok {
 			return fmt.Errorf("unknown base scenario %q (see fleetsim list)", *base)
 		}
-		as := securadio.AdaptiveSweep{
+		adapt = &securadio.AdaptiveSweep{
 			Base: sc, Axis: *adaptive,
 			Min: *minFlag, Max: *maxFlag,
 			Coarse: *coarse, Resolution: *resolution, MaxCells: *budget,
 			Runs: *runs, Seed: *seed, Workers: *workers,
 		}
-		if err := checkFormat(*format); err != nil {
-			return err
-		}
-		if err := as.Validate(); err != nil {
-			return err
-		}
-		w, file, err := openOut(out, *outPath)
-		if err != nil {
-			return err
-		}
-		if file != nil {
-			defer file.Close()
-		}
-		if *timeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, *timeout)
-			defer cancel()
-		}
-		res, err := securadio.RunAdaptiveSweep(ctx, as)
-		if err != nil && res == nil {
-			return err
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "fleetsim: adaptive sweep interrupted (%v); reporting completed points\n", err)
-			err = errReported
-		}
-		return emitReport(*format, w, file, res, err)
-	}
 
-	var sweep securadio.Sweep
-	switch {
 	case *sweepName != "":
 		if catalog == nil {
 			return errors.New("-sweep requires -scenarios (sweeps are defined in catalog files)")
@@ -364,19 +469,33 @@ func runSweep(ctx context.Context, args []string, out io.Writer) error {
 				return fmt.Errorf("-%s defines a -base grid axis and cannot reshape the catalog sweep %q", axis, *sweepName)
 			}
 		}
-		sw, ok := catalog.LookupSweep(*sweepName)
-		if !ok {
+		for _, shape := range []string{"min", "max", "coarse", "resolution", "budget"} {
+			if explicit[shape] {
+				return fmt.Errorf("-%s shapes a -base adaptive search and cannot reshape the catalog sweep %q", shape, *sweepName)
+			}
+		}
+		if sw, ok := catalog.LookupSweep(*sweepName); ok {
+			sweep = sw
+			// Execution knobs: an explicit flag wins over the catalog; the
+			// catalog wins over the flag's default.
+			if explicit["runs"] || sweep.Runs == 0 {
+				sweep.Runs = *runs
+			}
+			if explicit["seed"] || sweep.Seed == 0 {
+				sweep.Seed = *seed
+			}
+		} else if as, ok := catalog.LookupAdaptive(*sweepName); ok {
+			if explicit["runs"] || as.Runs == 0 {
+				as.Runs = *runs
+			}
+			if explicit["seed"] || as.Seed == 0 {
+				as.Seed = *seed
+			}
+			adapt = &as
+		} else {
 			return fmt.Errorf("unknown sweep %q in %s (have: %s)", *sweepName, *scenariosPath, catalog.Names())
 		}
-		sweep = sw
-		// Execution knobs: an explicit flag wins over the catalog; the
-		// catalog wins over the flag's default.
-		if explicit["runs"] || sweep.Runs == 0 {
-			sweep.Runs = *runs
-		}
-		if explicit["seed"] || sweep.Seed == 0 {
-			sweep.Seed = *seed
-		}
+
 	case *base != "":
 		sc, ok := lookupScenario(catalog, *base)
 		if !ok {
@@ -418,13 +537,22 @@ func runSweep(ctx context.Context, args []string, out io.Writer) error {
 	// An explicit -workers overrides the catalog's setting; the flag's
 	// default leaves a catalog value (or GOMAXPROCS) in charge.
 	if explicit["workers"] {
-		sweep.Workers = *workers
+		if adapt != nil {
+			adapt.Workers = *workers
+		} else {
+			sweep.Workers = *workers
+		}
 	}
 
 	if err := checkFormat(*format); err != nil {
 		return err
 	}
-	if err := sweep.Validate(); err != nil {
+	if adapt != nil {
+		err = adapt.Validate()
+	} else {
+		err = sweep.Validate()
+	}
+	if err != nil {
 		return err
 	}
 	w, file, err := openOut(out, *outPath)
@@ -440,7 +568,38 @@ func runSweep(ctx context.Context, args []string, out io.Writer) error {
 		defer cancel()
 	}
 
-	matrix, err := securadio.RunSweep(ctx, sweep)
+	var co *securadio.Fabric
+	if ff.active() {
+		co, err = ff.open()
+		if err != nil {
+			return err
+		}
+		defer co.Close()
+	}
+
+	if adapt != nil {
+		var res *securadio.AdaptiveResult
+		if co != nil {
+			res, err = co.RunAdaptiveSweep(ctx, *adapt)
+		} else {
+			res, err = securadio.RunAdaptiveSweep(ctx, *adapt)
+		}
+		if err != nil && res == nil {
+			return err
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleetsim: adaptive sweep interrupted (%v); reporting completed points\n", err)
+			err = errReported
+		}
+		return emitReport(*format, w, file, res, err)
+	}
+
+	var matrix *securadio.SweepResult
+	if co != nil {
+		matrix, err = co.RunSweep(ctx, sweep)
+	} else {
+		matrix, err = securadio.RunSweep(ctx, sweep)
+	}
 	if err != nil && matrix == nil {
 		return err
 	}

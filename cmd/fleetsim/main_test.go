@@ -108,7 +108,7 @@ func TestListWithCatalog(t *testing.T) {
 	if err := run(context.Background(), []string{"list", "-scenarios", fixturePath}, &out); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"wide-fame", "long-securegroup", "spectrum-grid", "combo"} {
+	for _, want := range []string{"wide-fame", "long-securegroup", "spectrum-grid", "spectrum-threshold", "combo"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("catalog listing missing %q:\n%s", want, out.String())
 		}

@@ -65,6 +65,20 @@
 // with ParseSweepResult / LoadSweepResult reloading reports from disk),
 // which is what the fleetsim diff CI gate runs.
 //
+// Because every per-cell aggregate is a pure function of (definition,
+// seed), sweeps also distribute across processes and machines without
+// changing a byte of the report: NewFabric builds a coordinator that
+// decomposes a Sweep or AdaptiveSweep into whole-cell leases and hands
+// them to workers — in-process (Fabric.AttachLocal), subprocesses over
+// stdin/stdout pipes (Fabric.AttachExec), or remote processes over TCP
+// (Fabric.ListenTCP with ServeSweepWorker / DialSweepWorker on the
+// worker side). Expired leases re-issue when workers crash or hang,
+// duplicate completions resolve first-valid-write-wins, and an optional
+// checkpoint journal (FabricConfig.Checkpoint) records completed cells
+// so a killed sweep resumes without re-running them — the fleetsim
+// sweep -workers-exec/-listen/-checkpoint/-resume flags and worker
+// subcommand drive exactly this machinery.
+//
 // Everything runs on a deterministic discrete-event simulation of the
 // paper's synchronous radio model (internal/radio); the adversary zoo in
 // internal/adversary provides jamming, spoofing, replaying and

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"securadio/internal/fleet"
+	"securadio/internal/fleet/fabric"
 )
 
 // Scenario is a named, fully parameterized simulation configuration from
@@ -184,4 +185,37 @@ func LoadScenarioFile(path string) (*ScenarioFile, error) {
 // files, sweep axes and the CLIs: "auto" (or ""), "base", "2t", "2t2".
 func ParseRegime(s string) (Regime, error) {
 	return fleet.ParseRegime(s)
+}
+
+// FabricConfig parameterizes a distributed sweep coordinator: lease
+// timeout, checkpoint journal path, resume mode and log destination.
+type FabricConfig = fabric.Config
+
+// Fabric is a distributed sweep coordinator. It decomposes a Sweep or
+// AdaptiveSweep into whole-cell leases, hands them to attached workers
+// (in-process, subprocess over stdin/stdout pipes, or remote over TCP),
+// and merges the returned aggregates into a report byte-identical to the
+// single-process RunSweep/RunAdaptiveSweep output regardless of worker
+// count, topology, or completion order. Expired leases are re-issued,
+// duplicate completions resolve first-valid-write-wins, and an optional
+// checkpoint journal makes a killed sweep resumable. Attach workers,
+// run exactly one sweep, Close.
+type Fabric = fabric.Coordinator
+
+// NewFabric returns a distributed sweep coordinator with no workers
+// attached.
+func NewFabric(cfg FabricConfig) *Fabric { return fabric.New(cfg) }
+
+// ServeSweepWorker runs the worker half of the fabric protocol over a
+// byte stream (typically stdin/stdout of a "fleetsim worker" process):
+// execute each leased cell campaign and answer with its aggregate. It
+// returns nil when the coordinator closes the stream.
+func ServeSweepWorker(ctx context.Context, r io.Reader, w io.Writer) error {
+	return fabric.ServeWorker(ctx, r, w)
+}
+
+// DialSweepWorker connects to a coordinator's TCP listen address and
+// serves leases until the coordinator hangs up or ctx is cancelled.
+func DialSweepWorker(ctx context.Context, addr string) error {
+	return fabric.DialWorker(ctx, addr)
 }

@@ -271,18 +271,109 @@ func nextBisect(pts []ratePoint, resolution int, evaluated func(int) bool) (mid 
 	return mid, true
 }
 
-// RunAdaptiveSweep evaluates the coarse grid, then repeatedly bisects the
-// steepest delivery-rate bracket until it is no wider than Resolution or
-// MaxCells points have been evaluated. Every evaluation batch fans through
-// the same worker pool RunSweep uses, with the same panic isolation and
-// cancellation contract: cancelling ctx aborts in-flight simulations, and
-// the partial report of completed evaluations is returned along with the
-// context's error.
-func RunAdaptiveSweep(ctx context.Context, s AdaptiveSweep) (*AdaptiveResult, error) {
+// AdaptiveSearch drives the bisection as a plain state machine: it owns
+// the evaluated-point set and decides what to evaluate next, while
+// executing the campaigns is the caller's job — the in-process pool in
+// RunAdaptiveSweep, a coordinator leasing cells to remote workers in
+// internal/fleet/fabric. Per-point seeds derive from the axis value, so
+// the search path is a deterministic function of the aggregates fed back
+// through Observe, and every executor reconstructs the same report.
+type AdaptiveSearch struct {
+	s       AdaptiveSweep // normalized
+	points  map[int]*AdaptivePoint
+	started bool
+}
+
+// NewAdaptiveSearch validates and normalizes the definition and returns a
+// fresh search with no evaluated points.
+func NewAdaptiveSearch(s AdaptiveSweep) (*AdaptiveSearch, error) {
 	s, err := s.normalized()
 	if err != nil {
 		return nil, err
 	}
+	return &AdaptiveSearch{s: s, points: make(map[int]*AdaptivePoint)}, nil
+}
+
+// Definition returns the normalized sweep definition the search runs
+// (documented defaults applied), which is what checkpoint fingerprints
+// must hash so a resume with equivalent flags matches.
+func (a *AdaptiveSearch) Definition() AdaptiveSweep { return a.s }
+
+// NextBatch returns the next cell plans to evaluate — the runnable coarse
+// grid first, then one bisection midpoint at a time, each plan's Index
+// being its axis value — or nil when the search has converged or
+// exhausted its cell budget. Model-rejected values are recorded as
+// skipped points here, without consuming any runs; they still count
+// against MaxCells, since rejecting a value is also information the
+// search paid for. Every plan returned must be answered through Observe
+// before the next NextBatch call.
+func (a *AdaptiveSearch) NextBatch() []CellPlan {
+	for {
+		var values []int
+		if !a.started {
+			a.started = true
+			values = coarseValues(a.s.Min, a.s.Max, a.s.Coarse)
+		} else {
+			if len(a.points) >= a.s.MaxCells {
+				return nil
+			}
+			seen := func(v int) bool {
+				_, ok := a.points[v]
+				return ok
+			}
+			mid, ok := nextBisect(validCurve(a.points), a.s.Resolution, seen)
+			if !ok {
+				return nil
+			}
+			values = []int{mid}
+		}
+		var plans []CellPlan
+		for _, v := range values {
+			cell := a.s.cellFor(v)
+			pt := &AdaptivePoint{Value: v, CellResult: CellResult{Cell: cell.Name, scen: cell}}
+			a.points[v] = pt
+			if verr := cell.Validate(); verr != nil {
+				pt.Skip = verr.Error()
+				continue
+			}
+			plans = append(plans, CellPlan{
+				Index: v,
+				Campaign: Campaign{
+					Scenario: cell,
+					Runs:     a.s.Runs,
+					// The seed derives from the axis value, so the aggregate
+					// at a given value is independent of when bisection
+					// reached it.
+					Seed: Campaign{Seed: a.s.Seed}.SeedFor(v),
+				},
+			})
+		}
+		if len(plans) > 0 {
+			return plans
+		}
+		// A batch of nothing but model-rejected values is already recorded
+		// as skipped points; loop to the next bisection decision instead of
+		// returning an empty batch the caller would mistake for
+		// convergence. (nextBisect treats an evaluated midpoint as a wall,
+		// so this terminates.)
+	}
+}
+
+// Observe feeds one evaluated point's finalized aggregate back into the
+// search.
+func (a *AdaptiveSearch) Observe(value int, agg *Aggregate) {
+	if pt := a.points[value]; pt != nil {
+		pt.Agg = agg
+	}
+}
+
+// Result assembles the deterministic report from the evaluated points, in
+// axis order regardless of evaluation order. complete reports whether the
+// search ran uninterrupted; only then is an all-skipped search rejected
+// as a misconfiguration (mirroring RunSweep's no-runnable-cell error), so
+// a CI gate cannot silently pass having measured nothing.
+func (a *AdaptiveSearch) Result(complete bool) (*AdaptiveResult, error) {
+	s := a.s
 	result := &AdaptiveResult{
 		Name:         s.name(),
 		Axis:         s.Axis,
@@ -294,78 +385,11 @@ func RunAdaptiveSweep(ctx context.Context, s AdaptiveSweep) (*AdaptiveResult, er
 		MaxCells:     s.MaxCells,
 		UniformCells: (s.Max-s.Min)/s.Resolution + 1,
 	}
-
-	start := time.Now()
-	points := make(map[int]*AdaptivePoint)
-	totalRuns := 0
-
-	// evaluate runs one batch of new axis values through the shared pool.
-	// Skipped (model-rejected) points are recorded without consuming any
-	// runs; they still count against MaxCells, since rejecting a value is
-	// also information the search paid for.
-	evaluate := func(values []int) error {
-		var campaigns []Campaign
-		var aggs []*Aggregate
-		var jobs []poolJob
-		for _, v := range values {
-			cell := s.cellFor(v)
-			pt := &AdaptivePoint{Value: v, CellResult: CellResult{Cell: cell.Name, scen: cell}}
-			points[v] = pt
-			if verr := cell.Validate(); verr != nil {
-				pt.Skip = verr.Error()
-				continue
-			}
-			campaigns = append(campaigns, Campaign{
-				Scenario: cell,
-				Runs:     s.Runs,
-				// The seed derives from the axis value, so the aggregate at
-				// a given value is independent of when bisection reached it.
-				Seed: Campaign{Seed: s.Seed}.SeedFor(v),
-			})
-			aggs = append(aggs, newAggregate(campaigns[len(campaigns)-1]))
-			plan := len(campaigns) - 1
-			for run := 0; run < s.Runs; run++ {
-				jobs = append(jobs, poolJob{plan: plan, run: run})
-			}
-		}
-		completed := runPool(ctx, s.Workers, len(jobs), campaigns, func(i int) poolJob {
-			return jobs[i]
-		}, func(j poolJob, r RunResult) {
-			aggs[j.plan].observe(r)
-		})
-		totalRuns += completed
-		for i, agg := range aggs {
-			agg.finalize(0)
-			points[axisValue(campaigns[i], s.Axis)].Agg = agg
-		}
-		if completed < len(jobs) {
-			return ctx.Err()
-		}
-		return nil
-	}
-
-	seen := func(v int) bool {
-		_, ok := points[v]
-		return ok
-	}
-	err = evaluate(coarseValues(s.Min, s.Max, s.Coarse))
-	for err == nil && len(points) < s.MaxCells {
-		mid, ok := nextBisect(validCurve(points), s.Resolution, seen)
-		if !ok {
-			break
-		}
-		err = evaluate([]int{mid})
-	}
-
-	// Assemble the report in axis order — independent of evaluation order.
-	for _, pt := range points {
+	for _, pt := range a.points {
 		result.Points = append(result.Points, *pt)
 	}
 	sort.Slice(result.Points, func(i, j int) bool { return result.Points[i].Value < result.Points[j].Value })
-	// A search in which nothing was runnable is a misconfiguration, not a
-	// flat curve: fail like RunSweep does when no grid cell validates, so
-	// a CI gate cannot silently pass having measured nothing.
-	if err == nil && len(validCurve(points)) == 0 {
+	if complete && len(validCurve(a.points)) == 0 {
 		first := ""
 		for _, pt := range result.Points {
 			if pt.Skip != "" {
@@ -376,12 +400,12 @@ func RunAdaptiveSweep(ctx context.Context, s AdaptiveSweep) (*AdaptiveResult, er
 		return nil, fmt.Errorf("fleet: adaptive sweep %q: none of the %d evaluated points validates (first: %s)",
 			s.name(), len(result.Points), first)
 	}
-	if lo, hi, drop, ok := steepestBracket(validCurve(points)); ok {
+	if lo, hi, drop, ok := steepestBracket(validCurve(a.points)); ok {
 		var loRate, hiRate float64
-		if p := points[lo]; p.Agg != nil {
+		if p := a.points[lo]; p.Agg != nil {
 			loRate = p.Agg.DeliveryRate
 		}
-		if p := points[hi]; p.Agg != nil {
+		if p := a.points[hi]; p.Agg != nil {
 			hiRate = p.Agg.DeliveryRate
 		}
 		result.Threshold = &AdaptiveThreshold{
@@ -390,11 +414,66 @@ func RunAdaptiveSweep(ctx context.Context, s AdaptiveSweep) (*AdaptiveResult, er
 			Drop: round3(drop),
 		}
 	}
+	return result, nil
+}
+
+// RunAdaptiveSweep evaluates the coarse grid, then repeatedly bisects the
+// steepest delivery-rate bracket until it is no wider than Resolution or
+// MaxCells points have been evaluated. Every evaluation batch fans through
+// the same worker pool RunSweep uses, with the same panic isolation and
+// cancellation contract: cancelling ctx aborts in-flight simulations, and
+// the partial report of completed evaluations is returned along with the
+// context's error.
+func RunAdaptiveSweep(ctx context.Context, s AdaptiveSweep) (*AdaptiveResult, error) {
+	search, err := NewAdaptiveSearch(s)
+	if err != nil {
+		return nil, err
+	}
+	norm := search.Definition()
+
+	start := time.Now()
+	totalRuns := 0
+	var runErr error
+	for runErr == nil {
+		batch := search.NextBatch()
+		if batch == nil {
+			break
+		}
+		var campaigns []Campaign
+		var aggs []*Aggregate
+		var jobs []poolJob
+		for _, cp := range batch {
+			campaigns = append(campaigns, cp.Campaign)
+			aggs = append(aggs, newAggregate(cp.Campaign))
+			plan := len(campaigns) - 1
+			for run := 0; run < norm.Runs; run++ {
+				jobs = append(jobs, poolJob{plan: plan, run: run})
+			}
+		}
+		completed := runPool(ctx, norm.Workers, len(jobs), campaigns, func(i int) poolJob {
+			return jobs[i]
+		}, func(j poolJob, r RunResult) {
+			aggs[j.plan].observe(r)
+		})
+		totalRuns += completed
+		for i, agg := range aggs {
+			agg.finalize(0)
+			search.Observe(axisValue(campaigns[i], norm.Axis), agg)
+		}
+		if completed < len(jobs) {
+			runErr = ctx.Err()
+		}
+	}
+
+	result, err := search.Result(runErr == nil)
+	if err != nil {
+		return nil, err
+	}
 	result.Elapsed = time.Since(start)
 	if sec := result.Elapsed.Seconds(); sec > 0 {
 		result.RunsPerSec = float64(totalRuns) / sec
 	}
-	return result, err
+	return result, runErr
 }
 
 // axisValue reads a campaign's coordinate back off its derived scenario.

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"securadio/internal/metrics"
 )
@@ -124,26 +125,37 @@ type SweepDiff struct {
 // that stopped being runnable.
 func (d *SweepDiff) Regressed() bool { return d.Regressions > 0 }
 
-// DiffSweeps aligns two sweep matrix reports cell by cell (cell names
-// encode the axis coordinates, so identical grids align exactly) and
-// reports per-cell delivery-rate and p95-round deltas, structural changes,
-// and per-marginal deltas. Cells whose delivery rate dropped by more than
-// opts.Threshold, vanished cells and newly-skipped cells count as
-// regressions.
+// DiffSweeps aligns two sweep matrix reports cell by cell and reports
+// per-cell delivery-rate and p95-round deltas, structural changes, and
+// per-marginal deltas. Cell names encode the axis coordinates, so
+// identical grids align exactly; when both reports declare the same axes
+// and every cell's coordinate suffix (the part after the final "/") is
+// unique within its report, cells align on the coordinates alone, so a
+// renamed scenario base still diffs cell for cell. Cells whose delivery
+// rate dropped by more than opts.Threshold, vanished cells and
+// newly-skipped cells count as regressions.
 func DiffSweeps(old, new *SweepResult, opts DiffOptions) *SweepDiff {
 	if opts.Threshold < 0 {
 		opts.Threshold = 0
 	}
 	d := &SweepDiff{Old: old.Name, New: new.Name, Threshold: opts.Threshold}
 
+	// The alignment key: full cell names by default, coordinate suffixes
+	// when both grids make that unambiguous. For same-named bases the two
+	// are equivalent, so suffix alignment only ever adds matches.
+	key := func(name string) string { return name }
+	if suffixAlignable(old, new) {
+		key = coordSuffix
+	}
+
 	oldCells := make(map[string]CellResult, len(old.Cells))
 	for _, cr := range old.Cells {
-		oldCells[cr.Cell] = cr
+		oldCells[key(cr.Cell)] = cr
 	}
 	seen := make(map[string]bool, len(new.Cells))
 	for _, nc := range new.Cells {
-		seen[nc.Cell] = true
-		oc, ok := oldCells[nc.Cell]
+		seen[key(nc.Cell)] = true
+		oc, ok := oldCells[key(nc.Cell)]
 		if !ok {
 			d.OnlyNew = append(d.OnlyNew, nc.Cell)
 			continue
@@ -172,7 +184,7 @@ func DiffSweeps(old, new *SweepResult, opts DiffOptions) *SweepDiff {
 		}
 	}
 	for _, oc := range old.Cells {
-		if !seen[oc.Cell] {
+		if !seen[key(oc.Cell)] {
 			d.OnlyOld = append(d.OnlyOld, oc.Cell)
 			d.Regressions++
 		}
@@ -209,6 +221,42 @@ func DiffSweeps(old, new *SweepResult, opts DiffOptions) *SweepDiff {
 		}
 	}
 	return d
+}
+
+// coordSuffix extracts a cell name's axis-coordinate suffix: the part
+// after the final "/" ("wide/n=20,t=0" -> "n=20,t=0"), or the whole name
+// when no base prefix exists.
+func coordSuffix(name string) string {
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+// suffixAlignable reports whether two reports can align cells on
+// coordinate suffixes alone: both declare the same (non-empty) axis
+// names in the same order, and each report's suffixes are unique — so
+// dropping a renamed base prefix cannot conflate distinct cells.
+func suffixAlignable(old, new *SweepResult) bool {
+	if len(old.Axes) == 0 || len(old.Axes) != len(new.Axes) {
+		return false
+	}
+	for i := range old.Axes {
+		if old.Axes[i].Name != new.Axes[i].Name {
+			return false
+		}
+	}
+	for _, r := range []*SweepResult{old, new} {
+		seen := make(map[string]bool, len(r.Cells))
+		for _, cr := range r.Cells {
+			s := coordSuffix(cr.Cell)
+			if seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+	}
+	return true
 }
 
 // WriteJSON emits the deterministic diff as indented JSON.

@@ -196,3 +196,66 @@ func TestLoadSweepResultMissingFile(t *testing.T) {
 		t.Fatal("missing file loaded")
 	}
 }
+
+// renameBase simulates a renamed base scenario: same grid, same
+// aggregates, every cell name carrying a different prefix before the
+// coordinate suffix.
+func renameBase(r *SweepResult, base string) {
+	r.Name = base + "-grid"
+	for i, cr := range r.Cells {
+		r.Cells[i].Cell = base + "/" + coordSuffix(cr.Cell)
+	}
+}
+
+// TestDiffSuffixAlignment: when both reports declare the same axes and
+// their coordinate suffixes are unique, cells align on the suffixes
+// alone, so renaming the base scenario between runs does not break the
+// cell-for-cell comparison.
+func TestDiffSuffixAlignment(t *testing.T) {
+	a, b := diffSweep(t, 7), diffSweep(t, 7)
+	renameBase(b, "renamed")
+	d := DiffSweeps(a, b, DiffOptions{})
+	if len(d.Cells) != 4 || len(d.OnlyOld)+len(d.OnlyNew) != 0 {
+		t.Fatalf("renamed base did not align on suffixes: %+v", d)
+	}
+	if d.Regressed() {
+		t.Fatalf("identical data under a renamed base regressed: %+v", d)
+	}
+	for _, c := range d.Cells {
+		if !strings.HasPrefix(c.Cell, "renamed/") {
+			t.Fatalf("delta cell %q should carry the new report's name", c.Cell)
+		}
+		if c.DeltaRate != 0 || c.DeltaP95 != 0 {
+			t.Fatalf("cell %q has non-zero delta: %+v", c.Cell, c)
+		}
+	}
+}
+
+// TestDiffSuffixAlignmentRequiresSameAxes: reports with different axis
+// sets fall back to full-name alignment, so a renamed base with a
+// reshaped grid shows up as structural change rather than being
+// conflated coordinate by coordinate.
+func TestDiffSuffixAlignmentRequiresSameAxes(t *testing.T) {
+	a, b := diffSweep(t, 7), diffSweep(t, 7)
+	renameBase(b, "renamed")
+	b.Axes = b.Axes[:1] // pretend the grids declare different axes
+	d := DiffSweeps(a, b, DiffOptions{})
+	if len(d.Cells) != 0 || len(d.OnlyOld) != 4 || len(d.OnlyNew) != 4 {
+		t.Fatalf("mismatched axes should disable suffix alignment: %+v", d)
+	}
+}
+
+// TestDiffSuffixAlignmentRequiresUniqueSuffixes: a duplicated suffix in
+// either report (two bases sharing a coordinate) makes suffix keys
+// ambiguous, so alignment falls back to full names.
+func TestDiffSuffixAlignmentRequiresUniqueSuffixes(t *testing.T) {
+	a, b := diffSweep(t, 7), diffSweep(t, 7)
+	renameBase(b, "renamed")
+	dup := b.Cells[0]
+	dup.Cell = "other/" + coordSuffix(dup.Cell)
+	b.Cells = append(b.Cells, dup)
+	d := DiffSweeps(a, b, DiffOptions{})
+	if len(d.Cells) != 0 || len(d.OnlyOld) != 4 || len(d.OnlyNew) != 5 {
+		t.Fatalf("ambiguous suffixes should disable suffix alignment: %+v", d)
+	}
+}

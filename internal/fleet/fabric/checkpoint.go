@@ -1,0 +1,264 @@
+package fabric
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"securadio/internal/fleet"
+)
+
+// The checkpoint journal: an append-only, line-delimited JSON file that
+// records each completed cell as soon as its aggregate lands. Record 1
+// is a header binding the journal to one sweep definition (by
+// fingerprint); every later record carries one finished cell. Because a
+// cell's aggregate is a pure function of its plan, replaying the journal
+// and re-leasing only the missing cells reproduces the uninterrupted
+// run byte-for-byte.
+//
+// The loader mirrors ParseSweepResult's discipline — unknown fields and
+// trailing data are errors — plus two rules of its own: a corrupt
+// newline-terminated record aborts the resume with its offset and record
+// number (the journal is evidence; silently dropping the tail could
+// re-run cells against a definition that no longer matches), while an
+// unterminated final line is the expected residue of a SIGKILL mid-append
+// and is discarded with a warning.
+
+// journalHeader is the journal's first record.
+type journalHeader struct {
+	V           int    `json:"v"`
+	Type        string `json:"type"` // "header"
+	Kind        string `json:"kind"` // "sweep" | "adaptive"
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+	Cells       int    `json:"cells"` // grid size (sweep) or MaxCells (adaptive)
+}
+
+// cellRecord is one completed cell. Index is the grid index (sweep) or
+// axis value (adaptive); Cell is the derived cell name, double-checked
+// against the plan on replay.
+type cellRecord struct {
+	V         int              `json:"v"`
+	Type      string           `json:"type"` // "cell"
+	Index     int              `json:"index"`
+	Cell      string           `json:"cell"`
+	Aggregate *fleet.Aggregate `json:"aggregate"`
+
+	// Loader bookkeeping for error messages; never serialized.
+	offset int `json:"-"`
+	recno  int `json:"-"`
+}
+
+// recordType peeks at a record's "type" field without strictness, so the
+// loader can pick the right shape before the strict decode.
+type recordType struct {
+	Type string `json:"type"`
+}
+
+const (
+	recHeader = "header"
+	recCell   = "cell"
+)
+
+// fingerprintSweep derives the checkpoint identity of a cartesian sweep:
+// a short hash of its canonical definition JSON. Workers is zeroed first
+// — the pool width (or worker topology) must not invalidate a journal,
+// since it cannot change any cell's bytes.
+func fingerprintSweep(s fleet.Sweep) string {
+	s.Workers = 0
+	return fingerprint("sweep", s)
+}
+
+// fingerprintAdaptive is fingerprintSweep for adaptive definitions; pass
+// the normalized form (AdaptiveSearch.Definition) so defaulted and
+// explicit fields hash alike.
+func fingerprintAdaptive(s fleet.AdaptiveSweep) string {
+	s.Workers = 0
+	return fingerprint("adaptive", s)
+}
+
+func fingerprint(kind string, def any) string {
+	blob, err := json.Marshal(def)
+	if err != nil {
+		panic(fmt.Sprintf("fabric: definition marshal: %v", err))
+	}
+	sum := sha256.Sum256(append([]byte(kind+":"), blob...))
+	return hex.EncodeToString(sum[:8])
+}
+
+// loadJournal parses an existing journal. It returns the header, the
+// cell records in append order, and a non-empty warning when an
+// unterminated partial final record was discarded.
+func loadJournal(path string) (journalHeader, []cellRecord, string, error) {
+	var hdr journalHeader
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return hdr, nil, "", err
+	}
+	var (
+		recs   []cellRecord
+		warn   string
+		offset int
+		recno  int
+	)
+	for offset < len(blob) {
+		nl := bytes.IndexByte(blob[offset:], '\n')
+		if nl < 0 {
+			// No terminating newline: the final append was cut mid-write
+			// (SIGKILL). The record never became durable; drop it and let
+			// the cell re-run.
+			warn = fmt.Sprintf("checkpoint %s: discarding partial final record (%d bytes at offset %d)",
+				path, len(blob)-offset, offset)
+			break
+		}
+		line := blob[offset : offset+nl]
+		recno++
+		bad := func(err error) (journalHeader, []cellRecord, string, error) {
+			return hdr, nil, "", fmt.Errorf("checkpoint %s: record %d at offset %d: %v", path, recno, offset, err)
+		}
+		var rt recordType
+		if err := json.Unmarshal(line, &rt); err != nil {
+			return bad(err)
+		}
+		switch {
+		case recno == 1:
+			if rt.Type != recHeader {
+				return bad(fmt.Errorf("first record has type %q, want %q", rt.Type, recHeader))
+			}
+			if err := decodeStrict(line, &hdr); err != nil {
+				return bad(err)
+			}
+			if hdr.V != protocolVersion {
+				return bad(fmt.Errorf("journal version %d, want %d", hdr.V, protocolVersion))
+			}
+			if hdr.Kind != "sweep" && hdr.Kind != "adaptive" {
+				return bad(fmt.Errorf("unknown journal kind %q", hdr.Kind))
+			}
+		case rt.Type == recCell:
+			var rec cellRecord
+			if err := decodeStrict(line, &rec); err != nil {
+				return bad(err)
+			}
+			if rec.V != protocolVersion {
+				return bad(fmt.Errorf("record version %d, want %d", rec.V, protocolVersion))
+			}
+			if rec.Aggregate == nil {
+				return bad(fmt.Errorf("cell record without an aggregate"))
+			}
+			if rec.Cell == "" {
+				return bad(fmt.Errorf("cell record without a cell name"))
+			}
+			rec.offset = offset
+			rec.recno = recno
+			recs = append(recs, rec)
+		default:
+			return bad(fmt.Errorf("unknown record type %q", rt.Type))
+		}
+		offset += nl + 1
+	}
+	if recno == 0 {
+		return hdr, nil, "", fmt.Errorf("checkpoint %s: empty journal", path)
+	}
+	return hdr, recs, warn, nil
+}
+
+// journal is the append side, held open by the coordinator for the
+// duration of a run. Each record is marshaled and written — newline
+// included — in a single Write, so the only torn state a crash can leave
+// is the unterminated tail the loader already knows to discard.
+type journal struct {
+	f *os.File
+}
+
+// openJournal creates a fresh journal (resume=false; an existing
+// non-empty file is refused so a typo cannot clobber hours of results)
+// or replays an existing one (resume=true), returning the completed
+// cells keyed by index. Replayed duplicates collapse if byte-identical
+// and abort the resume if they conflict.
+func openJournal(path string, hdr journalHeader, resume bool, logf func(format string, args ...any)) (*journal, map[int]cellRecord, error) {
+	if !resume {
+		if fi, err := os.Stat(path); err == nil && fi.Size() > 0 {
+			return nil, nil, fmt.Errorf("checkpoint %s already exists; use resume or remove it", path)
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		j := &journal{f: f}
+		if err := j.append(hdr); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return j, map[int]cellRecord{}, nil
+	}
+
+	old, recs, warn, err := loadJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if warn != "" {
+		logf("warning: %s", warn)
+	}
+	if old.Kind != hdr.Kind || old.Fingerprint != hdr.Fingerprint {
+		return nil, nil, fmt.Errorf("checkpoint %s was written by a different sweep (%s %q, fingerprint %s; this sweep is %s %q, fingerprint %s)",
+			path, old.Kind, old.Name, old.Fingerprint, hdr.Kind, hdr.Name, hdr.Fingerprint)
+	}
+	done := make(map[int]cellRecord, len(recs))
+	for _, rec := range recs {
+		prev, ok := done[rec.Index]
+		if !ok {
+			done[rec.Index] = rec
+			continue
+		}
+		if bytes.Equal(canonical(prev.Aggregate), canonical(rec.Aggregate)) {
+			logf("warning: checkpoint %s: duplicate record for cell %q (records %d and %d, identical payloads)",
+				path, rec.Cell, prev.recno, rec.recno)
+			continue
+		}
+		return nil, nil, fmt.Errorf("checkpoint %s: conflicting records for cell %q (records %d at offset %d and %d at offset %d differ)",
+			path, rec.Cell, prev.recno, prev.offset, rec.recno, rec.offset)
+	}
+	// Reopen for appending; newly completed cells extend the same file.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	// If a partial tail was discarded, truncate it away so the resumed
+	// appends start at a record boundary.
+	if warn != "" {
+		end := int64(0)
+		if blob, rerr := os.ReadFile(path); rerr == nil {
+			if i := bytes.LastIndexByte(blob, '\n'); i >= 0 {
+				end = int64(i + 1)
+			}
+			if terr := f.Truncate(end); terr != nil {
+				f.Close()
+				return nil, nil, terr
+			}
+		}
+	}
+	return &journal{f: f}, done, nil
+}
+
+// append writes one record and syncs it to disk, so a completed cell
+// survives any subsequent kill.
+func (j *journal) append(rec any) error {
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(blob, '\n')); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) close() error {
+	if j == nil {
+		return nil
+	}
+	return j.f.Close()
+}

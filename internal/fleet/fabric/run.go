@@ -1,0 +1,346 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"securadio/internal/fleet"
+)
+
+// RunSweep executes a cartesian sweep across the attached workers and
+// returns a SweepResult byte-identical to fleet.RunSweep's for the same
+// definition. Cancelling ctx returns the partial result with ctx's
+// error, exactly like the in-process executor; fabric failures (all
+// workers lost, conflicting duplicate payloads, journal errors) return a
+// nil result. With a checkpoint configured, completed cells are
+// journaled as they land and a resume replays them instead of re-running
+// them.
+func (co *Coordinator) RunSweep(ctx context.Context, s fleet.Sweep) (*fleet.SweepResult, error) {
+	plan, err := fleet.PlanSweep(s)
+	if err != nil {
+		return nil, err
+	}
+	defer co.endRun(co.beginRun(ctx))
+
+	aggs := make(map[int]*fleet.Aggregate)
+	var j *journal
+	if co.cfg.Checkpoint != "" {
+		hdr := journalHeader{
+			V: protocolVersion, Type: recHeader, Kind: "sweep",
+			Name: plan.NewResult().Name, Fingerprint: fingerprintSweep(s), Cells: plan.GridSize(),
+		}
+		var done map[int]cellRecord
+		j, done, err = openJournal(co.cfg.Checkpoint, hdr, co.cfg.Resume, co.logf)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: %w", err)
+		}
+		defer j.close()
+		byIndex := make(map[int]fleet.CellPlan, len(plan.Cells()))
+		for _, cp := range plan.Cells() {
+			byIndex[cp.Index] = cp
+		}
+		for idx, rec := range done {
+			cp, ok := byIndex[idx]
+			if !ok {
+				return nil, fmt.Errorf("fabric: checkpoint %s: record %d completes cell index %d, which is not a runnable cell of this sweep",
+					co.cfg.Checkpoint, rec.recno, idx)
+			}
+			if cp.Campaign.Scenario.Name != rec.Cell {
+				return nil, fmt.Errorf("fabric: checkpoint %s: record %d names cell index %d %q, but the plan derives %q",
+					co.cfg.Checkpoint, rec.recno, idx, rec.Cell, cp.Campaign.Scenario.Name)
+			}
+			aggs[idx] = rec.Aggregate
+			co.payloads[idx] = canonical(rec.Aggregate)
+			co.names[idx] = rec.Cell
+		}
+		if len(done) > 0 {
+			co.logf("fabric: resume: %d of %d cells replayed from checkpoint", len(done), len(plan.Cells()))
+		}
+	}
+
+	var remaining []fleet.CellPlan
+	for _, cp := range plan.Cells() {
+		if _, ok := aggs[cp.Index]; !ok {
+			remaining = append(remaining, cp)
+		}
+	}
+
+	start := time.Now()
+	runs := 0
+	runErr := co.runCells(ctx, remaining, func(cp fleet.CellPlan, agg *fleet.Aggregate) error {
+		aggs[cp.Index] = agg
+		runs += agg.Runs
+		if j != nil {
+			return j.append(cellRecord{
+				V: protocolVersion, Type: recCell,
+				Index: cp.Index, Cell: cp.Campaign.Scenario.Name, Aggregate: agg,
+			})
+		}
+		return nil
+	})
+	if runErr != nil && ctx.Err() == nil {
+		return nil, runErr
+	}
+
+	result := plan.Assemble(aggs)
+	result.Elapsed = time.Since(start)
+	if sec := result.Elapsed.Seconds(); sec > 0 {
+		result.RunsPerSec = float64(runs) / sec
+	}
+	if runErr != nil {
+		return result, ctx.Err()
+	}
+	return result, nil
+}
+
+// RunAdaptiveSweep executes an adaptive sweep across the attached
+// workers: the coordinator drives the same AdaptiveSearch state machine
+// the in-process executor uses, leasing each batch's cells to workers.
+// Per-point seeds derive from the axis value, so the bisection path —
+// and therefore the report — is byte-identical to
+// fleet.RunAdaptiveSweep's.
+func (co *Coordinator) RunAdaptiveSweep(ctx context.Context, s fleet.AdaptiveSweep) (*fleet.AdaptiveResult, error) {
+	search, err := fleet.NewAdaptiveSearch(s)
+	if err != nil {
+		return nil, err
+	}
+	norm := search.Definition()
+	defer co.endRun(co.beginRun(ctx))
+
+	done := map[int]cellRecord{}
+	var j *journal
+	if co.cfg.Checkpoint != "" {
+		name := norm.Name
+		if name == "" {
+			name = norm.Base.Name
+		}
+		hdr := journalHeader{
+			V: protocolVersion, Type: recHeader, Kind: "adaptive",
+			Name: name, Fingerprint: fingerprintAdaptive(norm), Cells: norm.MaxCells,
+		}
+		j, done, err = openJournal(co.cfg.Checkpoint, hdr, co.cfg.Resume, co.logf)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: %w", err)
+		}
+		defer j.close()
+		if len(done) > 0 {
+			co.logf("fabric: resume: %d evaluated points available from checkpoint", len(done))
+		}
+	}
+
+	start := time.Now()
+	runs := 0
+	var runErr error
+	for runErr == nil {
+		batch := search.NextBatch()
+		if batch == nil {
+			break
+		}
+		var toRun []fleet.CellPlan
+		for _, cp := range batch {
+			rec, ok := done[cp.Index]
+			if !ok {
+				toRun = append(toRun, cp)
+				continue
+			}
+			// The search path is deterministic, so a resumed search asks
+			// for the same points; the name check catches a journal that
+			// somehow disagrees with the definition despite the
+			// fingerprint.
+			if rec.Cell != cp.Campaign.Scenario.Name {
+				return nil, fmt.Errorf("fabric: checkpoint %s: record %d names point %d %q, but the search derives %q",
+					co.cfg.Checkpoint, rec.recno, cp.Index, rec.Cell, cp.Campaign.Scenario.Name)
+			}
+			co.payloads[cp.Index] = canonical(rec.Aggregate)
+			co.names[cp.Index] = rec.Cell
+			search.Observe(cp.Index, rec.Aggregate)
+		}
+		runErr = co.runCells(ctx, toRun, func(cp fleet.CellPlan, agg *fleet.Aggregate) error {
+			runs += agg.Runs
+			search.Observe(cp.Index, agg)
+			if j != nil {
+				return j.append(cellRecord{
+					V: protocolVersion, Type: recCell,
+					Index: cp.Index, Cell: cp.Campaign.Scenario.Name, Aggregate: agg,
+				})
+			}
+			return nil
+		})
+	}
+	if runErr != nil && ctx.Err() == nil {
+		return nil, runErr
+	}
+
+	result, err := search.Result(runErr == nil)
+	if err != nil {
+		return nil, err
+	}
+	result.Elapsed = time.Since(start)
+	if sec := result.Elapsed.Seconds(); sec > 0 {
+		result.RunsPerSec = float64(runs) / sec
+	}
+	if runErr != nil {
+		return result, ctx.Err()
+	}
+	return result, nil
+}
+
+// beginRun installs the run-scoped context local transports execute
+// under; endRun cancels it.
+func (co *Coordinator) beginRun(ctx context.Context) context.CancelFunc {
+	rctx, cancel := context.WithCancel(ctx)
+	co.mu.Lock()
+	co.runCtx, co.runCancel = rctx, cancel
+	co.mu.Unlock()
+	return cancel
+}
+
+func (co *Coordinator) endRun(cancel context.CancelFunc) { cancel() }
+
+// runCells is the dispatcher: it leases the given plans across the
+// attached workers until every plan has a completed aggregate, calling
+// complete exactly once per plan in completion order. Leases expire on a
+// FIFO deadline queue (the timeout is constant, so issue order is
+// deadline order) and re-enter the lease queue; duplicate completions
+// resolve first-valid-write-wins, with conflicting payloads fatal.
+func (co *Coordinator) runCells(ctx context.Context, plans []fleet.CellPlan, complete func(fleet.CellPlan, *fleet.Aggregate) error) error {
+	if len(plans) == 0 {
+		return nil
+	}
+	if !co.attachable() {
+		return fmt.Errorf("fabric: no workers attached")
+	}
+
+	byIndex := make(map[int]fleet.CellPlan, len(plans))
+	var queue []int
+	queued := make(map[int]bool)
+	need := 0
+	for _, cp := range plans {
+		byIndex[cp.Index] = cp
+		queue = append(queue, cp.Index)
+		queued[cp.Index] = true
+		need++
+	}
+
+	cellName := func(idx int) string {
+		if cp, ok := byIndex[idx]; ok {
+			return cp.Campaign.Scenario.Name
+		}
+		return co.names[idx]
+	}
+
+	type leaseEntry struct {
+		index    int
+		deadline time.Time
+	}
+	var deadlines []leaseEntry
+
+	for need > 0 {
+		// Hand queued cells to idle workers.
+		for len(co.idle) > 0 && len(queue) > 0 {
+			idx := queue[0]
+			queue = queue[1:]
+			queued[idx] = false
+			if _, ok := co.payloads[idx]; ok {
+				continue // completed while waiting in the queue
+			}
+			s := co.idle[len(co.idle)-1]
+			co.idle = co.idle[:len(co.idle)-1]
+			s.leaseCh <- byIndex[idx]
+			deadlines = append(deadlines, leaseEntry{index: idx, deadline: time.Now().Add(co.leaseTimeout())})
+		}
+
+		var timer *time.Timer
+		var expiryC <-chan time.Time
+		if len(deadlines) > 0 {
+			timer = time.NewTimer(time.Until(deadlines[0].deadline))
+			expiryC = timer.C
+		}
+
+		select {
+		case s := <-co.ready:
+			co.idle = append(co.idle, s)
+
+		case <-expiryC:
+			e := deadlines[0]
+			deadlines = deadlines[1:]
+			_, completed := co.payloads[e.index]
+			if !completed && !queued[e.index] {
+				co.logf("fabric: lease for cell %q expired after %v; re-queueing", cellName(e.index), co.leaseTimeout())
+				queue = append(queue, e.index)
+				queued[e.index] = true
+				co.mu.Lock()
+				co.reissues++
+				co.mu.Unlock()
+			}
+
+		case ev := <-co.events:
+			if err := co.handleEvent(ev, byIndex, &queue, queued, &need, cellName, complete); err != nil {
+				if timer != nil {
+					timer.Stop()
+				}
+				return err
+			}
+
+		case <-ctx.Done():
+			if timer != nil {
+				timer.Stop()
+			}
+			return ctx.Err()
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+	return nil
+}
+
+// handleEvent folds one session event into the dispatcher state.
+func (co *Coordinator) handleEvent(ev event, byIndex map[int]fleet.CellPlan, queue *[]int, queued map[int]bool, need *int, cellName func(int) string, complete func(fleet.CellPlan, *fleet.Aggregate) error) error {
+	if ev.err != nil {
+		co.logf("fabric: worker %s lost: %v", ev.s.name, ev.err)
+		if ev.index >= 0 {
+			if _, completed := co.payloads[ev.index]; !completed && !queued[ev.index] {
+				if _, mine := byIndex[ev.index]; mine {
+					*queue = append(*queue, ev.index)
+					queued[ev.index] = true
+				}
+			}
+		}
+		if !co.attachable() {
+			return fmt.Errorf("fabric: all workers lost (last: worker %s: %v)", ev.s.name, ev.err)
+		}
+		return nil
+	}
+
+	if ev.failure != "" {
+		if _, completed := co.payloads[ev.index]; completed {
+			// A stale failure for a cell another worker already finished
+			// cannot happen for honest workers (cell validity is
+			// deterministic), but it must not abort a finished cell.
+			co.logf("fabric: ignoring late failure for completed cell %q from worker %s: %s", cellName(ev.index), ev.s.name, ev.failure)
+			return nil
+		}
+		return fmt.Errorf("fabric: worker %s failed cell %q: %s", ev.s.name, cellName(ev.index), ev.failure)
+	}
+
+	blob := canonical(ev.agg)
+	if prev, ok := co.payloads[ev.index]; ok {
+		if !bytes.Equal(prev, blob) {
+			return fmt.Errorf("fabric: conflicting completions for cell %q: worker %s's payload differs from the recorded one — determinism violation",
+				cellName(ev.index), ev.s.name)
+		}
+		co.logf("fabric: ignoring duplicate completion of cell %q from worker %s", cellName(ev.index), ev.s.name)
+		return nil
+	}
+	cp, ok := byIndex[ev.index]
+	if !ok {
+		return fmt.Errorf("fabric: worker %s completed unknown cell index %d", ev.s.name, ev.index)
+	}
+	co.payloads[ev.index] = blob
+	co.names[ev.index] = cp.Campaign.Scenario.Name
+	*need = *need - 1
+	return complete(cp, ev.agg)
+}

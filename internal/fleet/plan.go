@@ -1,0 +1,100 @@
+package fleet
+
+// The lease-granular sweep backend. RunSweep executes a grid by fanning
+// individual (cell, run) jobs through one in-process pool; a distributed
+// coordinator (internal/fleet/fabric) instead leases whole cells to
+// workers. Both views decompose the same way: PlanSweep expands the grid
+// once and exposes it as per-cell campaigns tagged with their position in
+// the report, so a cell's aggregate is a deterministic function of its
+// plan alone — whoever runs it, in whatever order, the assembled
+// SweepResult is byte-identical to the single-process path.
+
+// CellPlan is one runnable grid cell as an executable campaign, tagged
+// with its position in the expanded grid (for cartesian sweeps) or its
+// axis value (for adaptive sweeps). The campaign carries everything a
+// worker needs — derived scenario, per-cell seed, run count — so a plan
+// is self-contained across a process or host boundary.
+type CellPlan struct {
+	Index    int
+	Campaign Campaign
+}
+
+// SweepPlan is the decomposed form of a cartesian sweep: the expanded
+// grid with per-cell validation outcomes, plus one CellPlan per runnable
+// cell. Skipped cells stay out of the plan — rejecting them is the
+// planner's job, not a worker's.
+type SweepPlan struct {
+	sweep Sweep
+	cells []Scenario
+	skips []error
+	plans []CellPlan
+}
+
+// PlanSweep expands and validates the grid exactly as RunSweep does and
+// returns the per-cell campaign plans. Cell seeds derive from the sweep
+// seed by grid index through the same splitmix stream runs use, so a plan
+// executed remotely aggregates to the same bytes as the in-process pool.
+func PlanSweep(s Sweep) (*SweepPlan, error) {
+	cells, skips, err := s.expand()
+	if err != nil {
+		return nil, err
+	}
+	p := &SweepPlan{sweep: s, cells: cells, skips: skips}
+	for i := range cells {
+		if skips[i] != nil {
+			continue
+		}
+		p.plans = append(p.plans, CellPlan{
+			Index: i,
+			Campaign: Campaign{
+				Scenario: cells[i],
+				Runs:     s.Runs,
+				Seed:     Campaign{Seed: s.Seed}.SeedFor(i),
+			},
+		})
+	}
+	return p, nil
+}
+
+// Cells returns the runnable cell plans in grid order.
+func (p *SweepPlan) Cells() []CellPlan { return p.plans }
+
+// GridSize returns the total expanded grid size, skipped cells included
+// (the index space CellPlan.Index draws from).
+func (p *SweepPlan) GridSize() int { return len(p.cells) }
+
+// CellName returns the derived cell name at a grid index.
+func (p *SweepPlan) CellName(index int) string { return p.cells[index].Name }
+
+// NewResult builds the report skeleton: every cell named in expansion
+// order, skipped cells carrying their reasons, aggregates still unset.
+func (p *SweepPlan) NewResult() *SweepResult {
+	s := p.sweep
+	result := &SweepResult{
+		Name:        s.name(),
+		Axes:        s.axes(),
+		RunsPerCell: s.Runs,
+		Seed:        s.Seed,
+		Cells:       make([]CellResult, len(p.cells)),
+	}
+	for i, cell := range p.cells {
+		result.Cells[i] = CellResult{Cell: cell.Name, scen: cell}
+		if p.skips[i] != nil {
+			result.Cells[i].Skip = p.skips[i].Error()
+		}
+	}
+	return result
+}
+
+// Assemble fills a skeleton with per-cell aggregates keyed by grid index
+// and returns it. Cells without an aggregate (interrupted sweeps) keep a
+// nil Agg, exactly as the in-process executor leaves cancelled cells.
+func (p *SweepPlan) Assemble(aggs map[int]*Aggregate) *SweepResult {
+	result := p.NewResult()
+	for i, agg := range aggs {
+		if i >= 0 && i < len(result.Cells) {
+			result.Cells[i].Agg = agg
+		}
+	}
+	return result
+}

@@ -28,11 +28,20 @@ import (
 //	  "sweeps": [
 //	    {"name": "wide-grid", "base": "wide-fame", "n": [24, 48],
 //	     "adversary": ["jam", "combo"], "runs": 100, "seed": 7}
+//	  ],
+//	  "adaptive": [
+//	    {"name": "wide-threshold", "base": "wide-fame", "axis": "c",
+//	     "min": 2, "max": 16, "runs": 200, "seed": 7}
 //	  ]
 //	}
+//
+// Adaptive sweeps share the sweep name namespace: `fleetsim sweep -sweep
+// NAME` resolves cartesian grids first and adaptive searches second, so
+// a file cannot define both under one name.
 type ScenarioFile struct {
 	Scenarios []Scenario
 	Sweeps    []Sweep
+	Adaptives []AdaptiveSweep
 }
 
 // fileScenario is the on-disk scenario schema.
@@ -69,9 +78,28 @@ type fileSweep struct {
 	Workers   int      `json:"workers,omitempty"`
 }
 
+// fileAdaptive is the on-disk adaptive-search schema. Base names a
+// scenario from the same file or the built-in registry; axis is one of
+// the AdaptiveSweep axes ("n", "c", "t", "em").
+type fileAdaptive struct {
+	Name       string `json:"name"`
+	Desc       string `json:"desc,omitempty"`
+	Base       string `json:"base"`
+	Axis       string `json:"axis"`
+	Min        int    `json:"min"`
+	Max        int    `json:"max"`
+	Coarse     int    `json:"coarse,omitempty"`
+	Resolution int    `json:"resolution,omitempty"`
+	MaxCells   int    `json:"max_cells,omitempty"`
+	Runs       int    `json:"runs,omitempty"`
+	Seed       int64  `json:"seed,omitempty"`
+	Workers    int    `json:"workers,omitempty"`
+}
+
 type fileSchema struct {
 	Scenarios []fileScenario `json:"scenarios,omitempty"`
 	Sweeps    []fileSweep    `json:"sweeps,omitempty"`
+	Adaptive  []fileAdaptive `json:"adaptive,omitempty"`
 }
 
 // ParseScenarioFile decodes and structurally validates a scenario/sweep
@@ -92,8 +120,8 @@ func ParseScenarioFile(r io.Reader) (*ScenarioFile, error) {
 	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
 		return nil, fmt.Errorf("fleet: scenario file: trailing data after the catalog object")
 	}
-	if len(raw.Scenarios) == 0 && len(raw.Sweeps) == 0 {
-		return nil, fmt.Errorf("fleet: scenario file: no scenarios or sweeps defined")
+	if len(raw.Scenarios) == 0 && len(raw.Sweeps) == 0 && len(raw.Adaptive) == 0 {
+		return nil, fmt.Errorf("fleet: scenario file: no scenarios, sweeps or adaptive sweeps defined")
 	}
 
 	out := &ScenarioFile{}
@@ -127,6 +155,22 @@ func ParseScenarioFile(r io.Reader) (*ScenarioFile, error) {
 			return nil, err
 		}
 		out.Sweeps = append(out.Sweeps, sw)
+	}
+
+	for i, fa := range raw.Adaptive {
+		if fa.Name == "" {
+			return nil, fmt.Errorf("fleet: scenario file: adaptive[%d] has no name", i)
+		}
+		// One shared namespace with sweeps: -sweep resolves both kinds.
+		if sweepNames[fa.Name] {
+			return nil, fmt.Errorf("fleet: scenario file: duplicate sweep name %q", fa.Name)
+		}
+		sweepNames[fa.Name] = true
+		as, err := fa.adaptive(out)
+		if err != nil {
+			return nil, err
+		}
+		out.Adaptives = append(out.Adaptives, as)
 	}
 	return out, nil
 }
@@ -201,6 +245,32 @@ func (fw fileSweep) sweep(sf *ScenarioFile) (Sweep, error) {
 	}, nil
 }
 
+// adaptive converts the on-disk form, resolving Base like sweeps do.
+// Structural checks (base resolves, axis spelling) happen here; range and
+// protocol constraints stay with AdaptiveSweep.Validate at execution
+// time, mirroring the sweep split.
+func (fa fileAdaptive) adaptive(sf *ScenarioFile) (AdaptiveSweep, error) {
+	if fa.Base == "" {
+		return AdaptiveSweep{}, fmt.Errorf("fleet: scenario file: adaptive sweep %q has no base scenario", fa.Name)
+	}
+	base, ok := sf.Lookup(fa.Base)
+	if !ok {
+		return AdaptiveSweep{}, fmt.Errorf("fleet: scenario file: adaptive sweep %q: unknown base scenario %q", fa.Name, fa.Base)
+	}
+	switch fa.Axis {
+	case AxisN, AxisC, AxisT, AxisEm:
+	default:
+		return AdaptiveSweep{}, fmt.Errorf("fleet: scenario file: adaptive sweep %q: unknown axis %q (want %s, %s, %s or %s)",
+			fa.Name, fa.Axis, AxisN, AxisC, AxisT, AxisEm)
+	}
+	return AdaptiveSweep{
+		Name: fa.Name, Desc: fa.Desc, Base: base,
+		Axis: fa.Axis, Min: fa.Min, Max: fa.Max,
+		Coarse: fa.Coarse, Resolution: fa.Resolution, MaxCells: fa.MaxCells,
+		Runs: fa.Runs, Seed: fa.Seed, Workers: fa.Workers,
+	}, nil
+}
+
 // Lookup resolves a scenario name against the file's scenarios first and
 // the built-in registry second, so files can shadow built-ins.
 func (sf *ScenarioFile) Lookup(name string) (Scenario, bool) {
@@ -212,7 +282,7 @@ func (sf *ScenarioFile) Lookup(name string) (Scenario, bool) {
 	return Lookup(name)
 }
 
-// LookupSweep resolves a sweep defined in the file.
+// LookupSweep resolves a cartesian sweep defined in the file.
 func (sf *ScenarioFile) LookupSweep(name string) (Sweep, bool) {
 	for _, s := range sf.Sweeps {
 		if s.Name == name {
@@ -220,6 +290,16 @@ func (sf *ScenarioFile) LookupSweep(name string) (Sweep, bool) {
 		}
 	}
 	return Sweep{}, false
+}
+
+// LookupAdaptive resolves an adaptive sweep defined in the file.
+func (sf *ScenarioFile) LookupAdaptive(name string) (AdaptiveSweep, bool) {
+	for _, s := range sf.Adaptives {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return AdaptiveSweep{}, false
 }
 
 // Names returns the file's scenario and sweep names, comma-separated, for
@@ -231,6 +311,9 @@ func (sf *ScenarioFile) Names() string {
 	}
 	for _, s := range sf.Sweeps {
 		parts = append(parts, s.Name+" (sweep)")
+	}
+	for _, s := range sf.Adaptives {
+		parts = append(parts, s.Name+" (adaptive)")
 	}
 	return strings.Join(parts, ", ")
 }

@@ -96,6 +96,48 @@ func TestLoadScenarioFile(t *testing.T) {
 	}
 }
 
+// TestScenarioFileAdaptive: the "adaptive" stanza parses, resolves its
+// base, shares the sweep namespace, and runs end to end.
+func TestScenarioFileAdaptive(t *testing.T) {
+	blob := `{
+	  "scenarios": [
+	    {"name": "file-fame", "proto": "fame", "n": 20, "c": 2, "t": 0,
+	     "pairs": 4, "adversary": "none"}
+	  ],
+	  "adaptive": [
+	    {"name": "file-threshold", "desc": "c threshold", "base": "file-fame",
+	     "axis": "c", "min": 2, "max": 5, "coarse": 3, "resolution": 1,
+	     "max_cells": 6, "runs": 2, "seed": 9, "workers": 1}
+	  ]
+	}`
+	sf, err := ParseScenarioFile(strings.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, ok := sf.LookupAdaptive("file-threshold")
+	if !ok {
+		t.Fatal("file-threshold not found")
+	}
+	if as.Base.Name != "file-fame" || as.Axis != AxisC || as.Min != 2 || as.Max != 5 ||
+		as.Coarse != 3 || as.Resolution != 1 || as.MaxCells != 6 ||
+		as.Runs != 2 || as.Seed != 9 || as.Workers != 1 {
+		t.Fatalf("adaptive decoded wrong: %+v", as)
+	}
+	if !strings.Contains(sf.Names(), "file-threshold (adaptive)") {
+		t.Fatalf("Names() omits the adaptive sweep: %s", sf.Names())
+	}
+	if err := as.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunAdaptiveSweep(context.Background(), as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 3 {
+		t.Fatalf("adaptive search evaluated %d points, want >= coarse grid", len(res.Points))
+	}
+}
+
 func TestParseScenarioFileRejections(t *testing.T) {
 	cases := map[string]string{
 		"not json":          `{"scenarios": [`,
@@ -113,6 +155,11 @@ func TestParseScenarioFileRejections(t *testing.T) {
 		"sweep bad regime":  `{"sweeps": [{"name":"g","base":"fame-jam","regime":["3t"],"runs":2}]}`,
 		"sweep bad adv":     `{"sweeps": [{"name":"g","base":"fame-jam","adversary":["bogus"],"runs":2}]}`,
 		"duplicate sweep":   `{"sweeps": [{"name":"g","base":"fame-jam","runs":2},{"name":"g","base":"fame-jam","runs":2}]}`,
+		"adaptive no name":  `{"adaptive": [{"base":"fame-jam","axis":"c","min":2,"max":4}]}`,
+		"adaptive no base":  `{"adaptive": [{"name":"a","axis":"c","min":2,"max":4}]}`,
+		"adaptive bad base": `{"adaptive": [{"name":"a","base":"no-such","axis":"c","min":2,"max":4}]}`,
+		"adaptive bad axis": `{"adaptive": [{"name":"a","base":"fame-jam","axis":"pairs","min":2,"max":4}]}`,
+		"adaptive vs sweep": `{"sweeps": [{"name":"g","base":"fame-jam","runs":2}], "adaptive": [{"name":"g","base":"fame-jam","axis":"c","min":2,"max":4}]}`,
 	}
 	for label, blob := range cases {
 		if _, err := ParseScenarioFile(strings.NewReader(blob)); err == nil {

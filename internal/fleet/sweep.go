@@ -294,38 +294,23 @@ type SweepResult struct {
 // skipped in the matrix; a sweep with no runnable cell at all is an
 // error.
 func RunSweep(ctx context.Context, s Sweep) (*SweepResult, error) {
-	cells, skips, err := s.expand()
+	plan, err := PlanSweep(s)
 	if err != nil {
 		return nil, err
 	}
 
-	// Per-cell campaign plans: cell seeds derive from the sweep seed by
-	// cell index through the same splitmix stream runs use, so every cell
-	// gets a statistically independent seed grid.
-	campaigns := make([]Campaign, len(cells))
-	aggs := make([]*Aggregate, len(cells))
-	result := &SweepResult{
-		Name:        s.name(),
-		Axes:        s.axes(),
-		RunsPerCell: s.Runs,
-		Seed:        s.Seed,
-		Cells:       make([]CellResult, len(cells)),
-	}
+	// Per-cell campaign plans come from the shared planner (cell seeds
+	// derive from the sweep seed by grid index), flattened here into
+	// (cell, run) jobs for the shared pool.
+	campaigns := make([]Campaign, plan.GridSize())
+	aggs := make([]*Aggregate, plan.GridSize())
+	result := plan.NewResult()
 	var jobs []poolJob
-	for i, cell := range cells {
-		result.Cells[i] = CellResult{Cell: cell.Name, scen: cell}
-		if skips[i] != nil {
-			result.Cells[i].Skip = skips[i].Error()
-			continue
-		}
-		campaigns[i] = Campaign{
-			Scenario: cell,
-			Runs:     s.Runs,
-			Seed:     Campaign{Seed: s.Seed}.SeedFor(i),
-		}
-		aggs[i] = newAggregate(campaigns[i])
+	for _, cp := range plan.Cells() {
+		campaigns[cp.Index] = cp.Campaign
+		aggs[cp.Index] = newAggregate(cp.Campaign)
 		for run := 0; run < s.Runs; run++ {
-			jobs = append(jobs, poolJob{plan: i, run: run})
+			jobs = append(jobs, poolJob{plan: cp.Index, run: run})
 		}
 	}
 
