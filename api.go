@@ -5,6 +5,7 @@ import (
 
 	"securadio/internal/adversary"
 	"securadio/internal/core"
+	"securadio/internal/fault"
 	"securadio/internal/graph"
 	"securadio/internal/radio"
 )
@@ -91,6 +92,30 @@ func (o Options) fameParams(net Network) core.Params {
 	}
 }
 
+// FaultProfile declares deterministic environmental fault injection:
+// node-churn fractions (crash, crash-recover, late-join) and an optional
+// Gilbert-Elliott burst-loss channel model. Install one on a Runner with
+// WithFaults; fleet scenarios carry the same type. The zero profile
+// injects nothing and selects the engine's exact fault-free code path.
+type FaultProfile = fault.Profile
+
+// LossModel is the two-state Gilbert-Elliott burst-loss channel model of
+// a FaultProfile: per-round good/bad Markov transitions with distinct
+// drop probabilities per state, optionally correlated across channels.
+type LossModel = fault.LossModel
+
+// NewLossModel returns a canonical bursty LossModel whose stationary
+// loss rate is approximately rate (clamped to the model's feasible
+// range): drops concentrate in bad bursts a few rounds long rather than
+// spreading uniformly.
+func NewLossModel(rate float64) LossModel { return *fault.DefaultLoss(rate) }
+
+// NewFaultProfile derives a FaultProfile from two scalar intensities in
+// [0, 1]: churn is split across crash, crash-recover and late-join
+// fractions, and loss selects NewLossModel(loss). Either intensity may
+// be zero to disable that fault family.
+func NewFaultProfile(churn, loss float64) FaultProfile { return fault.FromFractions(churn, loss) }
+
 // ExchangeReport summarizes an ExchangeMessages run.
 type ExchangeReport struct {
 	// Delivered maps each successful pair to the authentic payload its
@@ -109,6 +134,15 @@ type ExchangeReport struct {
 
 	// GameRounds is the number of starred-edge-removal moves simulated.
 	GameRounds int
+
+	// FaultDrops, NodesLost and DegradedRounds report the injected-fault
+	// degradation when the Runner was built WithFaults (all zero
+	// otherwise): deliveries destroyed by channel loss or churn silence,
+	// nodes scheduled to crash for good, and rounds the fault layer
+	// perturbed.
+	FaultDrops     int
+	NodesLost      int
+	DegradedRounds int
 }
 
 // ExchangeMessages runs the f-AME protocol: each pair (v, w) attempts to
@@ -156,6 +190,13 @@ type GroupKeyReport struct {
 
 	// Rounds is the number of radio rounds consumed (Theta(n t^3 log n)).
 	Rounds int
+
+	// FaultDrops, NodesLost and DegradedRounds report the injected-fault
+	// degradation when the Runner was built WithFaults (all zero
+	// otherwise); see ExchangeReport.
+	FaultDrops     int
+	NodesLost      int
+	DegradedRounds int
 }
 
 // EstablishGroupKey runs the Section 6 protocol end to end and returns the

@@ -8,6 +8,7 @@
 //	fleetsim run -campaign fame-jam -runs 500
 //	fleetsim run -scenarios my.json -campaign my-scenario -runs 200 -format json
 //	fleetsim sweep -base fame-clear -n 20,32,64 -t 0,1 -adv none,jam,combo -runs 100
+//	fleetsim sweep -base fame-clear -churn 0,0.1,0.2 -loss 0,0.05 -runs 100
 //	fleetsim sweep -scenarios my.json -sweep my-grid -format csv -out grid.csv
 //	fleetsim sweep -base fame-worst -adaptive c -min 2 -max 16 -runs 200
 //	fleetsim sweep -base fame-jam -t 0,1,2 -runs 500 -workers-exec self -workers 4
@@ -289,6 +290,24 @@ func splitInts(flagName, s string) ([]int, error) {
 	return out, nil
 }
 
+// splitFloats parses a comma-separated fraction axis flag ("0,0.1,0.2");
+// empty means no axis.
+func splitFloats(flagName, s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: bad value %q (want comma-separated fractions)", flagName, p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // splitStrings parses a comma-separated string axis; empty means no axis.
 func splitStrings(s string) []string {
 	if s == "" {
@@ -382,6 +401,8 @@ func runSweep(ctx context.Context, args []string, out io.Writer) error {
 		regimeAxis    = fs.String("regime", "", "Regime axis: comma-separated of auto|base|2t|2t2")
 		advAxis       = fs.String("adv", "", "Adversary axis: comma-separated strategy names")
 		emAxis        = fs.String("em", "", "EmRounds axis: comma-separated emulated round counts (secure-group)")
+		churnAxis     = fs.String("churn", "", "Churn axis: comma-separated node-churn intensities in [0,1]")
+		lossAxis      = fs.String("loss", "", "Loss axis: comma-separated channel-loss rates in [0,1]")
 		adaptive      = fs.String("adaptive", "", "adaptive threshold search on one numeric axis (n|c|t|em) instead of a cartesian grid")
 		minFlag       = fs.Int("min", 0, "adaptive: axis range lower bound (inclusive)")
 		maxFlag       = fs.Int("max", 0, "adaptive: axis range upper bound (inclusive)")
@@ -438,7 +459,7 @@ func runSweep(ctx context.Context, args []string, out io.Writer) error {
 		if *base == "" {
 			return errors.New("-adaptive requires -base (the scenario the search derives from)")
 		}
-		for _, axis := range []string{"n", "c", "t", "pairs", "regime", "adv", "em"} {
+		for _, axis := range []string{"n", "c", "t", "pairs", "regime", "adv", "em", "churn", "loss"} {
 			if explicit[axis] {
 				return fmt.Errorf("-%s defines a cartesian grid axis and cannot combine with -adaptive", axis)
 			}
@@ -464,7 +485,7 @@ func runSweep(ctx context.Context, args []string, out io.Writer) error {
 		if explicit["base"] {
 			return fmt.Errorf("-base and -sweep are mutually exclusive (catalog sweep %q defines its own base)", *sweepName)
 		}
-		for _, axis := range []string{"n", "c", "t", "pairs", "regime", "adv", "em"} {
+		for _, axis := range []string{"n", "c", "t", "pairs", "regime", "adv", "em", "churn", "loss"} {
 			if explicit[axis] {
 				return fmt.Errorf("-%s defines a -base grid axis and cannot reshape the catalog sweep %q", axis, *sweepName)
 			}
@@ -515,6 +536,12 @@ func runSweep(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 		if sweep.EmRounds, err = splitInts("em", *emAxis); err != nil {
+			return err
+		}
+		if sweep.Churn, err = splitFloats("churn", *churnAxis); err != nil {
+			return err
+		}
+		if sweep.Loss, err = splitFloats("loss", *lossAxis); err != nil {
 			return err
 		}
 		sweep.Adversary = splitStrings(*advAxis)

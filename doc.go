@@ -35,6 +35,21 @@
 // collision, delivery and spoof activity plus checkpoint-derived protocol
 // phase transitions — with a zero-cost nil fast path.
 //
+// A Runner built WithFaults additionally injects deterministic
+// environmental faults beneath the adversary: node churn (crash,
+// crash-recover, late join) silences nodes' radios mid-protocol, and a
+// two-state Gilbert-Elliott burst-loss model (LossModel, optionally
+// correlated across channels) destroys deliveries in bursts. Fault
+// schedules derive from the run seed on an independent substream, so
+// faulted runs are exactly as reproducible as clean ones — across both
+// engine drive modes and any sweep topology — and a disabled profile is
+// a provable no-op. Degradation is surfaced, never masked: reports
+// carry FaultDrops / NodesLost / DegradedRounds, RoundEvent carries
+// per-round churn and loss activity, and churn past the n-t quorum
+// fails with the typed ErrSetupFailed / ErrNoQuorum rather than
+// hanging. Fleet scenarios and sweeps take the same knobs (Scenario
+// fault fields, churn / loss axes, the scenario-file "faults" stanza).
+//
 // The legacy one-shot functions (ExchangeMessages,
 // ExchangeMessagesCompact, EstablishGroupKey, RunSecureGroup) remain as
 // thin wrappers delegating to a Runner with an uncancellable context.

@@ -9,6 +9,7 @@ package benchwork
 import (
 	"testing"
 
+	"securadio/internal/fault"
 	"securadio/internal/radio"
 )
 
@@ -53,6 +54,28 @@ func RadioSteadyStateJam(b *testing.B) {
 	}
 	b.ReportAllocs()
 	cfg := radio.Config{N: n, C: c, T: t, Seed: 42, Adversary: jam, MaxRounds: b.N + 1}
+	if _, err := radio.Run(cfg, steadyStateProcs(n, b.N)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(n), "node-rounds/op")
+}
+
+// RadioSteadyStateFaulted is RadioSteadyState with an active churn+loss
+// fault plan: the Gilbert–Elliott fade chains advance and drop decisions
+// are drawn every round, so allocs/op pins the faulted round loop — like
+// the disabled path, it must stay at zero (the plan's schedules and masks
+// are all preallocated at compile time).
+func RadioSteadyStateFaulted(b *testing.B) {
+	const n, c = 32, 3
+	plan, err := fault.Compile(fault.Profile{
+		CrashFrac: 0.125, RecoverFrac: 0.0625, LateFrac: 0.0625,
+		Loss: &fault.LossModel{PGoodBad: 0.1, PBadGood: 0.3, DropGood: 0.01, DropBad: 0.7},
+	}, n, c, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	cfg := radio.Config{N: n, C: c, T: 1, Seed: 42, MaxRounds: b.N + 1, Faults: plan}
 	if _, err := radio.Run(cfg, steadyStateProcs(n, b.N)); err != nil {
 		b.Fatal(err)
 	}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 
+	"securadio/internal/fault"
 	"securadio/internal/graph"
 	"securadio/internal/radio"
 )
@@ -109,6 +110,15 @@ type Params struct {
 	// it cannot influence the execution, so a traced run is byte-identical
 	// to an untraced one.
 	Trace func(radio.RoundObservation)
+
+	// Faults, when non-nil, forwards a compiled fault plan to the radio
+	// engine (node churn and channel loss; see internal/fault). Exchange
+	// then degrades instead of failing: churned nodes are excluded from
+	// the cross-node consistency invariant — which only holds whp on a
+	// fault-free network — and delivery is accounted from the receivers'
+	// ground truth, so a crashed node surfaces as failed pairs, never as
+	// ErrInconsistent.
+	Faults *fault.Plan
 }
 
 // Errors reported by the protocol.

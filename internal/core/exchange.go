@@ -73,7 +73,7 @@ func ExchangeContext(ctx context.Context, p Params, pairs []graph.Edge, values m
 		procs[i] = Proc(p, pairs, myValues, &results[i])
 	}
 
-	cfg := radio.Config{N: p.N, C: p.C, T: p.T, Seed: seed, Adversary: adv, Trace: p.Trace}
+	cfg := radio.Config{N: p.N, C: p.C, T: p.T, Seed: seed, Adversary: adv, Trace: p.Trace, Faults: p.Faults}
 	radioRes, err := radio.RunContext(ctx, cfg, procs)
 	if err != nil {
 		return nil, fmt.Errorf("core: radio run: %w", err)
@@ -83,6 +83,9 @@ func ExchangeContext(ctx context.Context, p Params, pairs []graph.Edge, values m
 		PerNode: results,
 		Rounds:  radioRes.Rounds,
 		Radio:   radioRes,
+	}
+	if p.Faults != nil {
+		return degradedOutcome(p, pairs, results, out)
 	}
 	for i := range results {
 		if results[i].Err != nil {
@@ -118,6 +121,44 @@ func ExchangeContext(ctx context.Context, p Params, pairs []graph.Edge, values m
 			return out, fmt.Errorf("%w: pair %v delivery disagrees with disruption graph", ErrInconsistent, e)
 		}
 	}
+	return out, nil
+}
+
+// degradedOutcome assembles the Outcome of a faulted run. The cross-node
+// consistency invariant (identical replicas, matching sender/receiver
+// views) only holds whp over fault-free channels with a live population —
+// churned nodes miss feedback phases and lossy channels corrupt the
+// referee simulation — so a faulted run is accounted from ground truth
+// instead of the replicas: a pair is disrupted exactly when its receiver
+// never obtained the authentic value. Node-local protocol errors are
+// tolerated wholesale: a crashed node errors directly, and a live node
+// whose partner or referee went silent errors through the same whp
+// machinery, so under an active fault plan every node error is counted
+// degradation (failed pairs), never a run failure.
+func degradedOutcome(p Params, pairs []graph.Edge, results []Result, out *Outcome) (*Outcome, error) {
+	for i := range results {
+		if results[i].Err == nil {
+			out.GameRounds = results[i].GameRounds
+			break
+		}
+	}
+	failed := make([]graph.Edge, 0, len(pairs))
+	seen := make(map[graph.Edge]bool, len(pairs))
+	for _, e := range pairs {
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		if _, ok := results[e.Dst].Delivered[e]; !ok {
+			failed = append(failed, e)
+		}
+	}
+	disruption, err := graph.FromEdges(p.N, failed)
+	if err != nil {
+		return out, fmt.Errorf("core: disruption graph: %w", err)
+	}
+	out.Disruption = disruption
+	out.CoverSize = disruption.MinVertexCover()
 	return out, nil
 }
 

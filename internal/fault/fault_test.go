@@ -1,0 +1,234 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// trajectory drives a plan for rounds rounds and returns a canonical
+// encoding of every per-round mask and counter — the full observable
+// behaviour of the plan.
+func trajectory(pl *Plan, rounds int) string {
+	var b strings.Builder
+	pl.Reset()
+	for r := 0; r < rounds; r++ {
+		pl.BeginRound(r)
+		b.WriteString("r")
+		for i := 0; i < pl.N(); i++ {
+			if pl.NodeDown(i) {
+				b.WriteByte('D')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		for c := 0; c < pl.C(); c++ {
+			switch {
+			case pl.DropNow(c):
+				b.WriteByte('x')
+			case pl.hasLoss && pl.fade[c]:
+				b.WriteByte('~')
+			default:
+				b.WriteByte('-')
+			}
+		}
+		pl.EndRound()
+	}
+	c := pl.Counters()
+	b.WriteString(strings.Repeat("|", 1))
+	b.WriteString(string(rune('0' + c.NodesLost%10)))
+	return b.String()
+}
+
+func testProfile() Profile {
+	return Profile{
+		CrashFrac:   0.2,
+		RecoverFrac: 0.1,
+		LateFrac:    0.1,
+		Horizon:     64,
+		Loss:        &LossModel{PGoodBad: 0.1, PBadGood: 0.3, DropGood: 0.01, DropBad: 0.8},
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	p := testProfile()
+	a := MustCompile(p, 20, 4, 42)
+	b := MustCompile(p, 20, 4, 42)
+	if ta, tb := trajectory(a, 200), trajectory(b, 200); ta != tb {
+		t.Fatalf("identical (profile, n, c, seed) produced different trajectories")
+	}
+	c := MustCompile(p, 20, 4, 43)
+	if trajectory(a, 200) == trajectory(c, 200) {
+		t.Fatalf("different seeds produced identical trajectories")
+	}
+}
+
+func TestResetRewinds(t *testing.T) {
+	pl := MustCompile(testProfile(), 16, 3, 7)
+	first := trajectory(pl, 150)
+	second := trajectory(pl, 150) // trajectory Resets first
+	if first != second {
+		t.Fatalf("Reset did not rewind the plan:\n%s\n%s", first, second)
+	}
+}
+
+func TestChurnCountsAndWindows(t *testing.T) {
+	p := Profile{CrashFrac: 0.25, RecoverFrac: 0.25, LateFrac: 0.25, Horizon: 100}
+	pl := MustCompile(p, 20, 2, 1)
+	if got := pl.Counters().NodesLost; got != 5 {
+		t.Fatalf("NodesLost = %d, want 5 (25%% of 20)", got)
+	}
+	ever := 0
+	for i := 0; i < 20; i++ {
+		if pl.EverDown(i) {
+			ever++
+		}
+	}
+	if ever != 15 {
+		t.Fatalf("EverDown count = %d, want 15", ever)
+	}
+	// Run far past the horizon: permanent crashes stay down, recoveries
+	// and late joiners are back up.
+	pl.Reset()
+	for r := 0; r < 1000; r++ {
+		pl.BeginRound(r)
+		pl.EndRound()
+	}
+	down := 0
+	for i := 0; i < 20; i++ {
+		if pl.NodeDown(i) {
+			down++
+		}
+	}
+	if down != 5 {
+		t.Fatalf("after the horizon %d nodes are down, want exactly the 5 permanent crashes", down)
+	}
+	if pl.Counters().DegradedRounds == 0 {
+		t.Fatal("churn run reported zero degraded rounds")
+	}
+}
+
+func TestLateJoinersStartDown(t *testing.T) {
+	p := Profile{LateFrac: 0.5, Horizon: 40}
+	pl := MustCompile(p, 10, 2, 3)
+	pl.Reset()
+	pl.BeginRound(0)
+	down := 0
+	for i := 0; i < 10; i++ {
+		if pl.NodeDown(i) {
+			down++
+		}
+	}
+	if down != 5 {
+		t.Fatalf("%d nodes down at round 0, want the 5 late joiners", down)
+	}
+	if pl.RoundDeaths() != 5 {
+		t.Fatalf("RoundDeaths = %d at round 0, want 5", pl.RoundDeaths())
+	}
+	pl.EndRound()
+	recovered := 0
+	for r := 1; r < 40; r++ {
+		pl.BeginRound(r)
+		recovered += pl.RoundRecoveries()
+		pl.EndRound()
+	}
+	if recovered != 5 {
+		t.Fatalf("%d recoveries inside the horizon, want all 5 late joiners up", recovered)
+	}
+}
+
+func TestDefaultLossStationaryRate(t *testing.T) {
+	for _, rate := range []float64{0.05, 0.2, 0.5} {
+		m := DefaultLoss(rate)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("DefaultLoss(%v) invalid: %v", rate, err)
+		}
+		pl := MustCompile(Profile{Loss: m}, 2, 1, 99)
+		pl.Reset()
+		const rounds = 200_000
+		drops := 0
+		for r := 0; r < rounds; r++ {
+			pl.BeginRound(r)
+			if pl.DropNow(0) {
+				drops++
+			}
+			pl.EndRound()
+		}
+		got := float64(drops) / rounds
+		if math.Abs(got-rate) > 0.03 {
+			t.Errorf("DefaultLoss(%v): empirical drop rate %.3f", rate, got)
+		}
+	}
+}
+
+func TestCorrelatedFadesShareState(t *testing.T) {
+	m := &LossModel{PGoodBad: 0.3, PBadGood: 0.3, DropBad: 1, Correlated: true}
+	pl := MustCompile(Profile{Loss: m}, 2, 8, 5)
+	pl.Reset()
+	sawBad := false
+	for r := 0; r < 200; r++ {
+		pl.BeginRound(r)
+		first := pl.fade[0]
+		for c := 1; c < 8; c++ {
+			if pl.fade[c] != first {
+				t.Fatalf("round %d: correlated fade states diverged across channels", r)
+			}
+		}
+		sawBad = sawBad || first
+		pl.EndRound()
+	}
+	if !sawBad {
+		t.Fatal("correlated fade never entered the bad state in 200 rounds")
+	}
+}
+
+func TestFromFractions(t *testing.T) {
+	p := FromFractions(0.4, 0.2)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CrashFrac + p.RecoverFrac + p.LateFrac; math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("churn fractions sum to %v, want 0.4", got)
+	}
+	if p.Loss == nil {
+		t.Fatal("loss shorthand produced no loss model")
+	}
+	if zero := FromFractions(0, 0); zero.Enabled() {
+		t.Fatal("FromFractions(0, 0) is not inert")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Profile{
+		{CrashFrac: -0.1},
+		{CrashFrac: 1.1},
+		{CrashFrac: 0.6, RecoverFrac: 0.6},
+		{Horizon: -1},
+		{Loss: &LossModel{PGoodBad: 2}},
+		{Loss: &LossModel{DropBad: math.NaN()}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+	if _, err := Compile(Profile{}, 0, 2, 1); err == nil {
+		t.Error("Compile accepted n = 0")
+	}
+}
+
+func TestTinyHorizonAndPopulation(t *testing.T) {
+	// Degenerate shapes must compile and run, not panic.
+	for _, h := range []int{0, 1, 2, 3} {
+		p := Profile{CrashFrac: 1, Horizon: h, Loss: DefaultLoss(0.3)}
+		pl, err := Compile(p, 1, 2, 11)
+		if err != nil {
+			t.Fatalf("horizon %d: %v", h, err)
+		}
+		pl.Reset()
+		for r := 0; r < 10; r++ {
+			pl.BeginRound(r)
+			pl.EndRound()
+		}
+	}
+}

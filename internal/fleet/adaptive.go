@@ -218,6 +218,10 @@ type AdaptiveResult struct {
 	// Wall-clock summary (excluded from JSON for determinism).
 	Elapsed    time.Duration `json:"-"`
 	RunsPerSec float64       `json:"-"`
+
+	// DiscardedRecords counts partial checkpoint-journal records dropped
+	// during a fabric resume; see SweepResult.DiscardedRecords.
+	DiscardedRecords int `json:"-"`
 }
 
 // coarseValues spreads k integer points evenly over [min, max], endpoints
@@ -532,6 +536,9 @@ func (r *AdaptiveResult) WriteCSV(w io.Writer) {
 func (r *AdaptiveResult) WriteTable(w io.Writer) {
 	title := fmt.Sprintf("adaptive sweep %s over %s in [%d, %d] (%d points of %d-cell uniform grid, %d runs/point, seed %d)",
 		r.Name, r.Axis, r.Min, r.Max, len(r.Points), r.UniformCells, r.RunsPerCell, r.Seed)
+	if r.DiscardedRecords > 0 {
+		title += fmt.Sprintf(" [resume discarded %d partial journal record(s)]", r.DiscardedRecords)
+	}
 	t := metrics.NewTable(title, append([]string{"value"}, matrixHeaders()...)...)
 	for _, pt := range r.Points {
 		if pt.Agg == nil {

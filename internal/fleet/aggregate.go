@@ -40,6 +40,14 @@ type Aggregate struct {
 	PerRun    metrics.Dist `json:"delivered_per_run"`
 	CoverHist map[int]int  `json:"cover_distribution"`
 
+	// Fault degradation totals, summed over every executed run (failed
+	// runs included — a run that missed quorum because of churn still
+	// reports how hard it was hit). All omitted when the campaign
+	// injected no faults, keeping historical campaign JSON byte-identical.
+	FaultDrops     int `json:"fault_drops,omitempty"`
+	NodesLost      int `json:"nodes_lost,omitempty"`
+	DegradedRounds int `json:"degraded_rounds,omitempty"`
+
 	// Errors maps failure messages to their multiplicity.
 	Errors map[string]int `json:"errors,omitempty"`
 
@@ -75,6 +83,9 @@ func (a *Aggregate) observe(r RunResult) {
 	if r.Panicked {
 		a.Panics++
 	}
+	a.FaultDrops += r.FaultDrops
+	a.NodesLost += r.NodesLost
+	a.DegradedRounds += r.DegradedRounds
 	if !r.OK() {
 		a.Failures++
 		a.Errors[r.Err]++

@@ -71,6 +71,14 @@ type RunResult struct {
 	// protocols.
 	Cover int
 
+	// FaultDrops, NodesLost and DegradedRounds carry the fault layer's
+	// degradation counters for the run: deliveries lost to faults, nodes
+	// scheduled to crash permanently, and rounds the fault layer
+	// perturbed. All zero without an active fault plan.
+	FaultDrops     int
+	NodesLost      int
+	DegradedRounds int
+
 	// Err is the protocol-level failure, if any ("" on success).
 	Err string
 

@@ -47,6 +47,13 @@ type cellRecord struct {
 	Cell      string           `json:"cell"`
 	Aggregate *fleet.Aggregate `json:"aggregate"`
 
+	// ElapsedMS is the cell's wall-clock cost in milliseconds, measured
+	// by the executor (or, for remote workers, lease-to-completion at the
+	// coordinator). It feeds the resume-time ETA estimate and is absent
+	// from journals written before it existed — the loader tolerates
+	// that, the estimate just has fewer samples.
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
+
 	// Loader bookkeeping for error messages; never serialized.
 	offset int `json:"-"`
 	recno  int `json:"-"`
@@ -176,34 +183,38 @@ type journal struct {
 // openJournal creates a fresh journal (resume=false; an existing
 // non-empty file is refused so a typo cannot clobber hours of results)
 // or replays an existing one (resume=true), returning the completed
-// cells keyed by index. Replayed duplicates collapse if byte-identical
-// and abort the resume if they conflict.
-func openJournal(path string, hdr journalHeader, resume bool, logf func(format string, args ...any)) (*journal, map[int]cellRecord, error) {
+// cells keyed by index plus the number of partial records discarded
+// from the tail (0 or 1 — only the final append can be torn). Replayed
+// duplicates collapse if byte-identical and abort the resume if they
+// conflict.
+func openJournal(path string, hdr journalHeader, resume bool, logf func(format string, args ...any)) (*journal, map[int]cellRecord, int, error) {
 	if !resume {
 		if fi, err := os.Stat(path); err == nil && fi.Size() > 0 {
-			return nil, nil, fmt.Errorf("checkpoint %s already exists; use resume or remove it", path)
+			return nil, nil, 0, fmt.Errorf("checkpoint %s already exists; use resume or remove it", path)
 		}
 		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		j := &journal{f: f}
 		if err := j.append(hdr); err != nil {
 			f.Close()
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
-		return j, map[int]cellRecord{}, nil
+		return j, map[int]cellRecord{}, 0, nil
 	}
 
 	old, recs, warn, err := loadJournal(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
+	discarded := 0
 	if warn != "" {
+		discarded = 1
 		logf("warning: %s", warn)
 	}
 	if old.Kind != hdr.Kind || old.Fingerprint != hdr.Fingerprint {
-		return nil, nil, fmt.Errorf("checkpoint %s was written by a different sweep (%s %q, fingerprint %s; this sweep is %s %q, fingerprint %s)",
+		return nil, nil, 0, fmt.Errorf("checkpoint %s was written by a different sweep (%s %q, fingerprint %s; this sweep is %s %q, fingerprint %s)",
 			path, old.Kind, old.Name, old.Fingerprint, hdr.Kind, hdr.Name, hdr.Fingerprint)
 	}
 	done := make(map[int]cellRecord, len(recs))
@@ -218,13 +229,13 @@ func openJournal(path string, hdr journalHeader, resume bool, logf func(format s
 				path, rec.Cell, prev.recno, rec.recno)
 			continue
 		}
-		return nil, nil, fmt.Errorf("checkpoint %s: conflicting records for cell %q (records %d at offset %d and %d at offset %d differ)",
+		return nil, nil, 0, fmt.Errorf("checkpoint %s: conflicting records for cell %q (records %d at offset %d and %d at offset %d differ)",
 			path, rec.Cell, prev.recno, prev.offset, rec.recno, rec.offset)
 	}
 	// Reopen for appending; newly completed cells extend the same file.
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	// If a partial tail was discarded, truncate it away so the resumed
 	// appends start at a record boundary.
@@ -236,11 +247,11 @@ func openJournal(path string, hdr journalHeader, resume bool, logf func(format s
 			}
 			if terr := f.Truncate(end); terr != nil {
 				f.Close()
-				return nil, nil, terr
+				return nil, nil, 0, terr
 			}
 		}
 	}
-	return &journal{f: f}, done, nil
+	return &journal{f: f}, done, discarded, nil
 }
 
 // append writes one record and syncs it to disk, so a completed cell

@@ -86,8 +86,9 @@ type Coordinator struct {
 
 	// Dispatcher-owned state (touched only from the Run* goroutine).
 	idle     []*session
-	payloads map[int][]byte // completed cell index -> canonical aggregate bytes
-	names    map[int]string // completed cell index -> cell name (for messages)
+	payloads map[int][]byte    // completed cell index -> canonical aggregate bytes
+	names    map[int]string    // completed cell index -> cell name (for messages)
+	starts   map[int]time.Time // leased cell index -> latest lease-issue time
 }
 
 type workerProc struct {
@@ -137,6 +138,7 @@ func New(cfg Config) *Coordinator {
 		closed:   make(chan struct{}),
 		payloads: make(map[int][]byte),
 		names:    make(map[int]string),
+		starts:   make(map[int]time.Time),
 	}
 }
 
@@ -159,6 +161,14 @@ func (co *Coordinator) Reissues() int {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	return co.reissues
+}
+
+// liveSessions reports how many attached sessions have not failed; the
+// ETA estimator divides remaining serial work across them.
+func (co *Coordinator) liveSessions() int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.live
 }
 
 // attachable reports whether any worker could still complete a lease:

@@ -26,13 +26,15 @@ func (co *Coordinator) RunSweep(ctx context.Context, s fleet.Sweep) (*fleet.Swee
 
 	aggs := make(map[int]*fleet.Aggregate)
 	var j *journal
+	var est etaEstimator
+	discarded := 0
 	if co.cfg.Checkpoint != "" {
 		hdr := journalHeader{
 			V: protocolVersion, Type: recHeader, Kind: "sweep",
 			Name: plan.NewResult().Name, Fingerprint: fingerprintSweep(s), Cells: plan.GridSize(),
 		}
 		var done map[int]cellRecord
-		j, done, err = openJournal(co.cfg.Checkpoint, hdr, co.cfg.Resume, co.logf)
+		j, done, discarded, err = openJournal(co.cfg.Checkpoint, hdr, co.cfg.Resume, co.logf)
 		if err != nil {
 			return nil, fmt.Errorf("fabric: %w", err)
 		}
@@ -54,9 +56,14 @@ func (co *Coordinator) RunSweep(ctx context.Context, s fleet.Sweep) (*fleet.Swee
 			aggs[idx] = rec.Aggregate
 			co.payloads[idx] = canonical(rec.Aggregate)
 			co.names[idx] = rec.Cell
+			est.add(time.Duration(rec.ElapsedMS) * time.Millisecond)
 		}
 		if len(done) > 0 {
-			co.logf("fabric: resume: %d of %d cells replayed from checkpoint", len(done), len(plan.Cells()))
+			msg := fmt.Sprintf("fabric: resume: %d of %d cells replayed from checkpoint", len(done), len(plan.Cells()))
+			if eta, ok := est.eta(len(plan.Cells())-len(done), co.liveSessions()); ok {
+				msg += fmt.Sprintf("; ETA ~%v for the rest from journaled cell times", eta.Round(time.Second))
+			}
+			co.logf("%s", msg)
 		}
 	}
 
@@ -69,13 +76,21 @@ func (co *Coordinator) RunSweep(ctx context.Context, s fleet.Sweep) (*fleet.Swee
 
 	start := time.Now()
 	runs := 0
+	total := len(plan.Cells())
+	completed := total - len(remaining)
 	runErr := co.runCells(ctx, remaining, func(cp fleet.CellPlan, agg *fleet.Aggregate) error {
 		aggs[cp.Index] = agg
 		runs += agg.Runs
+		completed++
+		est.add(agg.Elapsed)
+		if eta, ok := est.eta(total-completed, co.liveSessions()); ok {
+			co.logf("fabric: progress: %d of %d cells complete; ETA ~%v", completed, total, eta.Round(time.Second))
+		}
 		if j != nil {
 			return j.append(cellRecord{
 				V: protocolVersion, Type: recCell,
 				Index: cp.Index, Cell: cp.Campaign.Scenario.Name, Aggregate: agg,
+				ElapsedMS: agg.Elapsed.Milliseconds(),
 			})
 		}
 		return nil
@@ -89,10 +104,40 @@ func (co *Coordinator) RunSweep(ctx context.Context, s fleet.Sweep) (*fleet.Swee
 	if sec := result.Elapsed.Seconds(); sec > 0 {
 		result.RunsPerSec = float64(runs) / sec
 	}
+	result.DiscardedRecords = discarded
 	if runErr != nil {
 		return result, ctx.Err()
 	}
 	return result, nil
+}
+
+// etaEstimator projects remaining wall clock from the mean cost of the
+// cells finished so far (journaled milliseconds on resume, live spans
+// after), divided across the currently live workers. Zero samples —
+// pre-elapsed journals — are skipped, so the estimate degrades to
+// silence rather than to a confident lie.
+type etaEstimator struct {
+	sum time.Duration
+	n   int
+}
+
+func (e *etaEstimator) add(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	e.sum += d
+	e.n++
+}
+
+func (e *etaEstimator) eta(remaining, workers int) (time.Duration, bool) {
+	if e.n == 0 || remaining <= 0 {
+		return 0, false
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	serial := int64(e.sum) / int64(e.n) * int64(remaining)
+	return time.Duration(serial / int64(workers)), true
 }
 
 // RunAdaptiveSweep executes an adaptive sweep across the attached
@@ -111,6 +156,8 @@ func (co *Coordinator) RunAdaptiveSweep(ctx context.Context, s fleet.AdaptiveSwe
 
 	done := map[int]cellRecord{}
 	var j *journal
+	var est etaEstimator
+	discarded := 0
 	if co.cfg.Checkpoint != "" {
 		name := norm.Name
 		if name == "" {
@@ -120,13 +167,22 @@ func (co *Coordinator) RunAdaptiveSweep(ctx context.Context, s fleet.AdaptiveSwe
 			V: protocolVersion, Type: recHeader, Kind: "adaptive",
 			Name: name, Fingerprint: fingerprintAdaptive(norm), Cells: norm.MaxCells,
 		}
-		j, done, err = openJournal(co.cfg.Checkpoint, hdr, co.cfg.Resume, co.logf)
+		j, done, discarded, err = openJournal(co.cfg.Checkpoint, hdr, co.cfg.Resume, co.logf)
 		if err != nil {
 			return nil, fmt.Errorf("fabric: %w", err)
 		}
 		defer j.close()
+		for _, rec := range done {
+			est.add(time.Duration(rec.ElapsedMS) * time.Millisecond)
+		}
 		if len(done) > 0 {
-			co.logf("fabric: resume: %d evaluated points available from checkpoint", len(done))
+			msg := fmt.Sprintf("fabric: resume: %d evaluated points available from checkpoint", len(done))
+			// The bisection path decides how many points remain, so the best
+			// honest forecast is the journaled per-point cost.
+			if avg, ok := est.eta(1, 1); ok {
+				msg += fmt.Sprintf("; ~%v per point from journaled times", avg.Round(time.Second))
+			}
+			co.logf("%s", msg)
 		}
 	}
 
@@ -159,11 +215,13 @@ func (co *Coordinator) RunAdaptiveSweep(ctx context.Context, s fleet.AdaptiveSwe
 		}
 		runErr = co.runCells(ctx, toRun, func(cp fleet.CellPlan, agg *fleet.Aggregate) error {
 			runs += agg.Runs
+			est.add(agg.Elapsed)
 			search.Observe(cp.Index, agg)
 			if j != nil {
 				return j.append(cellRecord{
 					V: protocolVersion, Type: recCell,
 					Index: cp.Index, Cell: cp.Campaign.Scenario.Name, Aggregate: agg,
+					ElapsedMS: agg.Elapsed.Milliseconds(),
 				})
 			}
 			return nil
@@ -181,6 +239,7 @@ func (co *Coordinator) RunAdaptiveSweep(ctx context.Context, s fleet.AdaptiveSwe
 	if sec := result.Elapsed.Seconds(); sec > 0 {
 		result.RunsPerSec = float64(runs) / sec
 	}
+	result.DiscardedRecords = discarded
 	if runErr != nil {
 		return result, ctx.Err()
 	}
@@ -249,6 +308,10 @@ func (co *Coordinator) runCells(ctx context.Context, plans []fleet.CellPlan, com
 			s := co.idle[len(co.idle)-1]
 			co.idle = co.idle[:len(co.idle)-1]
 			s.leaseCh <- byIndex[idx]
+			// Remember when the (latest) lease went out: exec and TCP
+			// workers lose the aggregate's wall clock over the wire, so the
+			// completion path times the cell lease-to-completion instead.
+			co.starts[idx] = time.Now()
 			deadlines = append(deadlines, leaseEntry{index: idx, deadline: time.Now().Add(co.leaseTimeout())})
 		}
 
@@ -341,6 +404,16 @@ func (co *Coordinator) handleEvent(ev event, byIndex map[int]fleet.CellPlan, que
 	}
 	co.payloads[ev.index] = blob
 	co.names[ev.index] = cp.Campaign.Scenario.Name
+	if ev.agg.Elapsed == 0 {
+		// Aggregate.Elapsed is json:"-": a local worker's survives in
+		// process, a remote worker's does not survive the wire. Back-fill
+		// from the lease span so the journal and the ETA estimate always
+		// have a per-cell wall clock.
+		if t0, ok := co.starts[ev.index]; ok {
+			ev.agg.Elapsed = time.Since(t0)
+		}
+	}
+	delete(co.starts, ev.index)
 	*need = *need - 1
 	return complete(cp, ev.agg)
 }

@@ -1,0 +1,133 @@
+package fleet
+
+// Fault axes through the in-process sweep executor: worker-count
+// determinism on a churn+loss grid, axis-range validation, and the
+// scenario-file "faults" stanza.
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// faultGrid crosses both fault families over the clear-spectrum base.
+func faultGrid() Sweep {
+	base, ok := Lookup("fame-clear")
+	if !ok {
+		panic("fame-clear missing")
+	}
+	return Sweep{
+		Base:  base,
+		Churn: []float64{0, 0.15},
+		Loss:  []float64{0, 0.05},
+		Runs:  2,
+		Seed:  11,
+	}
+}
+
+// TestFaultSweepDeterministicWorkers extends the workers=1/workers=8
+// byte-identity guarantee to degraded runs: fault schedules derive from
+// each cell's seed, never from scheduling, so the matrix JSON — fault
+// counters included — must not depend on pool width.
+func TestFaultSweepDeterministicWorkers(t *testing.T) {
+	var blobs [][]byte
+	for _, workers := range []int{1, 8} {
+		s := faultGrid()
+		s.Workers = workers
+		res, err := RunSweep(context.Background(), s)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		blob, err := res.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Fatalf("faulted sweep JSON differs between worker counts:\n%s\nvs\n%s", blobs[0], blobs[1])
+	}
+	if !bytes.Contains(blobs[0], []byte("degraded_rounds")) {
+		t.Fatalf("faulted cells left no degradation counters in the matrix:\n%s", blobs[0])
+	}
+	// The fault-free corner stays fault-free: its aggregate must not
+	// carry counters (omitempty keeps legacy JSON byte-identical).
+	if !bytes.Contains(blobs[0], []byte(`"cell": "fame-clear/churn=0,loss=0"`)) {
+		t.Fatalf("baseline corner missing from the grid:\n%s", blobs[0])
+	}
+}
+
+func TestFaultAxisValidation(t *testing.T) {
+	s := faultGrid()
+	s.Churn = []float64{0, 1.5}
+	if _, err := RunSweep(context.Background(), s); err == nil || !strings.Contains(err.Error(), "Churn axis") {
+		t.Fatalf("churn=1.5 accepted: %v", err)
+	}
+	s = faultGrid()
+	s.Loss = []float64{-0.1}
+	if _, err := RunSweep(context.Background(), s); err == nil || !strings.Contains(err.Error(), "Loss axis") {
+		t.Fatalf("loss=-0.1 accepted: %v", err)
+	}
+}
+
+// TestScenarioFileFaults: the "faults" stanza defines named profiles,
+// scenarios reference them by name, and the fault shorthands and sweep
+// axes ride through the file format.
+func TestScenarioFileFaults(t *testing.T) {
+	blob := `{
+	  "faults": {
+	    "flaky": {"crash": 0.1, "recover": 0.05,
+	      "loss": {"p_good_bad": 0.05, "p_bad_good": 0.3, "drop_good": 0.01, "drop_bad": 0.6}}
+	  },
+	  "scenarios": [
+	    {"name": "file-flaky", "proto": "fame", "n": 20, "c": 2, "t": 0,
+	     "pairs": 4, "adversary": "none", "faults": "flaky"},
+	    {"name": "file-churny", "proto": "fame", "n": 20, "c": 2, "t": 0,
+	     "pairs": 4, "adversary": "none", "churn": 0.15, "loss": 0.05}
+	  ],
+	  "sweeps": [
+	    {"name": "file-fault-grid", "base": "file-churny",
+	     "churn": [0, 0.15], "loss": [0, 0.05], "runs": 2, "seed": 3}
+	  ]
+	}`
+	sf, err := ParseScenarioFile(strings.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := sf.Lookup("file-flaky")
+	if !ok {
+		t.Fatal("file-flaky not found")
+	}
+	if s.Faults == nil || s.Faults.CrashFrac != 0.1 || s.Faults.Loss == nil {
+		t.Fatalf("named profile not resolved onto the scenario: %+v", s.Faults)
+	}
+	res := s.Execute(context.Background(), 0, 1)
+	if !res.OK() {
+		t.Fatalf("faulted file scenario failed: %s", res.Err)
+	}
+	if res.DegradedRounds == 0 {
+		t.Fatalf("profile left no degradation trace: %+v", res)
+	}
+	sw, ok := sf.LookupSweep("file-fault-grid")
+	if !ok {
+		t.Fatal("file-fault-grid not found")
+	}
+	if len(sw.Churn) != 2 || len(sw.Loss) != 2 {
+		t.Fatalf("fault axes lost in decoding: %+v", sw)
+	}
+	if _, err := RunSweep(context.Background(), sw); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rejections: a dangling profile reference and an invalid profile.
+	bad := `{"scenarios": [{"name":"x","proto":"fame","n":20,"c":2,"t":1,"pairs":4,"adversary":"none","faults":"no-such"}]}`
+	if _, err := ParseScenarioFile(strings.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "no-such") {
+		t.Fatalf("dangling faults reference accepted: %v", err)
+	}
+	bad = `{"faults": {"overfull": {"crash": 0.9, "late": 0.9}},
+	  "scenarios": [{"name":"x","proto":"fame","n":20,"c":2,"t":1,"pairs":4,"adversary":"none","faults":"overfull"}]}`
+	if _, err := ParseScenarioFile(strings.NewReader(bad)); err == nil {
+		t.Fatal("overfull fault profile accepted")
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"securadio/internal/adversary"
 	"securadio/internal/core"
+	"securadio/internal/fault"
 	"securadio/internal/graph"
 	"securadio/internal/groupkey"
 	"securadio/internal/msgopt"
@@ -80,6 +81,19 @@ type Scenario struct {
 	// EmRounds is the number of emulated rounds driven on the long-lived
 	// channel (secure-group only); non-positive selects 4.
 	EmRounds int
+
+	// Churn and Loss are the scalar fault-injection axes: the churned
+	// node fraction and the target mean delivery-drop probability (see
+	// fault.FromFractions). Zero injects nothing.
+	Churn float64
+	Loss  float64
+
+	// Faults, when non-nil, is a full fault profile (named profiles from
+	// scenario files). Churn/Loss scalars, when also set, override the
+	// corresponding pieces of the profile. Each run compiles the profile
+	// with its own seed, so fault schedules vary across the grid exactly
+	// like every other randomness.
+	Faults *fault.Profile
 }
 
 // AdversaryFactory builds a fresh interferer for one run. Adversaries are
@@ -147,6 +161,17 @@ func (s Scenario) Validate() error {
 	if _, ok := advFactories[s.Adversary]; !ok {
 		return fmt.Errorf("fleet: scenario %q: unknown adversary %q (have %v)", s.Name, s.Adversary, Adversaries())
 	}
+	if s.Churn < 0 || s.Churn > 1 {
+		return fmt.Errorf("fleet: scenario %q: Churn = %v, want 0..1", s.Name, s.Churn)
+	}
+	if s.Loss < 0 || s.Loss > 1 {
+		return fmt.Errorf("fleet: scenario %q: Loss = %v, want 0..1", s.Name, s.Loss)
+	}
+	if p, enabled := s.faultProfile(); enabled {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("fleet: scenario %q: %w", s.Name, err)
+		}
+	}
 	switch s.Proto {
 	case ProtoFame, ProtoFameCompact, ProtoFameDirect:
 		if s.Pairs <= 0 {
@@ -181,6 +206,34 @@ func (s Scenario) emRounds() int {
 		return 4
 	}
 	return s.EmRounds
+}
+
+// faultProfile resolves the scenario's effective fault profile: the named
+// profile (if any) with the scalar Churn/Loss shorthands layered on top.
+func (s Scenario) faultProfile() (fault.Profile, bool) {
+	var p fault.Profile
+	if s.Faults != nil {
+		p = *s.Faults
+	}
+	if s.Churn > 0 {
+		sc := fault.FromFractions(s.Churn, 0)
+		p.CrashFrac, p.RecoverFrac, p.LateFrac = sc.CrashFrac, sc.RecoverFrac, sc.LateFrac
+	}
+	if s.Loss > 0 {
+		p.Loss = fault.DefaultLoss(s.Loss)
+	}
+	return p, p.Enabled()
+}
+
+// faultPlan compiles the run's fault schedule from the scenario profile
+// and the run seed — a pure function of both, so sweep reports stay
+// byte-identical across worker counts and fabric topologies.
+func (s Scenario) faultPlan(seed int64) (*fault.Plan, error) {
+	p, enabled := s.faultProfile()
+	if !enabled {
+		return nil, nil
+	}
+	return fault.Compile(p, s.N, s.C, seed)
 }
 
 // runState holds one worker's reusable execution buffers. The campaign
@@ -232,19 +285,27 @@ func (s Scenario) Execute(ctx context.Context, run int, seed int64) RunResult {
 func (s Scenario) execute(ctx context.Context, run int, seed int64, st *runState) RunResult {
 	res := RunResult{Run: run, Seed: seed}
 	adv, err := NewAdversary(s.Adversary, s.T, s.C, seed+1)
+	var plan *fault.Plan
+	if err == nil {
+		plan, err = s.faultPlan(seed)
+	}
 	if err == nil {
 		switch s.Proto {
 		case ProtoFame, ProtoFameDirect:
-			err = s.executeFame(ctx, adv, seed, st, &res)
+			err = s.executeFame(ctx, adv, plan, seed, st, &res)
 		case ProtoFameCompact:
-			err = s.executeCompact(ctx, adv, seed, st, &res)
+			err = s.executeCompact(ctx, adv, plan, seed, st, &res)
 		case ProtoGroupKey:
-			err = s.executeGroupKey(ctx, adv, seed, &res)
+			err = s.executeGroupKey(ctx, adv, plan, seed, &res)
 		case ProtoSecureGroup:
-			err = s.executeSecureGroup(ctx, adv, seed, st, &res)
+			err = s.executeSecureGroup(ctx, adv, plan, seed, st, &res)
 		default:
 			err = fmt.Errorf("fleet: unknown protocol %q", s.Proto)
 		}
+	}
+	if plan != nil {
+		c := plan.Counters()
+		res.FaultDrops, res.NodesLost, res.DegradedRounds = c.Drops, c.NodesLost, c.DegradedRounds
 	}
 	if err != nil {
 		res.Err = err.Error()
@@ -280,14 +341,16 @@ func (s Scenario) randomPairs(seed int64) []graph.Edge {
 	return graph.RandomPairs(s.pairSpan(), s.Pairs, rng.Intn)
 }
 
-func (s Scenario) executeFame(ctx context.Context, adv radio.Adversary, seed int64, st *runState, res *RunResult) error {
+func (s Scenario) executeFame(ctx context.Context, adv radio.Adversary, plan *fault.Plan, seed int64, st *runState, res *RunResult) error {
 	pairs := s.randomPairs(seed)
 	values := st.msgValues
 	clear(values)
 	for _, e := range pairs {
 		values[e] = fmt.Sprintf("m/%v", e)
 	}
-	out, err := core.ExchangeContext(ctx, s.fameParams(), pairs, values, adv, seed)
+	p := s.fameParams()
+	p.Faults = plan
+	out, err := core.ExchangeContext(ctx, p, pairs, values, adv, seed)
 	if err != nil {
 		return err
 	}
@@ -298,7 +361,7 @@ func (s Scenario) executeFame(ctx context.Context, adv radio.Adversary, seed int
 	return nil
 }
 
-func (s Scenario) executeCompact(ctx context.Context, adv radio.Adversary, seed int64, st *runState, res *RunResult) error {
+func (s Scenario) executeCompact(ctx context.Context, adv radio.Adversary, plan *fault.Plan, seed int64, st *runState, res *RunResult) error {
 	pairs := s.randomPairs(seed)
 	values := st.strValues
 	clear(values)
@@ -306,6 +369,7 @@ func (s Scenario) executeCompact(ctx context.Context, adv radio.Adversary, seed 
 		values[e] = fmt.Sprintf("m/%v", e)
 	}
 	p := msgopt.Params{Fame: s.fameParams()}
+	p.Fame.Faults = plan
 	out, err := msgopt.ExchangeContext(ctx, p, pairs, values, adv, seed)
 	if err != nil {
 		return err
@@ -317,8 +381,8 @@ func (s Scenario) executeCompact(ctx context.Context, adv radio.Adversary, seed 
 	return nil
 }
 
-func (s Scenario) executeGroupKey(ctx context.Context, adv radio.Adversary, seed int64, res *RunResult) error {
-	p := groupkey.Params{N: s.N, C: s.C, T: s.T, Regime: s.Regime}
+func (s Scenario) executeGroupKey(ctx context.Context, adv radio.Adversary, plan *fault.Plan, seed int64, res *RunResult) error {
+	p := groupkey.Params{N: s.N, C: s.C, T: s.T, Regime: s.Regime, Faults: plan}
 	out, err := groupkey.EstablishContext(ctx, p, adv, seed)
 	if err != nil {
 		return err
@@ -334,7 +398,7 @@ func (s Scenario) executeGroupKey(ctx context.Context, adv radio.Adversary, seed
 // followed by EmRounds emulated rounds of the Section 7 channel, one
 // rotating broadcaster per emulated round — and counts authenticated
 // deliveries at the receivers.
-func (s Scenario) executeSecureGroup(ctx context.Context, adv radio.Adversary, seed int64, st *runState, res *RunResult) error {
+func (s Scenario) executeSecureGroup(ctx context.Context, adv radio.Adversary, plan *fault.Plan, seed int64, st *runState, res *RunResult) error {
 	gk := groupkey.Params{N: s.N, C: s.C, T: s.T, Regime: s.Regime}
 	ch := secure.Params{N: s.N, C: s.C, T: s.T}
 	em := s.emRounds()
@@ -366,7 +430,7 @@ func (s Scenario) executeSecureGroup(ctx context.Context, adv radio.Adversary, s
 			}
 		}
 	}
-	cfg := radio.Config{N: s.N, C: s.C, T: s.T, Seed: seed, Adversary: adv}
+	cfg := radio.Config{N: s.N, C: s.C, T: s.T, Seed: seed, Adversary: adv, Faults: plan}
 	radioRes, err := radio.RunContext(ctx, cfg, procs)
 	if err != nil {
 		return err
@@ -453,6 +517,14 @@ var registry = []Scenario{
 	{
 		Name: "securegroup-hop", Desc: "full stack: group key + long-lived channel vs hopping jammer",
 		Proto: ProtoSecureGroup, N: 20, C: 2, T: 1, EmRounds: 4, Adversary: "hop",
+	},
+	{
+		Name: "fame-churn", Desc: "f-AME under node churn: crashes, recoveries and late joins mid-protocol",
+		Proto: ProtoFame, N: 20, C: 2, T: 1, Pairs: 8, Adversary: "none", Churn: 0.15,
+	},
+	{
+		Name: "secure-fading", Desc: "full stack over bursty Gilbert-Elliott fading channels",
+		Proto: ProtoSecureGroup, N: 20, C: 3, T: 1, EmRounds: 4, Adversary: "none", Loss: 0.05,
 	},
 }
 

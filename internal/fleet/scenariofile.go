@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"securadio/internal/core"
+	"securadio/internal/fault"
 )
 
 // ScenarioFile is a user-defined scenario/sweep catalog, parsed from JSON.
@@ -21,19 +23,30 @@ import (
 // "2t2") and unknown keys are rejected so typos fail loudly:
 //
 //	{
+//	  "faults": {
+//	    "flaky": {"crash": 0.1, "recover": 0.05,
+//	              "loss": {"p_good_bad": 0.05, "p_bad_good": 0.25, "drop_bad": 0.9}}
+//	  },
 //	  "scenarios": [
 //	    {"name": "wide-fame", "proto": "fame", "n": 48, "c": 3, "t": 2,
-//	     "pairs": 16, "span": 48, "regime": "base", "adversary": "combo"}
+//	     "pairs": 16, "span": 48, "regime": "base", "adversary": "combo",
+//	     "faults": "flaky"}
 //	  ],
 //	  "sweeps": [
 //	    {"name": "wide-grid", "base": "wide-fame", "n": [24, 48],
-//	     "adversary": ["jam", "combo"], "runs": 100, "seed": 7}
+//	     "adversary": ["jam", "combo"], "churn": [0, 0.15],
+//	     "runs": 100, "seed": 7}
 //	  ],
 //	  "adaptive": [
 //	    {"name": "wide-threshold", "base": "wide-fame", "axis": "c",
 //	     "min": 2, "max": 16, "runs": 200, "seed": 7}
 //	  ]
 //	}
+//
+// The "faults" stanza names reusable fault profiles (see fault.Profile);
+// a scenario's "faults" field references one by name, while the scalar
+// "churn"/"loss" knobs — on scenarios and as sweep axes — derive a
+// profile without the stanza.
 //
 // Adaptive sweeps share the sweep name namespace: `fleetsim sweep -sweep
 // NAME` resolves cartesian grids first and adaptive searches second, so
@@ -58,24 +71,30 @@ type fileScenario struct {
 	Cleanup   int    `json:"cleanup,omitempty"`
 	Adversary string `json:"adversary"`
 	EmRounds  int    `json:"em_rounds,omitempty"`
+
+	Churn  float64 `json:"churn,omitempty"`
+	Loss   float64 `json:"loss,omitempty"`
+	Faults string  `json:"faults,omitempty"` // named profile from the file's faults stanza
 }
 
 // fileSweep is the on-disk sweep schema. Base names a scenario from the
 // same file or the built-in registry.
 type fileSweep struct {
-	Name      string   `json:"name"`
-	Desc      string   `json:"desc,omitempty"`
-	Base      string   `json:"base"`
-	N         []int    `json:"n,omitempty"`
-	C         []int    `json:"c,omitempty"`
-	T         []int    `json:"t,omitempty"`
-	Pairs     []int    `json:"pairs,omitempty"`
-	Regime    []string `json:"regime,omitempty"`
-	Adversary []string `json:"adversary,omitempty"`
-	EmRounds  []int    `json:"em_rounds,omitempty"`
-	Runs      int      `json:"runs,omitempty"`
-	Seed      int64    `json:"seed,omitempty"`
-	Workers   int      `json:"workers,omitempty"`
+	Name      string    `json:"name"`
+	Desc      string    `json:"desc,omitempty"`
+	Base      string    `json:"base"`
+	N         []int     `json:"n,omitempty"`
+	C         []int     `json:"c,omitempty"`
+	T         []int     `json:"t,omitempty"`
+	Pairs     []int     `json:"pairs,omitempty"`
+	Regime    []string  `json:"regime,omitempty"`
+	Adversary []string  `json:"adversary,omitempty"`
+	EmRounds  []int     `json:"em_rounds,omitempty"`
+	Churn     []float64 `json:"churn,omitempty"`
+	Loss      []float64 `json:"loss,omitempty"`
+	Runs      int       `json:"runs,omitempty"`
+	Seed      int64     `json:"seed,omitempty"`
+	Workers   int       `json:"workers,omitempty"`
 }
 
 // fileAdaptive is the on-disk adaptive-search schema. Base names a
@@ -97,9 +116,10 @@ type fileAdaptive struct {
 }
 
 type fileSchema struct {
-	Scenarios []fileScenario `json:"scenarios,omitempty"`
-	Sweeps    []fileSweep    `json:"sweeps,omitempty"`
-	Adaptive  []fileAdaptive `json:"adaptive,omitempty"`
+	Faults    map[string]fault.Profile `json:"faults,omitempty"`
+	Scenarios []fileScenario           `json:"scenarios,omitempty"`
+	Sweeps    []fileSweep              `json:"sweeps,omitempty"`
+	Adaptive  []fileAdaptive           `json:"adaptive,omitempty"`
 }
 
 // ParseScenarioFile decodes and structurally validates a scenario/sweep
@@ -124,6 +144,16 @@ func ParseScenarioFile(r io.Reader) (*ScenarioFile, error) {
 		return nil, fmt.Errorf("fleet: scenario file: no scenarios, sweeps or adaptive sweeps defined")
 	}
 
+	// Named fault profiles are validated up front: a profile nothing
+	// references yet is still part of the catalog's contract, and a
+	// malformed one must fail loudly, not at first use.
+	for _, name := range sortedKeys(raw.Faults) {
+		p := raw.Faults[name]
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: scenario file: fault profile %q: %w", name, err)
+		}
+	}
+
 	out := &ScenarioFile{}
 	names := make(map[string]bool)
 	for i, fs := range raw.Scenarios {
@@ -134,7 +164,7 @@ func ParseScenarioFile(r io.Reader) (*ScenarioFile, error) {
 			return nil, fmt.Errorf("fleet: scenario file: duplicate scenario name %q", fs.Name)
 		}
 		names[fs.Name] = true
-		s, err := fs.scenario()
+		s, err := fs.scenario(raw.Faults)
 		if err != nil {
 			return nil, err
 		}
@@ -189,8 +219,21 @@ func LoadScenarioFile(path string) (*ScenarioFile, error) {
 	return sf, nil
 }
 
-// scenario converts the on-disk form, rejecting unknown enum spellings.
-func (fs fileScenario) scenario() (Scenario, error) {
+// sortedKeys returns a map's keys in deterministic order, so profile
+// validation errors do not depend on map iteration.
+func sortedKeys(m map[string]fault.Profile) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// scenario converts the on-disk form, rejecting unknown enum spellings
+// and resolving the fault-profile reference against the file's faults
+// stanza.
+func (fs fileScenario) scenario(profiles map[string]fault.Profile) (Scenario, error) {
 	switch fs.Proto {
 	case ProtoFame, ProtoFameCompact, ProtoFameDirect, ProtoGroupKey, ProtoSecureGroup:
 	default:
@@ -204,12 +247,22 @@ func (fs fileScenario) scenario() (Scenario, error) {
 	if err != nil {
 		return Scenario{}, fmt.Errorf("fleet: scenario file: scenario %q: %w", fs.Name, err)
 	}
+	var prof *fault.Profile
+	if fs.Faults != "" {
+		p, ok := profiles[fs.Faults]
+		if !ok {
+			return Scenario{}, fmt.Errorf("fleet: scenario file: scenario %q: unknown fault profile %q (have %v)",
+				fs.Name, fs.Faults, sortedKeys(profiles))
+		}
+		prof = &p
+	}
 	return Scenario{
 		Name: fs.Name, Desc: fs.Desc, Proto: fs.Proto,
 		N: fs.N, C: fs.C, T: fs.T,
 		Pairs: fs.Pairs, Span: fs.Span,
 		Regime: regime, Cleanup: fs.Cleanup,
 		Adversary: fs.Adversary, EmRounds: fs.EmRounds,
+		Churn: fs.Churn, Loss: fs.Loss, Faults: prof,
 	}, nil
 }
 
@@ -241,6 +294,7 @@ func (fw fileSweep) sweep(sf *ScenarioFile) (Sweep, error) {
 		Name: fw.Name, Desc: fw.Desc, Base: base,
 		N: fw.N, C: fw.C, T: fw.T, Pairs: fw.Pairs,
 		Regime: regimes, Adversary: fw.Adversary, EmRounds: fw.EmRounds,
+		Churn: fw.Churn, Loss: fw.Loss,
 		Runs: fw.Runs, Seed: fw.Seed, Workers: fw.Workers,
 	}, nil
 }

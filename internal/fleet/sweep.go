@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"time"
 
 	"securadio/internal/core"
@@ -45,6 +46,13 @@ type Sweep struct {
 	Regime    []core.Regime
 	Adversary []string
 	EmRounds  []int
+
+	// Churn and Loss are the fault-injection axes: scalar fault
+	// intensities in [0, 1] applied via Scenario.Churn / Scenario.Loss
+	// (see internal/fault). A zero value is a legitimate axis point — it
+	// is the faultless baseline cell of a degradation curve.
+	Churn []float64
+	Loss  []float64
 
 	// Runs is the per-cell seed-grid size.
 	Runs int
@@ -93,7 +101,16 @@ func (s Sweep) axes() []Axis {
 	add("regime", len(s.Regime), func(i int) string { return RegimeName(s.Regime[i]) })
 	add("adv", len(s.Adversary), func(i int) string { return s.Adversary[i] })
 	add("em", len(s.EmRounds), func(i int) string { return fmt.Sprint(s.EmRounds[i]) })
+	add("churn", len(s.Churn), func(i int) string { return formatFrac(s.Churn[i]) })
+	add("loss", len(s.Loss), func(i int) string { return formatFrac(s.Loss[i]) })
 	return out
+}
+
+// formatFrac renders a fault-axis fraction the shortest way that
+// round-trips, so cell names stay stable and diff-friendly ("0.15", not
+// "0.150000").
+func formatFrac(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // Validate reports whether the sweep is runnable. Individual cells may
@@ -133,6 +150,18 @@ func (s Sweep) expand() (cells []Scenario, skips []error, err error) {
 	if len(s.Pairs) > 0 && !fameBase {
 		return nil, nil, fmt.Errorf("fleet: sweep %q: the Pairs axis applies only to f-AME scenarios (base %q is %q)",
 			s.name(), s.Base.Name, s.Base.Proto)
+	}
+	// Fault-axis values outside [0, 1] are malformed definitions, not
+	// model-bound edge cells: fail fast like an adversary typo would.
+	for _, v := range s.Churn {
+		if v < 0 || v > 1 {
+			return nil, nil, fmt.Errorf("fleet: sweep %q: Churn axis value %v, want within [0, 1]", s.name(), v)
+		}
+	}
+	for _, v := range s.Loss {
+		if v < 0 || v > 1 {
+			return nil, nil, fmt.Errorf("fleet: sweep %q: Loss axis value %v, want within [0, 1]", s.name(), v)
+		}
 	}
 	// A typo on the adversary axis must fail fast, not silently demote
 	// its whole slice of the grid to skipped cells.
@@ -224,6 +253,14 @@ func (s Sweep) Cells() ([]Scenario, error) {
 		cell.EmRounds = s.EmRounds[i]
 		return fmt.Sprintf("em=%d", s.EmRounds[i])
 	})
+	expand(len(s.Churn), func(cell *Scenario, i int) string {
+		cell.Churn = s.Churn[i]
+		return "churn=" + formatFrac(s.Churn[i])
+	})
+	expand(len(s.Loss), func(cell *Scenario, i int) string {
+		cell.Loss = s.Loss[i]
+		return "loss=" + formatFrac(s.Loss[i])
+	})
 
 	base := s.name()
 	for i := range cells {
@@ -281,6 +318,13 @@ type SweepResult struct {
 	// Wall-clock summary (excluded from JSON for determinism).
 	Elapsed    time.Duration `json:"-"`
 	RunsPerSec float64       `json:"-"`
+
+	// DiscardedRecords counts partial checkpoint-journal records dropped
+	// during a fabric resume (the torn tail of a kill mid-append). It is
+	// surfaced in the report header so the operator sees it even when
+	// stderr scrolled away, but stays out of the JSON encoding: a resumed
+	// sweep's bytes must match the uninterrupted run's.
+	DiscardedRecords int `json:"-"`
 }
 
 // RunSweep expands the grid and executes every runnable cell's seed grid
@@ -404,6 +448,9 @@ func (r *SweepResult) WriteCSV(w io.Writer) {
 // then any skipped cells with their reasons, then the wall-clock summary.
 func (r *SweepResult) WriteTable(w io.Writer) {
 	title := fmt.Sprintf("sweep %s (%d cells x %d runs, seed %d)", r.Name, len(r.Cells), r.RunsPerCell, r.Seed)
+	if r.DiscardedRecords > 0 {
+		title += fmt.Sprintf(" [resume discarded %d partial journal record(s)]", r.DiscardedRecords)
+	}
 	t := metrics.NewTable(title, matrixHeaders()...)
 	for _, cr := range r.Cells {
 		if cr.Agg == nil {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"securadio/internal/fault"
 	"securadio/internal/radio"
 )
 
@@ -42,6 +43,11 @@ type Params struct {
 
 	// Rounds is the fixed schedule length.
 	Rounds int
+
+	// Faults, when non-nil, forwards a compiled fault plan to the radio
+	// engine (node churn and channel loss; see internal/fault). Gossip is
+	// fixed-schedule, so faults only thin out the learn matrix.
+	Faults *fault.Plan
 }
 
 // ErrBadParams reports an invalid configuration.
@@ -123,7 +129,7 @@ func RunContext(ctx context.Context, p Params, adv radio.Adversary, seed int64, 
 		}
 	}
 
-	cfg := radio.Config{N: p.N, C: p.C, T: p.T, Seed: seed, Adversary: adv}
+	cfg := radio.Config{N: p.N, C: p.C, T: p.T, Seed: seed, Adversary: adv, Faults: p.Faults}
 	res, err := radio.RunContext(ctx, cfg, procs)
 	if err != nil {
 		return nil, fmt.Errorf("gossip: radio run: %w", err)
@@ -216,7 +222,7 @@ func RunDeterministicContext(ctx context.Context, p Params, adv radio.Adversary,
 			}
 		}
 	}
-	cfg := radio.Config{N: p.N, C: p.C, T: p.T, Seed: seed, Adversary: adv}
+	cfg := radio.Config{N: p.N, C: p.C, T: p.T, Seed: seed, Adversary: adv, Faults: p.Faults}
 	res, err := radio.RunContext(ctx, cfg, procs)
 	if err != nil {
 		return nil, fmt.Errorf("gossip: radio run: %w", err)

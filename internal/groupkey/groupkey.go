@@ -32,6 +32,7 @@ import (
 	"math/big"
 
 	"securadio/internal/core"
+	"securadio/internal/fault"
 	"securadio/internal/feedback"
 	"securadio/internal/graph"
 	"securadio/internal/radio"
@@ -57,6 +58,12 @@ type Params struct {
 	// Trace, when non-nil, streams every round's observation out of the
 	// underlying radio run (see radio.Config.Trace). Purely observational.
 	Trace func(radio.RoundObservation)
+
+	// Faults, when non-nil, forwards a compiled fault plan to the radio
+	// engine (node churn and channel loss; see internal/fault). A churned
+	// node simply ends setup keyless — the same tolerated, quorum-counted
+	// outcome as a node the agreement phase excluded.
+	Faults *fault.Plan
 }
 
 // ErrBadParams reports an invalid configuration.

@@ -51,7 +51,7 @@ func EstablishContext(ctx context.Context, p Params, adv radio.Adversary, seed i
 	for i := 0; i < p.N; i++ {
 		procs[i] = Proc(p, &results[i])
 	}
-	cfg := radio.Config{N: p.N, C: p.C, T: p.T, Seed: seed, Adversary: adv, Trace: p.Trace}
+	cfg := radio.Config{N: p.N, C: p.C, T: p.T, Seed: seed, Adversary: adv, Trace: p.Trace, Faults: p.Faults}
 	radioRes, err := radio.RunContext(ctx, cfg, procs)
 	if err != nil {
 		return nil, fmt.Errorf("groupkey: radio run: %w", err)
@@ -59,7 +59,14 @@ func EstablishContext(ctx context.Context, p Params, adv radio.Adversary, seed i
 	out := &Outcome{PerNode: results, Leader: -1, Rounds: radioRes.Rounds, Radio: radioRes}
 	for i := range results {
 		if results[i].Err != nil {
-			return out, fmt.Errorf("groupkey: node %d: %w", i, results[i].Err)
+			// Under an active fault plan a node's local setup failure —
+			// whether it churned out itself or lost its leader to faults —
+			// is tolerated degradation: it stays keyless and out of the
+			// agreement count instead of failing the whole run.
+			if p.Faults == nil {
+				return out, fmt.Errorf("groupkey: node %d: %w", i, results[i].Err)
+			}
+			results[i].GroupKey = nil
 		}
 	}
 

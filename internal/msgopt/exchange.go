@@ -65,6 +65,7 @@ func ExchangeContext(ctx context.Context, p Params, pairs []graph.Edge, values m
 	callerTrace := p.Fame.Trace
 	cfg := radio.Config{
 		N: p.Fame.N, C: p.Fame.C, T: p.Fame.T, Seed: seed, Adversary: adv,
+		Faults: p.Fame.Faults,
 		Trace: func(obs radio.RoundObservation) {
 			for _, m := range obs.Delivered {
 				if m == nil {
@@ -86,7 +87,15 @@ func ExchangeContext(ctx context.Context, p Params, pairs []graph.Edge, values m
 	out.Rounds = radioRes.Rounds
 	for i := range results {
 		if results[i].Err != nil {
-			return out, fmt.Errorf("msgopt: node %d: %w", i, results[i].Err)
+			// Any node may abort its local protocol mid-run once faults are
+			// active — a churned node directly, a live node when its
+			// partner or referee goes silent. Under an active fault plan
+			// that is expected degradation (its pairs surface as disrupted
+			// below), not a run failure.
+			if p.Fame.Faults == nil {
+				return out, fmt.Errorf("msgopt: node %d: %w", i, results[i].Err)
+			}
+			continue
 		}
 		if results[i].MaxChains > out.MaxChains {
 			out.MaxChains = results[i].MaxChains

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+
+	"securadio/internal/fault"
 )
 
 // abortSignal is thrown (via panic) inside node goroutines when the engine
@@ -59,6 +61,12 @@ type engine struct {
 	isOmni    bool
 	silent    bool // no adversary configured: skip the adversary phases
 	maxRounds int
+
+	// Fault injection. flt duplicates cfg.Faults so the hot paths touch
+	// one field; faulty gates every fault branch, keeping the disabled
+	// engine on its original instruction stream.
+	flt    *fault.Plan
+	faulty bool
 
 	// Cancellation. ctxDone is nil for an uncancellable context
 	// (context.Background and friends), which keeps the steady-state
@@ -124,6 +132,10 @@ func newEngine(cfg *Config, adv Adversary, maxRounds int) *engine {
 	eng.omni, eng.isOmni = adv.(OmniscientAdversary)
 	_, eng.silent = adv.(silentAdversary)
 	eng.maxRounds = maxRounds
+	eng.flt, eng.faulty = cfg.Faults, cfg.Faults != nil
+	if eng.faulty {
+		eng.flt.Reset()
+	}
 
 	eng.actions = sized(eng.actions, cfg.N)
 	eng.done = sized(eng.done, cfg.N)
@@ -179,6 +191,7 @@ func newEngine(cfg *Config, adv Adversary, maxRounds int) *engine {
 func (eng *engine) recycle() {
 	eng.cfg = Config{}
 	eng.adv, eng.omni = nil, nil
+	eng.flt, eng.faulty = nil, false
 	eng.ctx, eng.ctxDone = nil, nil
 	eng.err = nil
 	eng.leaderPanic = nil
@@ -255,6 +268,13 @@ func (e *env) step(a NodeAction) Message {
 	}
 	e.round++
 	if a.Op == OpListen {
+		// A churn-silenced node's radio is deaf: it consumes the round in
+		// lock-step but hears nothing. The down mask is leader-written
+		// during resolution and stable until every node arrives again,
+		// exactly like the delivery slots.
+		if eng.faulty && eng.flt.NodeDown(e.id) {
+			return nil
+		}
 		return eng.delivered[a.Channel]
 	}
 	return nil
@@ -458,6 +478,14 @@ func (eng *engine) resolveCommitted() bool {
 	actions := eng.actions
 	delivered, transmitters, fromAdversary := eng.delivered, eng.transmitters, eng.fromAdversary
 
+	// Fault plans advance at round granularity, before any action is
+	// examined: churn windows open/close and the channel fade states take
+	// their Markov step, consuming a traffic-independent number of random
+	// draws so the schedule is identical across drive modes.
+	if eng.faulty {
+		eng.flt.BeginRound(round)
+	}
+
 	// Phase 1: collect the committed actions (ID order) and tally the
 	// honest transmitters in the same pass. The per-channel scratch may
 	// fill before validation finishes, but the Result counters fold in
@@ -488,9 +516,14 @@ func (eng *engine) resolveCommitted() bool {
 				return false
 			}
 			if a.Op == OpTransmit {
-				transmitters[a.Channel]++
-				delivered[a.Channel] = a.Msg
-				honestTx++
+				if eng.faulty && eng.flt.NodeDown(id) {
+					// A down node's transmission never reaches the air.
+					eng.flt.NoteSuppressed()
+				} else {
+					transmitters[a.Channel]++
+					delivered[a.Channel] = a.Msg
+					honestTx++
+				}
 			}
 			sawOther = true
 		case OpSleep:
@@ -542,14 +575,36 @@ func (eng *engine) resolveCommitted() bool {
 
 	// Phase 3: resolve collision semantics. On silent runs fromAdversary
 	// is all-false (cleared in phase 1, never set), so the spoof arm is
-	// naturally dead.
-	for c := 0; c < cfg.C; c++ {
-		switch {
-		case transmitters[c] > 1:
-			delivered[c] = nil
-			eng.res.Collisions++
-		case transmitters[c] == 1 && fromAdversary[c]:
-			eng.res.SpoofDeliveries++
+	// naturally dead. With a fault plan active, the loss model erases a
+	// would-be delivery after collision resolution and before spoof
+	// accounting: a dropped spoof never reached any radio, so it does not
+	// count as delivered.
+	if eng.faulty {
+		flt := eng.flt
+		for c := 0; c < cfg.C; c++ {
+			switch {
+			case transmitters[c] > 1:
+				delivered[c] = nil
+				eng.res.Collisions++
+			case transmitters[c] == 1:
+				if delivered[c] != nil && flt.DropNow(c) {
+					delivered[c] = nil
+					flt.ApplyDrop(c)
+				} else if fromAdversary[c] {
+					eng.res.SpoofDeliveries++
+				}
+			}
+		}
+		flt.EndRound()
+	} else {
+		for c := 0; c < cfg.C; c++ {
+			switch {
+			case transmitters[c] > 1:
+				delivered[c] = nil
+				eng.res.Collisions++
+			case transmitters[c] == 1 && fromAdversary[c]:
+				eng.res.SpoofDeliveries++
+			}
 		}
 	}
 
@@ -564,6 +619,15 @@ func (eng *engine) resolveCommitted() bool {
 			Adversarial:  advTx,
 			Delivered:    delivered,
 			Transmitters: transmitters,
+		}
+		if eng.faulty {
+			flt := eng.flt
+			obs.Down = flt.DownMask()
+			obs.Faded = flt.FadeMask()
+			obs.Dropped = flt.DropMask()
+			obs.FaultDrops = flt.RoundDrops()
+			obs.Deaths = flt.RoundDeaths()
+			obs.Recoveries = flt.RoundRecoveries()
 		}
 		if !eng.silent {
 			eng.adv.Observe(obs)

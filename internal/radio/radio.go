@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+
+	"securadio/internal/fault"
 )
 
 // Message is the payload carried by a single radio transmission. The
@@ -88,6 +90,30 @@ type RoundObservation struct {
 	// Transmitters holds, per channel, the total number of transmitters
 	// (honest plus adversarial).
 	Transmitters []int
+
+	// Fault observability. The slices are nil and the counts zero unless
+	// the run has an active fault plan (Config.Faults); like the other
+	// observation slices they are engine-owned and valid only during the
+	// call.
+
+	// Down holds, per node, whether churn silenced the node this round.
+	Down []bool
+
+	// Faded holds, per channel, whether the loss model was in its bad
+	// (bursty) state this round.
+	Faded []bool
+
+	// Dropped holds, per channel, whether a delivery was erased by the
+	// loss model this round.
+	Dropped []bool
+
+	// FaultDrops is the number of deliveries lost to faults this round
+	// (suppressed transmissions of down nodes plus loss-model drops).
+	FaultDrops int
+
+	// Deaths and Recoveries count the nodes newly silenced or newly
+	// restored this round.
+	Deaths, Recoveries int
 }
 
 // Adversary is the malicious interferer of the paper's model. Plan is
@@ -208,6 +234,14 @@ type Config struct {
 	// the adversary has observed it. The observation is only valid during
 	// the call.
 	Trace func(RoundObservation)
+
+	// Faults, when non-nil, injects the compiled fault plan: node-churn
+	// silence windows and time-varying channel loss, applied at round
+	// resolution (see internal/fault). The plan must be compiled for the
+	// same N and C, and is bound to this run until it completes (the
+	// engine resets its runtime state at run start). nil injects nothing
+	// and leaves every run byte-identical to the fault-free engine.
+	Faults *fault.Plan
 }
 
 // DefaultMaxRounds is the runaway-protocol guard used when
@@ -265,6 +299,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("%w: T = %d, want 0 <= T < C = %d", ErrBadConfig, c.T, c.C)
 	case c.MaxRounds < 0:
 		return fmt.Errorf("%w: MaxRounds = %d, want >= 0", ErrBadConfig, c.MaxRounds)
+	}
+	if c.Faults != nil && (c.Faults.N() != c.N || c.Faults.C() != c.C) {
+		return fmt.Errorf("%w: fault plan compiled for n=%d, c=%d, network has N=%d, C=%d",
+			ErrBadConfig, c.Faults.N(), c.Faults.C(), c.N, c.C)
 	}
 	return nil
 }

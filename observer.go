@@ -29,6 +29,16 @@ type ChannelActivity struct {
 	// Spoofed reports that the delivered message originated from the
 	// adversary (Delivered with the adversary as sole transmitter).
 	Spoofed bool
+
+	// Faded reports that the fault layer's Gilbert-Elliott loss model had
+	// the channel in its bad (burst) state this round. Always false
+	// without an active fault profile (see WithFaults).
+	Faded bool
+
+	// Dropped reports that the fault layer destroyed a delivery on the
+	// channel this round: a message cleared collision resolution and was
+	// then lost. Always false without an active fault profile.
+	Dropped bool
 }
 
 // RoundEvent is one round of the event stream a Runner feeds its
@@ -58,6 +68,19 @@ type RoundEvent struct {
 
 	// Channels holds the per-channel activity, indexed by channel.
 	Channels []ChannelActivity
+
+	// DownNodes is the number of nodes the fault layer silenced this
+	// round, and Deaths / Recoveries count this round's churn
+	// transitions. All zero without an active fault profile (see
+	// WithFaults).
+	DownNodes  int
+	Deaths     int
+	Recoveries int
+
+	// FaultDrops is the number of deliveries the fault layer destroyed
+	// this round — channel-loss drops plus transmissions suppressed from
+	// silenced nodes. Zero without an active fault profile.
+	FaultDrops int
 }
 
 // Observer receives the streaming per-round event feed of a Runner. The
@@ -132,6 +155,19 @@ func (a *eventAdapter) observe(o radio.RoundObservation) {
 		ch.Collision = o.Transmitters[c] > 1
 		ch.Delivered = o.Delivered[c] != nil
 		ch.Spoofed = ch.Delivered && o.Transmitters[c] == 1 && ch.Jammed
+		if o.Faded != nil {
+			ch.Faded = o.Faded[c]
+		}
+		if o.Dropped != nil {
+			ch.Dropped = o.Dropped[c]
+		}
+	}
+
+	down := 0
+	for _, d := range o.Down {
+		if d {
+			down++
+		}
 	}
 
 	a.ev.Round = o.Round
@@ -139,6 +175,10 @@ func (a *eventAdapter) observe(o radio.RoundObservation) {
 	a.ev.Checkpoint = checkpoint
 	a.ev.Live = live
 	a.ev.Channels = chans
+	a.ev.DownNodes = down
+	a.ev.Deaths = o.Deaths
+	a.ev.Recoveries = o.Recoveries
+	a.ev.FaultDrops = o.FaultDrops
 	a.obs.ObserveRound(&a.ev)
 	if checkpoint != "" {
 		a.phase = checkpoint

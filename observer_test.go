@@ -37,9 +37,24 @@ var updateObserver = flag.Bool("update-observer", false, "rewrite testdata/obser
 type digestingObserver struct{ h hash.Hash }
 
 func (d *digestingObserver) ObserveRound(ev *RoundEvent) {
-	fmt.Fprintf(d.h, "round=%d phase=%q checkpoint=%q live=%d\n", ev.Round, ev.Phase, ev.Checkpoint, ev.Live)
+	fmt.Fprintf(d.h, "round=%d phase=%q checkpoint=%q live=%d", ev.Round, ev.Phase, ev.Checkpoint, ev.Live)
+	// Fault fields enter the digest only when set, so a fault-free stream
+	// encodes to exactly the pre-fault-layer bytes: the golden digests
+	// double as the no-op proof that disabled fault injection leaves the
+	// public event stream untouched.
+	if ev.DownNodes != 0 || ev.Deaths != 0 || ev.Recoveries != 0 || ev.FaultDrops != 0 {
+		fmt.Fprintf(d.h, " down=%d deaths=%d recoveries=%d faultdrops=%d",
+			ev.DownNodes, ev.Deaths, ev.Recoveries, ev.FaultDrops)
+	}
+	fmt.Fprintf(d.h, "\n")
 	for c, ch := range ev.Channels {
-		fmt.Fprintf(d.h, "  ch[%d]=%+v\n", c, ch)
+		// The legacy activity fields keep the historical %+v byte layout.
+		fmt.Fprintf(d.h, "  ch[%d]={Transmitters:%d Listeners:%d Jammed:%t Collision:%t Delivered:%t Spoofed:%t}",
+			c, ch.Transmitters, ch.Listeners, ch.Jammed, ch.Collision, ch.Delivered, ch.Spoofed)
+		if ch.Faded || ch.Dropped {
+			fmt.Fprintf(d.h, " faded=%t dropped=%t", ch.Faded, ch.Dropped)
+		}
+		fmt.Fprintf(d.h, "\n")
 	}
 }
 

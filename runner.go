@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"securadio/internal/core"
+	"securadio/internal/fault"
 	"securadio/internal/groupkey"
 	"securadio/internal/msgopt"
 	"securadio/internal/radio"
@@ -31,9 +32,10 @@ import (
 // the same code path — as are fleet campaigns, which share the internal
 // protocol entrypoints the Runner calls.
 type Runner struct {
-	net  Network
-	opts Options
-	obs  Observer
+	net    Network
+	opts   Options
+	obs    Observer
+	faults *fault.Profile
 }
 
 // RunnerOption configures a Runner at construction time.
@@ -68,6 +70,26 @@ func WithCleanup(moves int) RunnerOption {
 // the engine's zero-allocation round loop fully intact.
 func WithObserver(obs Observer) RunnerOption {
 	return func(r *Runner) error { r.obs = obs; return nil }
+}
+
+// WithFaults installs a deterministic fault-injection profile: node
+// churn (crash, crash-recover and late-join schedules that silence a
+// node's radio) and bursty Gilbert-Elliott channel loss. The schedule
+// compiles from Network.Seed, so a faulted run is exactly as
+// reproducible as a fault-free one — identical across processes, worker
+// counts and engine drive modes. Protocols degrade gracefully: crashed
+// nodes end keyless or with failed pairs, and a run fails only past the
+// model's quorum (errors matching ErrNoQuorum / ErrSetupFailed). A
+// profile that enables neither fault family disables injection entirely,
+// selecting the engine's exact fault-free code path.
+func WithFaults(p FaultProfile) RunnerOption {
+	return func(r *Runner) error {
+		if err := p.Validate(); err != nil {
+			return &ParamError{Op: "configure faults", Err: err}
+		}
+		r.faults = &p
+		return nil
+	}
 }
 
 // WithAdversary installs the interferer, overriding Network.Adversary. It
@@ -129,6 +151,11 @@ func withOptions(opts Options) RunnerOption {
 func (r *Runner) Exchange(ctx context.Context, pairs []Pair, payloads map[Pair]Message) (*ExchangeReport, error) {
 	p := r.opts.fameParams(r.net)
 	p.Trace = r.trace()
+	plan, err := r.faultPlan()
+	if err != nil {
+		return nil, err
+	}
+	p.Faults = plan
 	out, err := core.ExchangeContext(ctx, p, pairs, payloads, r.net.Adversary, r.net.Seed)
 	if err != nil {
 		return nil, wrapErr("exchange", err)
@@ -140,12 +167,38 @@ func (r *Runner) Exchange(ctx context.Context, pairs []Pair, payloads map[Pair]M
 		Rounds:          out.Rounds,
 		GameRounds:      out.GameRounds,
 	}
+	setFaultCounters(plan, &report.FaultDrops, &report.NodesLost, &report.DegradedRounds)
 	for _, e := range pairs {
 		if !out.Disruption.Has(e) {
 			report.Delivered[e] = out.PerNode[e.Dst].Delivered[e]
 		}
 	}
 	return report, nil
+}
+
+// faultPlan compiles the per-call fault plan from the configured profile.
+// Plans carry mutable per-run state, so every protocol method compiles a
+// fresh one — preserving the Runner's concurrent-use contract — and a
+// disabled (or absent) profile yields nil, the fault-free engine path.
+func (r *Runner) faultPlan() (*fault.Plan, error) {
+	if r.faults == nil || !r.faults.Enabled() {
+		return nil, nil
+	}
+	plan, err := fault.Compile(*r.faults, r.net.N, r.net.C, r.net.Seed)
+	if err != nil {
+		return nil, &ParamError{Op: "configure faults", Err: err}
+	}
+	return plan, nil
+}
+
+// setFaultCounters copies a completed plan's degradation counters into a
+// report's fields; a nil plan leaves them zero.
+func setFaultCounters(plan *fault.Plan, drops, lost, degraded *int) {
+	if plan == nil {
+		return
+	}
+	c := plan.Counters()
+	*drops, *lost, *degraded = c.Drops, c.NodesLost, c.DegradedRounds
 }
 
 // ExchangeCompact runs f-AME with the Section 5.6 message-size
@@ -155,6 +208,11 @@ func (r *Runner) Exchange(ctx context.Context, pairs []Pair, payloads map[Pair]M
 func (r *Runner) ExchangeCompact(ctx context.Context, pairs []Pair, payloads map[Pair]string) (*ExchangeReport, error) {
 	p := msgopt.Params{Fame: r.opts.fameParams(r.net), EpochKappa: r.opts.Kappa}
 	p.Fame.Trace = r.trace()
+	plan, err := r.faultPlan()
+	if err != nil {
+		return nil, err
+	}
+	p.Fame.Faults = plan
 	out, err := msgopt.ExchangeContext(ctx, p, pairs, payloads, r.net.Adversary, r.net.Seed)
 	if err != nil {
 		return nil, wrapErr("compact exchange", err)
@@ -165,6 +223,7 @@ func (r *Runner) ExchangeCompact(ctx context.Context, pairs []Pair, payloads map
 		DisruptionCover: out.CoverSize,
 		Rounds:          out.Rounds,
 	}
+	setFaultCounters(plan, &report.FaultDrops, &report.NodesLost, &report.DegradedRounds)
 	for _, e := range pairs {
 		if !out.Disruption.Has(e) {
 			report.Delivered[e] = string(out.PerNode[e.Dst].Delivered[e])
@@ -179,6 +238,11 @@ func (r *Runner) ExchangeCompact(ctx context.Context, pairs []Pair, payloads map
 func (r *Runner) GroupKey(ctx context.Context) (*GroupKeyReport, error) {
 	p := r.groupKeyParams()
 	p.Trace = r.trace()
+	plan, err := r.faultPlan()
+	if err != nil {
+		return nil, err
+	}
+	p.Faults = plan
 	out, err := groupkey.EstablishContext(ctx, p, r.net.Adversary, r.net.Seed)
 	if err != nil {
 		return nil, wrapErr("group key", err)
@@ -192,6 +256,7 @@ func (r *Runner) GroupKey(ctx context.Context) (*GroupKeyReport, error) {
 		Agreed: out.Agreed,
 		Rounds: out.Rounds,
 	}
+	setFaultCounters(plan, &report.FaultDrops, &report.NodesLost, &report.DegradedRounds)
 	for i := range out.PerNode {
 		if k := out.PerNode[i].GroupKey; k != nil && out.PerNode[i].Leader == out.Leader {
 			kk := [32]byte(*k)
@@ -239,15 +304,20 @@ func (r *Runner) SecureGroup(ctx context.Context, app SecureGroupApp) (*SecureGr
 		}
 	}
 
+	plan, err := r.faultPlan()
+	if err != nil {
+		return nil, err
+	}
 	cfg := radio.Config{
 		N: net.N, C: net.C, T: net.T, Seed: net.Seed,
-		Adversary: net.Adversary, Trace: r.trace(),
+		Adversary: net.Adversary, Trace: r.trace(), Faults: plan,
 	}
 	radioRes, err := radio.RunContext(ctx, cfg, procs)
 	if err != nil {
 		return nil, wrapErr("secure group", fmt.Errorf("secure group run: %w", err))
 	}
 	report.TotalRounds = radioRes.Rounds
+	setFaultCounters(plan, &report.FaultDrops, &report.NodesLost, &report.DegradedRounds)
 
 	// A node-local setup failure leaves that node keyless, exactly like a
 	// node the agreement phase excluded: both are tolerated, idle through

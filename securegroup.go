@@ -71,6 +71,13 @@ type SecureGroupReport struct {
 
 	// SlotRounds is the real-round cost of one emulated round.
 	SlotRounds int
+
+	// FaultDrops, NodesLost and DegradedRounds report the injected-fault
+	// degradation when the Runner was built WithFaults (all zero
+	// otherwise); see ExchangeReport.
+	FaultDrops     int
+	NodesLost      int
+	DegradedRounds int
 }
 
 // session implements Session.
