@@ -8,9 +8,17 @@
 //	benchjson                 # run every headline benchmark, JSON on stdout
 //	benchjson -bench radio    # substring filter
 //	benchjson -label after    # tag the report (e.g. before/after a rewrite)
+//	benchjson diff old.json new.json   # compare two reports, exit 1 on regression
 //
 // The report includes ns/op, B/op, allocs/op and every custom metric the
 // benchmarks publish via b.ReportMetric (node-rounds/op, runs/sec, ...).
+//
+// The diff subcommand aligns two reports by benchmark name and flags a
+// regression when a benchmark slows down by more than -threshold
+// (fractional, default 0.10), allocates more per op, or vanished from
+// the new report; any regression makes the exit status non-zero, so a
+// before/after pair gates in CI. Newly added benchmarks are listed but
+// never count against the diff.
 //
 // The radio-engine workloads are shared with bench_test.go through
 // internal/benchwork, so those cells always measure exactly what CI
@@ -25,11 +33,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
 	"strings"
 	"testing"
+	"text/tabwriter"
 
 	securadio "securadio"
 	"securadio/internal/adversary"
@@ -155,7 +165,113 @@ func registry() []benchmark {
 	}
 }
 
+// loadReport reads a benchjson report back with the repo's usual JSON
+// strictness: unknown fields and trailing data are rejected, so a sweep
+// matrix or a hand-edited file fails loudly instead of diffing as zeros.
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%s: trailing data after report", path)
+	}
+	return &rep, nil
+}
+
+// runDiff implements `benchjson diff old.json new.json`: a non-nil error
+// means regression (or usage failure) and main exits non-zero.
+func runDiff(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchjson diff", flag.ContinueOnError)
+	fs.SetOutput(out)
+	threshold := fs.Float64("threshold", 0.10,
+		"tolerated fractional ns/op slowdown before a benchmark counts as regressed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *threshold < 0 {
+		return fmt.Errorf("-threshold %v, want a non-negative fraction", *threshold)
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: benchjson diff [-threshold 0.10] old.json new.json")
+	}
+	oldRep, err := loadReport(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	byName := make(map[string]Result, len(newRep.Benchmarks))
+	for _, r := range newRep.Benchmarks {
+		byName[r.Name] = r
+	}
+
+	tw := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\tallocs/op\tverdict")
+	regressed := 0
+	for _, o := range oldRep.Benchmarks {
+		n, ok := byName[o.Name]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t%.1f\t-\t-\t-\tVANISHED\n", o.Name, o.NsPerOp)
+			regressed++
+			continue
+		}
+		delete(byName, o.Name)
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		}
+		verdict := "ok"
+		if delta > *threshold {
+			verdict = "SLOWER"
+		}
+		if n.AllocsPerOp > o.AllocsPerOp {
+			if verdict == "ok" {
+				verdict = "MORE ALLOCS"
+			} else {
+				verdict += "+ALLOCS"
+			}
+		}
+		if verdict != "ok" {
+			regressed++
+		}
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%+.1f%%\t%d -> %d\t%s\n",
+			o.Name, o.NsPerOp, n.NsPerOp, delta*100, o.AllocsPerOp, n.AllocsPerOp, verdict)
+	}
+	// Whatever is left in byName is new in the second report — informational.
+	for _, r := range newRep.Benchmarks {
+		if _, isNew := byName[r.Name]; isNew {
+			fmt.Fprintf(tw, "%s\t-\t%.1f\t-\t%d\tadded\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d benchmark regression(s) beyond threshold %+.0f%%", regressed, *threshold*100)
+	}
+	return nil
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		if err := runDiff(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var (
 		filter = flag.String("bench", "", "substring filter on benchmark names")
 		label  = flag.String("label", "", "free-form label recorded in the report")

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeReport marshals a Report to a temp file and returns its path.
+func writeReport(t *testing.T, rep Report) string {
+	t.Helper()
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func baseReport() Report {
+	return Report{
+		GoVersion:  "go1.24",
+		GOMAXPROCS: 8,
+		Benchmarks: []Result{
+			{Name: "BenchmarkA", Iterations: 100, NsPerOp: 1000, AllocsPerOp: 4},
+			{Name: "BenchmarkB", Iterations: 100, NsPerOp: 2000, AllocsPerOp: 0},
+		},
+	}
+}
+
+// TestDiffIdenticalReportsPasses pins the CI self-diff: a report diffed
+// against itself exits clean and marks every row ok.
+func TestDiffIdenticalReportsPasses(t *testing.T) {
+	path := writeReport(t, baseReport())
+	var out bytes.Buffer
+	if err := runDiff([]string{path, path}, &out); err != nil {
+		t.Fatalf("self-diff: %v\n%s", err, out.String())
+	}
+	if strings.Count(out.String(), "ok") < 2 {
+		t.Fatalf("self-diff output missing ok verdicts:\n%s", out.String())
+	}
+}
+
+// TestDiffFlagsRegressions covers each regression class: a slowdown past
+// the threshold, an allocation increase, and a vanished benchmark — and
+// checks a within-threshold slowdown passes.
+func TestDiffFlagsRegressions(t *testing.T) {
+	old := writeReport(t, baseReport())
+
+	slower := baseReport()
+	slower.Benchmarks[0].NsPerOp = 1200 // +20% past the 10% default
+	if err := runDiff([]string{old, writeReport(t, slower)}, new(bytes.Buffer)); err == nil {
+		t.Fatal("20% slowdown passed the default 10% threshold")
+	}
+	if err := runDiff([]string{"-threshold", "0.25", old, writeReport(t, slower)}, new(bytes.Buffer)); err != nil {
+		t.Fatalf("20%% slowdown failed a 25%% threshold: %v", err)
+	}
+
+	allocs := baseReport()
+	allocs.Benchmarks[1].AllocsPerOp = 1
+	var out bytes.Buffer
+	if err := runDiff([]string{old, writeReport(t, allocs)}, &out); err == nil {
+		t.Fatal("allocation increase passed")
+	}
+	if !strings.Contains(out.String(), "MORE ALLOCS") {
+		t.Fatalf("output does not name the alloc regression:\n%s", out.String())
+	}
+
+	vanished := baseReport()
+	vanished.Benchmarks = vanished.Benchmarks[:1]
+	out.Reset()
+	if err := runDiff([]string{old, writeReport(t, vanished)}, &out); err == nil {
+		t.Fatal("vanished benchmark passed")
+	}
+	if !strings.Contains(out.String(), "VANISHED") {
+		t.Fatalf("output does not name the vanished benchmark:\n%s", out.String())
+	}
+}
+
+// TestDiffAddedBenchmarksAreInformational pins that a benchmark present
+// only in the new report is listed but never fails the diff.
+func TestDiffAddedBenchmarksAreInformational(t *testing.T) {
+	old := baseReport()
+	grown := baseReport()
+	grown.Benchmarks = append(grown.Benchmarks,
+		Result{Name: "BenchmarkC", Iterations: 10, NsPerOp: 500})
+	var out bytes.Buffer
+	if err := runDiff([]string{writeReport(t, old), writeReport(t, grown)}, &out); err != nil {
+		t.Fatalf("added benchmark counted as regression: %v", err)
+	}
+	if !strings.Contains(out.String(), "BenchmarkC") || !strings.Contains(out.String(), "added") {
+		t.Fatalf("added benchmark missing from output:\n%s", out.String())
+	}
+}
+
+// TestDiffUsageErrors pins argument validation: wrong arity, a negative
+// threshold, an unreadable file and a non-report JSON document all fail.
+func TestDiffUsageErrors(t *testing.T) {
+	path := writeReport(t, baseReport())
+	for _, args := range [][]string{
+		{path},
+		{path, path, path},
+		{"-threshold", "-0.5", path, path},
+		{filepath.Join(t.TempDir(), "missing.json"), path},
+	} {
+		if err := runDiff(args, new(bytes.Buffer)); err == nil {
+			t.Errorf("runDiff(%v) accepted", args)
+		}
+	}
+	notReport := filepath.Join(t.TempDir(), "sweep.json")
+	if err := os.WriteFile(notReport, []byte(`{"cells":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDiff([]string{notReport, path}, new(bytes.Buffer)); err == nil {
+		t.Error("non-report JSON accepted")
+	}
+}

@@ -18,12 +18,23 @@
 //	fleetsim worker -connect 10.0.0.5:9000
 //	fleetsim analyze -in sweep.json -format table
 //	fleetsim diff -threshold 0.05 old-sweep.json new-sweep.json
+//	fleetsim serve -addr 127.0.0.1:8080 -store ./reports
+//	fleetsim serve -scenarios my.json -max-concurrent 2 -queue-limit 32
 //
 // For a fixed -seed the aggregate and sweep JSON are byte-for-byte
 // deterministic, independent of worker count and scheduling, making them
 // suitable for cross-PR trajectory tracking; fleetsim diff compares two
 // such sweep reports cell by cell and exits non-zero when a cell's
 // delivery rate regressed beyond the threshold, so CI can gate on it.
+//
+// fleetsim serve runs the campaign service: a long-running daemon that
+// accepts campaign and sweep jobs over HTTP (POST /jobs, with the same
+// JSON schema as -scenarios catalogs), queues them per tenant, streams
+// per-run progress as Server-Sent Events (GET /jobs/{id}/events), and
+// stores completed reports content-addressed — byte-identical to the
+// one-shot CLI's JSON reports. SIGTERM drains gracefully: submissions
+// stop, running jobs finish (bounded by -drain-timeout), streams close
+// with a terminal event, and the daemon exits 0.
 //
 // The fabric flags distribute a sweep cell by cell: -workers-exec spawns
 // subprocess workers ("self" re-executes this binary's worker
@@ -41,6 +52,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -73,7 +86,7 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return errors.New("usage: fleetsim <list|run|sweep|worker|analyze|diff> [flags]")
+		return errors.New("usage: fleetsim <list|run|sweep|worker|serve|analyze|diff> [flags]")
 	}
 	switch args[0] {
 	case "list":
@@ -84,12 +97,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return runSweep(ctx, args[1:], out)
 	case "worker":
 		return runWorker(ctx, args[1:], out)
+	case "serve":
+		return runServe(ctx, args[1:], out)
 	case "analyze":
 		return runAnalyze(args[1:], out)
 	case "diff":
 		return runDiff(args[1:], out)
 	default:
-		return fmt.Errorf("unknown command %q (want list, run, sweep, worker, analyze or diff)", args[0])
+		return fmt.Errorf("unknown command %q (want list, run, sweep, worker, serve, analyze or diff)", args[0])
 	}
 }
 
@@ -113,6 +128,108 @@ func runWorker(ctx context.Context, args []string, out io.Writer) error {
 		return securadio.DialSweepWorker(ctx, *connect)
 	}
 	return securadio.ServeSweepWorker(ctx, os.Stdin, out)
+}
+
+// runServe runs the campaign service daemon until the context is
+// cancelled (SIGINT/SIGTERM), then drains gracefully: submissions stop,
+// running jobs finish within -drain-timeout (force-cancelled past it),
+// every subscriber's stream ends with a terminal event, and the exit
+// code is 0 for a clean drain.
+func runServe(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fleetsim serve", flag.ContinueOnError)
+	var (
+		addr          = fs.String("addr", "127.0.0.1:8080", "HTTP listen address (host:port; port 0 picks a free port)")
+		storeDir      = fs.String("store", "", "directory for the content-addressed report store (empty = in-memory only)")
+		scenariosPath = fs.String("scenarios", "", "JSON scenario catalog served to all tenants (submissions may embed their own)")
+		maxConcurrent = fs.Int("max-concurrent", 1, "jobs executing simultaneously (each still uses the full worker pool)")
+		queueLimit    = fs.Int("queue-limit", 64, "pending jobs allowed per tenant before submissions are rejected")
+		streamBuffer  = fs.Int("stream-buffer", 256, "per-subscriber event ring size (a slow subscriber drops its own oldest events)")
+		workers       = fs.Int("workers", 0, "per-job simulation worker pool size (0 = all cores)")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "how long a shutdown waits for running jobs before cancelling them")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errReported
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (the service takes jobs over HTTP, not the command line)", fs.Arg(0))
+	}
+	if err := checkPositiveDuration(fs, "drain-timeout", *drainTimeout); err != nil {
+		return err
+	}
+	if *maxConcurrent < 1 {
+		return fmt.Errorf("-max-concurrent %d, want >= 1", *maxConcurrent)
+	}
+	if *queueLimit < 1 {
+		return fmt.Errorf("-queue-limit %d, want >= 1", *queueLimit)
+	}
+	catalog, err := loadCatalog(*scenariosPath)
+	if err != nil {
+		return err
+	}
+
+	srv, err := securadio.NewCampaignServer(securadio.ServiceConfig{
+		MaxConcurrent: *maxConcurrent,
+		QueueLimit:    *queueLimit,
+		Workers:       *workers,
+		StreamBuffer:  *streamBuffer,
+		StoreDir:      *storeDir,
+		Catalog:       catalog,
+		Log:           os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address goes to stderr so scripts using port 0 can
+	// discover the port without parsing logs.
+	fmt.Fprintf(os.Stderr, "fleetsim: serving on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "fleetsim: shutdown signal, draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(dctx)
+	// Streams have all ended (every job is terminal), so Shutdown only
+	// waits out idle keep-alive connections.
+	if err := hs.Shutdown(dctx); err != nil {
+		hs.Close()
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain timed out; running jobs were cancelled: %w", drainErr)
+	}
+	fmt.Fprintln(os.Stderr, "fleetsim: drained cleanly")
+	return nil
+}
+
+// checkPositiveDuration rejects an explicitly-set non-positive duration
+// flag: a zero or negative -drain-timeout/-lease-timeout would silently
+// select a default (or an instant deadline), which is always a typo.
+func checkPositiveDuration(fs *flag.FlagSet, name string, v time.Duration) error {
+	explicit := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			explicit = true
+		}
+	})
+	if explicit && v <= 0 {
+		return fmt.Errorf("-%s %v, want a positive duration", name, v)
+	}
+	return nil
 }
 
 // loadCatalog parses -scenarios when given; a nil catalog means built-ins
@@ -206,6 +323,9 @@ func runCampaign(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *campaign == "" {
 		return errors.New("missing -campaign (see fleetsim list)")
+	}
+	if err := checkPositiveDuration(fs, "timeout", *timeout); err != nil {
+		return err
 	}
 	catalog, err := loadCatalog(*scenariosPath)
 	if err != nil {
@@ -432,6 +552,12 @@ func runSweep(ctx context.Context, args []string, out io.Writer) error {
 	// being silently ignored.
 	explicit := make(map[string]bool)
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if err := checkPositiveDuration(fs, "timeout", *timeout); err != nil {
+		return err
+	}
+	if err := checkPositiveDuration(fs, "lease-timeout", *leaseTimeout); err != nil {
+		return err
+	}
 	catalog, err := loadCatalog(*scenariosPath)
 	if err != nil {
 		return err

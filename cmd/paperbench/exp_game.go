@@ -9,6 +9,7 @@ import (
 	"securadio/internal/game"
 	"securadio/internal/graph"
 	"securadio/internal/metrics"
+	"securadio/internal/radio"
 )
 
 // expGreedy regenerates Theorem 4: the greedy-removal strategy finishes
@@ -30,8 +31,21 @@ func expGreedy(ctx context.Context, w io.Writer, cfg config) ([]*metrics.Table, 
 		{"all items (no jam)", game.AllItemsReferee{}},
 	}
 
+	// The removal game never enters the radio layer, so honor ctx
+	// explicitly at each sweep point — an interrupt must abort this
+	// experiment like any other.
+	checkCtx := func() error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w: greedy-removal sweep: %v", radio.ErrCanceled, err)
+		}
+		return nil
+	}
+
 	var tables []*metrics.Table
 	for _, r := range refs {
+		if err := checkCtx(); err != nil {
+			return nil, err
+		}
 		tb := metrics.NewTable(
 			fmt.Sprintf("greedy-removal moves vs |E|  (referee: %s, n=%d, t=%d)", r.name, n, t),
 			"|E|", "moves", "bound |E|+sources", "final VC", "VC <= t")
@@ -65,6 +79,9 @@ func expGreedy(ctx context.Context, w io.Writer, cfg config) ([]*metrics.Table, 
 		fmt.Sprintf("wide proposals: moves with k=t+1 vs k=2t items per move (jammer referee, n=%d, t=%d)", n, t),
 		"|E|", "moves k=t+1", "moves k=2t", "speedup")
 	for _, k := range sweepE {
+		if err := checkCtx(); err != nil {
+			return nil, err
+		}
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(k)))
 		edges := graph.RandomPairs(n, k, rng.Intn)
 		g1, err := graph.FromEdges(n, edges)

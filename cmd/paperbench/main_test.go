@@ -7,9 +7,12 @@ package main
 
 import (
 	"context"
+	"errors"
 	"io"
 	"strings"
 	"testing"
+
+	"securadio/internal/radio"
 )
 
 func TestRegistryIDsUnique(t *testing.T) {
@@ -72,5 +75,26 @@ func TestTablesRenderAsCSV(t *testing.T) {
 	}
 	if !strings.Contains(lines[0], ",") {
 		t.Fatalf("csv header missing commas: %q", lines[0])
+	}
+}
+
+// TestExperimentsAbortOnCancelledContext pins the interrupt contract the
+// main loop relies on: every registered experiment must return an error
+// wrapping radio.ErrCanceled for an already-cancelled context (which the
+// loop turns into the "interrupted during ..." banner and a non-zero
+// exit) rather than running its sweeps to completion.
+func TestExperimentsAbortOnCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := config{Quick: true, Seed: 1}
+	for _, e := range registry() {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			t.Parallel()
+			_, err := e.run(ctx, io.Discard, cfg)
+			if !errors.Is(err, radio.ErrCanceled) {
+				t.Fatalf("experiment %s with cancelled ctx = %v, want radio.ErrCanceled", e.id, err)
+			}
+		})
 	}
 }

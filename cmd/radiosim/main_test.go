@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -106,5 +107,29 @@ func TestRunRejectsUnknownFlags(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-no-such-flag"}, &out); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestRunAbortsOnCancelledContext pins the signal path: main installs a
+// NotifyContext, so a cancelled context must abort every protocol at its
+// next round boundary with an error carrying the context's cancellation
+// instead of running to completion.
+func TestRunAbortsOnCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, args := range [][]string{
+		{"-proto", "fame", "-seed", "1"},
+		{"-proto", "groupkey", "-seed", "1"},
+		{"-proto", "gossip", "-n", "8", "-rounds", "4000", "-seed", "1"},
+	} {
+		args := args
+		t.Run(args[1], func(t *testing.T) {
+			t.Parallel()
+			var out bytes.Buffer
+			err := run(ctx, args, &out)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("run(%v) with cancelled ctx = %v, want context.Canceled in chain", args, err)
+			}
+		})
 	}
 }

@@ -94,6 +94,22 @@
 // sweep -workers-exec/-listen/-checkpoint/-resume flags and worker
 // subcommand drive exactly this machinery.
 //
+// For long-lived serving rather than one-shot runs, NewCampaignServer
+// builds the campaign service behind the fleetsim serve daemon
+// (ServiceConfig, CampaignServer): campaigns and sweeps submitted over
+// HTTP enter a multi-tenant queue (FIFO per tenant, round-robin across
+// tenants, bounded concurrency), execute through the same hooked
+// runners, and stream per-run results, incremental aggregate snapshots
+// and optional per-round traces to any number of Server-Sent-Events
+// subscribers. Each subscriber owns a bounded ring buffer, so a slow
+// consumer drops its own events and never backpressures the
+// simulation; finished reports are stored content-addressed by sha256
+// with bytes identical to the one-shot CLI's JSON, and Drain stops
+// admission, finishes running jobs and closes every stream with a
+// terminal event for graceful shutdown. The streaming callbacks
+// themselves are public as RunHooks with RunCampaignWithHooks /
+// RunSweepWithHooks.
+//
 // Everything runs on a deterministic discrete-event simulation of the
 // paper's synchronous radio model (internal/radio); the adversary zoo in
 // internal/adversary provides jamming, spoofing, replaying and

@@ -6,6 +6,7 @@ import (
 
 	"securadio/internal/fleet"
 	"securadio/internal/fleet/fabric"
+	"securadio/internal/service"
 )
 
 // Scenario is a named, fully parameterized simulation configuration from
@@ -218,4 +219,51 @@ func ServeSweepWorker(ctx context.Context, r io.Reader, w io.Writer) error {
 // serves leases until the coordinator hangs up or ctx is cancelled.
 func DialSweepWorker(ctx context.Context, addr string) error {
 	return fabric.DialWorker(ctx, addr)
+}
+
+// RunHooks carries optional streaming callbacks for
+// RunCampaignWithHooks / RunSweepWithHooks: OnResult sees every
+// completed run with an incremental aggregate snapshot (serially, so it
+// needs no locking), and RoundTrace sees every radio round (concurrently
+// and on the simulation hot path, so it must be thread-safe and must not
+// block).
+type RunHooks = fleet.RunHooks
+
+// RunCampaignWithHooks is RunCampaign with streaming callbacks; a nil
+// hooks value is exactly RunCampaign. The hooked aggregate is
+// byte-identical to the hook-free one.
+func RunCampaignWithHooks(ctx context.Context, c Campaign, h *RunHooks) (*CampaignResult, error) {
+	return fleet.RunWithHooks(ctx, c, h)
+}
+
+// RunSweepWithHooks is RunSweep with streaming callbacks: every
+// completed run arrives tagged with its grid cell's name. A nil hooks
+// value is exactly RunSweep.
+func RunSweepWithHooks(ctx context.Context, s Sweep, h *RunHooks) (*SweepResult, error) {
+	return fleet.RunSweepWithHooks(ctx, s, h)
+}
+
+// ServiceConfig parameterizes a CampaignServer: concurrency lanes,
+// per-tenant queue bounds, per-subscriber stream buffers, the report
+// store directory and an optional server-wide scenario catalog.
+type ServiceConfig = service.Config
+
+// CampaignServer is the campaign service behind `fleetsim serve`: a
+// long-running daemon with a multi-tenant FIFO job queue in front of the
+// campaign worker pool, Server-Sent-Events result streaming with
+// per-subscriber ring buffers (a slow consumer drops its own events and
+// never backpressures the simulation), and a sha256 content-addressed
+// report store whose stored bytes are identical to the one-shot CLI's
+// JSON reports. Expose it with Handler, stop it with Drain.
+type CampaignServer = service.Server
+
+// ServiceJobStatus is one service job's JSON status view, as returned by
+// the daemon's status endpoints and carried in its "job" and "end"
+// stream events.
+type ServiceJobStatus = service.JobStatus
+
+// NewCampaignServer builds a campaign service, opening (or creating) its
+// report store.
+func NewCampaignServer(cfg ServiceConfig) (*CampaignServer, error) {
+	return service.NewServer(cfg)
 }

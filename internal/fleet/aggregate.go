@@ -114,6 +114,40 @@ func (a *Aggregate) finalize(elapsed time.Duration) {
 	}
 }
 
+// Snapshot returns a self-contained copy of the aggregate with all
+// derived statistics computed — the incremental view service mode streams
+// to subscribers while the campaign is still folding runs. The copy
+// shares no mutable state with the live aggregate, so it may be retained
+// and encoded long after further observes have landed; Snapshot itself
+// must stay serial with observe (it is, on the fold goroutine).
+func (a *Aggregate) Snapshot() *Aggregate {
+	s := *a
+	s.rounds, s.perRun = nil, nil
+	s.CoverHist = make(map[int]int, len(a.CoverHist))
+	for k, v := range a.CoverHist {
+		s.CoverHist[k] = v
+	}
+	s.Errors = nil
+	if len(a.Errors) > 0 {
+		s.Errors = make(map[string]int, len(a.Errors))
+		for k, v := range a.Errors {
+			s.Errors[k] = v
+		}
+	}
+	if a.Attempted > 0 {
+		s.DeliveryRate = float64(a.Delivered) / float64(a.Attempted)
+	}
+	// A finalized or disk-loaded aggregate has no live histograms; its
+	// summaries are already in place.
+	if a.rounds != nil {
+		s.Rounds = a.rounds.Summary()
+	}
+	if a.perRun != nil {
+		s.PerRun = a.perRun.Summary()
+	}
+	return &s
+}
+
 // WriteJSON emits the deterministic aggregate as indented JSON.
 func (a *Aggregate) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)

@@ -21,6 +21,12 @@ type Campaign struct {
 
 	// Workers bounds the worker pool; non-positive selects GOMAXPROCS.
 	Workers int
+
+	// hooks, when non-nil, carries the streaming callbacks of service mode
+	// (see RunHooks). Unexported so the fabric wire protocol, which
+	// marshals campaigns as JSON, never ships it across a process
+	// boundary; RunWithHooks and RunSweepWithHooks install it.
+	hooks *RunHooks
 }
 
 // Validate reports whether the campaign is well formed.

@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"securadio/internal/radio"
+)
+
+// TestRunWithHooksStreamsEveryRun pins the OnResult contract: one serial
+// call per executed run, snapshots that grow monotonically, and a final
+// snapshot whose JSON matches the finalized aggregate byte for byte.
+func TestRunWithHooksStreamsEveryRun(t *testing.T) {
+	sc, ok := Lookup("fame-jam")
+	if !ok {
+		t.Fatal("fame-jam scenario missing")
+	}
+	c := Campaign{Scenario: sc, Runs: 12, Seed: 5}
+
+	var (
+		calls int
+		last  *Aggregate
+	)
+	agg, err := RunWithHooks(context.Background(), c, &RunHooks{
+		OnResult: func(cell string, r RunResult, snap *Aggregate) {
+			if cell != "fame-jam" {
+				t.Errorf("OnResult cell = %q, want fame-jam", cell)
+			}
+			calls++
+			if snap.Runs != calls {
+				t.Errorf("snapshot Runs = %d after %d calls", snap.Runs, calls)
+			}
+			last = snap
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != c.Runs {
+		t.Fatalf("OnResult called %d times, want %d", calls, c.Runs)
+	}
+
+	// The last incremental snapshot and the finalized aggregate must agree
+	// on every JSON-visible statistic.
+	want, err := agg.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := last.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("final snapshot JSON differs from finalized aggregate:\n--- snapshot ---\n%s\n--- final ---\n%s", got, want)
+	}
+}
+
+// TestRunWithHooksRoundTrace pins the RoundTrace contract: every executed
+// run streams its rounds in order, tagged with the cell and run index,
+// and the traced aggregate is byte-identical to the untraced one.
+func TestRunWithHooksRoundTrace(t *testing.T) {
+	sc, ok := Lookup("fame-jam")
+	if !ok {
+		t.Fatal("fame-jam scenario missing")
+	}
+	c := Campaign{Scenario: sc, Runs: 6, Seed: 5}
+
+	ref, err := Run(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := ref.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		mu     sync.Mutex
+		rounds = make(map[int]int) // run -> observed rounds
+	)
+	agg, err := RunWithHooks(context.Background(), c, &RunHooks{
+		RoundTrace: func(cell string, run int, o radio.RoundObservation) {
+			mu.Lock()
+			defer mu.Unlock()
+			if o.Round != rounds[run] {
+				t.Errorf("run %d: round %d arrived after %d rounds", run, o.Round, rounds[run])
+			}
+			rounds[run]++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != c.Runs {
+		t.Fatalf("traced %d runs, want %d", len(rounds), c.Runs)
+	}
+	for run, n := range rounds {
+		if n == 0 {
+			t.Fatalf("run %d traced no rounds", run)
+		}
+	}
+	got, err := agg.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, refJSON) {
+		t.Fatal("traced aggregate JSON differs from untraced run")
+	}
+}
+
+// TestRunSweepWithHooksTagsCells pins the sweep variant: run results
+// arrive tagged with their derived cell name and each cell's snapshot
+// counts only its own runs.
+func TestRunSweepWithHooksTagsCells(t *testing.T) {
+	base, ok := Lookup("fame-clear")
+	if !ok {
+		t.Fatal("fame-clear scenario missing")
+	}
+	s := Sweep{Base: base, T: []int{0, 1}, Runs: 4, Seed: 3}
+
+	perCell := make(map[string]int)
+	res, err := RunSweepWithHooks(context.Background(), s, &RunHooks{
+		OnResult: func(cell string, r RunResult, snap *Aggregate) {
+			perCell[cell]++
+			if snap.Scenario != cell {
+				t.Errorf("snapshot scenario %q under cell %q", snap.Scenario, cell)
+			}
+			if snap.Runs != perCell[cell] {
+				t.Errorf("cell %q snapshot Runs = %d after %d results", cell, snap.Runs, perCell[cell])
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perCell) != 2 {
+		t.Fatalf("cells seen = %v, want 2", perCell)
+	}
+	for _, cr := range res.Cells {
+		if perCell[cr.Cell] != s.Runs {
+			t.Fatalf("cell %q streamed %d results, want %d", cr.Cell, perCell[cr.Cell], s.Runs)
+		}
+	}
+
+	// And the hooked sweep must stay byte-identical to the plain one.
+	ref, err := RunSweep(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := ref.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, refJSON) {
+		t.Fatal("hooked sweep JSON differs from plain RunSweep")
+	}
+}

@@ -6,7 +6,32 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"securadio/internal/radio"
 )
+
+// RunHooks carries the streaming callbacks of service mode: a long-running
+// campaign server subscribes to a campaign's progress while it executes,
+// instead of waiting for the final aggregate. Both hooks are optional and
+// a nil *RunHooks selects the plain, hook-free execution path.
+type RunHooks struct {
+	// OnResult is invoked after each completed run folds into its cell's
+	// aggregate, with the cell's scenario name, the run's result and a
+	// self-contained snapshot of the aggregate so far (Aggregate.Snapshot).
+	// Calls are serial — they happen on the fold goroutine — so the hook
+	// needs no locking of its own, but it delays folding: an expensive
+	// hook should hand off to its own machinery (the service layer's
+	// non-blocking fan-out) rather than doing slow work inline.
+	OnResult func(cell string, r RunResult, snapshot *Aggregate)
+
+	// RoundTrace, when non-nil, receives every radio round observation of
+	// every run, tagged with the cell name and run index. Unlike OnResult
+	// it is called concurrently from all worker goroutines, so it must be
+	// safe for concurrent use; and it runs inside the simulation's round
+	// loop, so it must never block. The observation and its slices are
+	// only valid during the call (the engine reuses them).
+	RoundTrace func(cell string, run int, o radio.RoundObservation)
+}
 
 // Run executes a campaign on a worker pool and streams every run's outcome
 // into an Aggregate.
@@ -30,15 +55,26 @@ import (
 //     aggregate; Run returns the aggregate of everything that completed
 //     and reports ctx's error.
 func Run(ctx context.Context, c Campaign) (*Aggregate, error) {
+	return RunWithHooks(ctx, c, nil)
+}
+
+// RunWithHooks is Run with streaming callbacks: h.OnResult sees every
+// completed run (with an incremental aggregate snapshot) and h.RoundTrace
+// sees every radio round. A nil h is exactly Run.
+func RunWithHooks(ctx context.Context, c Campaign, h *RunHooks) (*Aggregate, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	c.hooks = h
 	start := time.Now()
 	agg := newAggregate(c)
 	runPool(ctx, c.Workers, c.Runs, []Campaign{c}, func(i int) poolJob {
 		return poolJob{run: i}
 	}, func(_ poolJob, r RunResult) {
 		agg.observe(r)
+		if h != nil && h.OnResult != nil {
+			h.OnResult(c.Scenario.Name, r, agg.Snapshot())
+		}
 	})
 	agg.finalize(time.Since(start))
 	// A cancellation that lands after the last run completed changed
@@ -141,5 +177,11 @@ func (c Campaign) runOne(ctx context.Context, run int, st *runState) (res RunRes
 		}
 		res.Elapsed = time.Since(start)
 	}()
+	if c.hooks != nil && c.hooks.RoundTrace != nil {
+		cell, hook := c.Scenario.Name, c.hooks.RoundTrace
+		st.trace = func(o radio.RoundObservation) { hook(cell, run, o) }
+	} else {
+		st.trace = nil
+	}
 	return c.Scenario.execute(ctx, run, c.SeedFor(run), st)
 }

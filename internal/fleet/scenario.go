@@ -247,6 +247,12 @@ type runState struct {
 	procs     []radio.Process
 	gkResults []groupkey.NodeResult
 	received  []int
+
+	// trace, when non-nil, receives every radio round observation of the
+	// current run (service mode's round streaming). The campaign runner
+	// rebinds it per run; the nil default keeps the engine's zero-cost
+	// no-trace fast path.
+	trace func(radio.RoundObservation)
 }
 
 func newRunState() *runState {
@@ -296,7 +302,7 @@ func (s Scenario) execute(ctx context.Context, run int, seed int64, st *runState
 		case ProtoFameCompact:
 			err = s.executeCompact(ctx, adv, plan, seed, st, &res)
 		case ProtoGroupKey:
-			err = s.executeGroupKey(ctx, adv, plan, seed, &res)
+			err = s.executeGroupKey(ctx, adv, plan, seed, st, &res)
 		case ProtoSecureGroup:
 			err = s.executeSecureGroup(ctx, adv, plan, seed, st, &res)
 		default:
@@ -350,6 +356,7 @@ func (s Scenario) executeFame(ctx context.Context, adv radio.Adversary, plan *fa
 	}
 	p := s.fameParams()
 	p.Faults = plan
+	p.Trace = st.trace
 	out, err := core.ExchangeContext(ctx, p, pairs, values, adv, seed)
 	if err != nil {
 		return err
@@ -370,6 +377,7 @@ func (s Scenario) executeCompact(ctx context.Context, adv radio.Adversary, plan 
 	}
 	p := msgopt.Params{Fame: s.fameParams()}
 	p.Fame.Faults = plan
+	p.Fame.Trace = st.trace
 	out, err := msgopt.ExchangeContext(ctx, p, pairs, values, adv, seed)
 	if err != nil {
 		return err
@@ -381,8 +389,8 @@ func (s Scenario) executeCompact(ctx context.Context, adv radio.Adversary, plan 
 	return nil
 }
 
-func (s Scenario) executeGroupKey(ctx context.Context, adv radio.Adversary, plan *fault.Plan, seed int64, res *RunResult) error {
-	p := groupkey.Params{N: s.N, C: s.C, T: s.T, Regime: s.Regime, Faults: plan}
+func (s Scenario) executeGroupKey(ctx context.Context, adv radio.Adversary, plan *fault.Plan, seed int64, st *runState, res *RunResult) error {
+	p := groupkey.Params{N: s.N, C: s.C, T: s.T, Regime: s.Regime, Faults: plan, Trace: st.trace}
 	out, err := groupkey.EstablishContext(ctx, p, adv, seed)
 	if err != nil {
 		return err
@@ -430,7 +438,7 @@ func (s Scenario) executeSecureGroup(ctx context.Context, adv radio.Adversary, p
 			}
 		}
 	}
-	cfg := radio.Config{N: s.N, C: s.C, T: s.T, Seed: seed, Adversary: adv, Faults: plan}
+	cfg := radio.Config{N: s.N, C: s.C, T: s.T, Seed: seed, Adversary: adv, Faults: plan, Trace: st.trace}
 	radioRes, err := radio.RunContext(ctx, cfg, procs)
 	if err != nil {
 		return err

@@ -338,6 +338,14 @@ type SweepResult struct {
 // skipped in the matrix; a sweep with no runnable cell at all is an
 // error.
 func RunSweep(ctx context.Context, s Sweep) (*SweepResult, error) {
+	return RunSweepWithHooks(ctx, s, nil)
+}
+
+// RunSweepWithHooks is RunSweep with streaming callbacks: h.OnResult sees
+// every completed run tagged with its cell name (and a snapshot of that
+// cell's aggregate so far) and h.RoundTrace sees every radio round. A nil
+// h is exactly RunSweep.
+func RunSweepWithHooks(ctx context.Context, s Sweep, h *RunHooks) (*SweepResult, error) {
 	plan, err := PlanSweep(s)
 	if err != nil {
 		return nil, err
@@ -352,6 +360,7 @@ func RunSweep(ctx context.Context, s Sweep) (*SweepResult, error) {
 	var jobs []poolJob
 	for _, cp := range plan.Cells() {
 		campaigns[cp.Index] = cp.Campaign
+		campaigns[cp.Index].hooks = h
 		aggs[cp.Index] = newAggregate(cp.Campaign)
 		for run := 0; run < s.Runs; run++ {
 			jobs = append(jobs, poolJob{plan: cp.Index, run: run})
@@ -363,6 +372,9 @@ func RunSweep(ctx context.Context, s Sweep) (*SweepResult, error) {
 		return jobs[i]
 	}, func(j poolJob, r RunResult) {
 		aggs[j.plan].observe(r)
+		if h != nil && h.OnResult != nil {
+			h.OnResult(campaigns[j.plan].Scenario.Name, r, aggs[j.plan].Snapshot())
+		}
 	})
 	elapsed := time.Since(start)
 	for i, agg := range aggs {

@@ -1,0 +1,107 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is the content-addressed report store: a completed job's report
+// bytes are keyed by their sha256, written to <dir>/<sha>.json, and
+// served back verbatim — the stored bytes ARE the report `fleetsim run`
+// would have printed, so clients can feed them straight to `fleetsim
+// diff` / `analyze`. Identical reports (same campaign, same seed) share
+// one blob. With an empty dir the store is memory-only, which the tests
+// and ephemeral deployments use.
+type Store struct {
+	dir string
+
+	mu  sync.Mutex
+	mem map[string][]byte
+}
+
+// NewStore opens (creating if needed) a report store rooted at dir, or a
+// memory-only store when dir is empty.
+func NewStore(dir string) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: report store: %w", err)
+		}
+	}
+	return &Store{dir: dir, mem: make(map[string][]byte)}, nil
+}
+
+// Put stores blob and returns its content address (hex sha256). The disk
+// write goes through a unique temp file and rename, so a crashed daemon
+// never leaves a torn blob under a valid address.
+func (st *Store) Put(blob []byte) (string, error) {
+	sum := sha256.Sum256(blob)
+	sha := hex.EncodeToString(sum[:])
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.mem[sha]; ok {
+		return sha, nil
+	}
+	if st.dir != "" {
+		path := filepath.Join(st.dir, sha+".json")
+		if _, err := os.Stat(path); err != nil {
+			tmp, err := os.CreateTemp(st.dir, ".put-*")
+			if err != nil {
+				return "", fmt.Errorf("service: report store: %w", err)
+			}
+			_, werr := tmp.Write(blob)
+			cerr := tmp.Close()
+			if werr == nil {
+				werr = cerr
+			}
+			if werr == nil {
+				werr = os.Rename(tmp.Name(), path)
+			}
+			if werr != nil {
+				os.Remove(tmp.Name())
+				return "", fmt.Errorf("service: report store: %w", werr)
+			}
+		}
+	}
+	st.mem[sha] = blob
+	return sha, nil
+}
+
+// Get returns the blob stored under sha, falling back from memory to
+// disk (so a restarted daemon still serves reports from earlier lives).
+func (st *Store) Get(sha string) ([]byte, error) {
+	if !validSHA(sha) {
+		return nil, fmt.Errorf("service: report store: malformed address %q", sha)
+	}
+	st.mu.Lock()
+	blob, ok := st.mem[sha]
+	st.mu.Unlock()
+	if ok {
+		return blob, nil
+	}
+	if st.dir == "" {
+		return nil, fmt.Errorf("service: report store: no report %s", sha)
+	}
+	blob, err := os.ReadFile(filepath.Join(st.dir, sha+".json"))
+	if err != nil {
+		return nil, fmt.Errorf("service: report store: no report %s", sha)
+	}
+	return blob, nil
+}
+
+// validSHA gates addresses before they touch the filesystem: exactly 64
+// lowercase hex digits, so a crafted address can never traverse paths.
+func validSHA(sha string) bool {
+	if len(sha) != 64 {
+		return false
+	}
+	for _, r := range sha {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
+}

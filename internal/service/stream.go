@@ -1,0 +1,143 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Event is one streamed job event: a type tag and a pre-encoded JSON
+// payload. The payload is encoded once at publish time and shared by
+// every subscriber, so fan-out cost does not scale with the encoding.
+//
+// Event types, in the order a subscriber sees them:
+//
+//	job       — a state transition (pending → running)
+//	round     — one radio round of one run (jobs submitted with "trace")
+//	run       — one completed simulation run
+//	aggregate — the job's incremental aggregate after that run
+//	dropped   — the subscriber's own ring overflowed; data counts the loss
+//	end       — terminal: final job status; the stream closes after it
+type Event struct {
+	Type string
+	Data []byte
+}
+
+// hub fans one job's event stream out to any number of concurrent
+// subscribers. Publishing never blocks: each subscriber owns a bounded
+// ring (a buffered channel), and when a subscriber's ring is full the
+// publisher drops that subscriber's oldest event and counts the loss —
+// so a slow or stalled consumer loses its own events and nothing else;
+// the simulation feeding the hub is never backpressured.
+type hub struct {
+	buffer int
+
+	mu       sync.Mutex
+	subs     map[*subscriber]struct{}
+	closed   bool
+	terminal *Event
+	events   atomic.Uint64 // total events published, including the terminal one
+}
+
+// subscriber is one consumer's view of a hub: a private event ring and a
+// count of events the hub dropped because the ring was full.
+type subscriber struct {
+	ch      chan Event
+	dropped atomic.Uint64
+}
+
+func newHub(buffer int) *hub {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	return &hub{buffer: buffer, subs: make(map[*subscriber]struct{})}
+}
+
+// subscribe attaches a new consumer; a non-nil initial event (the job's
+// current status snapshot) is placed in the ring atomically with the
+// attachment, so the consumer never misses the state the stream starts
+// from. Subscribing to a closed hub returns a ring already holding the
+// terminal event and closed — a late client still learns how the job
+// ended.
+func (h *hub) subscribe(initial *Event) *subscriber {
+	s := &subscriber{ch: make(chan Event, h.buffer)}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		if h.terminal != nil {
+			s.ch <- *h.terminal
+		}
+		close(s.ch)
+		return s
+	}
+	if initial != nil {
+		s.ch <- *initial
+	}
+	h.subs[s] = struct{}{}
+	return s
+}
+
+// unsubscribe detaches a consumer. The ring is not closed — the consumer
+// may still be draining it — it is simply no longer fed.
+func (h *hub) unsubscribe(s *subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.subs, s)
+}
+
+// publish fans one event out to every subscriber without ever blocking.
+func (h *hub) publish(ev Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.events.Add(1)
+	for s := range h.subs {
+		s.offer(ev)
+	}
+}
+
+// closeWith publishes the terminal event and closes every ring. Further
+// publishes are ignored; later subscribers get the terminal event
+// immediately.
+func (h *hub) closeWith(ev Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	h.terminal = &ev
+	h.events.Add(1)
+	for s := range h.subs {
+		s.offer(ev)
+		close(s.ch)
+	}
+	h.subs = nil
+}
+
+// published returns the number of events the hub has fanned out. It keeps
+// counting while subscribers stall, which is exactly the property the
+// no-backpressure tests assert.
+func (h *hub) published() uint64 {
+	return h.events.Load()
+}
+
+// offer delivers ev into the subscriber's ring, dropping the oldest
+// buffered event when the ring is full. It never blocks: either the send
+// succeeds, or dropping one event has made room (a concurrent consumer
+// receive can only help).
+func (s *subscriber) offer(ev Event) {
+	for {
+		select {
+		case s.ch <- ev:
+			return
+		default:
+		}
+		select {
+		case <-s.ch:
+			s.dropped.Add(1)
+		default:
+		}
+	}
+}
