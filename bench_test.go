@@ -397,6 +397,28 @@ func BenchmarkRadioEngineSteadyState(b *testing.B) { benchwork.RadioSteadyState(
 // the adversary clipping path engaged every round.
 func BenchmarkRadioEngineSteadyStateJam(b *testing.B) { benchwork.RadioSteadyStateJam(b) }
 
+// BenchmarkRadioEngineSteadyStateJamWide is the jammed steady-state cell
+// on a C=512 spectrum, exercising the wide (bitset) clipping path.
+func BenchmarkRadioEngineSteadyStateJamWide(b *testing.B) { benchwork.RadioSteadyStateJamWide(b) }
+
+// BenchmarkRadioEngineSteadyStateFaultedWide is the faulted steady-state
+// cell on a C=128 spectrum, exercising the multi-word fault masks.
+func BenchmarkRadioEngineSteadyStateFaultedWide(b *testing.B) {
+	benchwork.RadioSteadyStateFaultedWide(b)
+}
+
+// BenchmarkLargeRegime measures the steady-state per-round cost of the
+// large regime — N in the thousands, C in the hundreds, sparse traffic —
+// alongside narrow-spectrum (C=8) reference cells at the same N. With
+// sparse round resolution the wide cells should track the reference
+// cells per node-round instead of scaling with C. Published as
+// BENCH_9.json and diff-gated in CI through cmd/benchjson.
+func BenchmarkLargeRegime(b *testing.B) {
+	for _, sz := range benchwork.LargeRegimeSizes {
+		b.Run(fmt.Sprintf("N=%d/C=%d", sz.N, sz.C), benchwork.LargeRegime(sz.N, sz.C))
+	}
+}
+
 // BenchmarkVertexCover measures the exact minimum-vertex-cover search used
 // to validate d-disruptability.
 func BenchmarkVertexCover(b *testing.B) {

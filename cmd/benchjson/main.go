@@ -64,6 +64,7 @@ type Report struct {
 	Label      string   `json:"label,omitempty"`
 	GoVersion  string   `json:"go_version"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
+	Comment    []string `json:"comment,omitempty"` // free-form prose kept in committed baselines
 	Benchmarks []Result `json:"benchmarks"`
 }
 
@@ -155,14 +156,24 @@ func benchFleetCampaign(b *testing.B) {
 }
 
 func registry() []benchmark {
-	return []benchmark{
+	reg := []benchmark{
 		{"BenchmarkRadioEngine", benchwork.RadioEngine},
 		{"BenchmarkRadioEngine/steady-state", benchwork.RadioSteadyState},
 		{"BenchmarkRadioEngine/steady-state-jam", benchwork.RadioSteadyStateJam},
+		{"BenchmarkRadioEngine/steady-state-faulted", benchwork.RadioSteadyStateFaulted},
+		{"BenchmarkRadioEngine/steady-state-jam-wide", benchwork.RadioSteadyStateJamWide},
+		{"BenchmarkRadioEngine/steady-state-faulted-wide", benchwork.RadioSteadyStateFaultedWide},
 		{"BenchmarkFAMEBase/E=16/t=1", benchFAMEBase},
 		{"BenchmarkRunnerExchange/E=16/t=1", benchRunnerExchange},
 		{"BenchmarkFleetCampaign", benchFleetCampaign},
 	}
+	for _, sz := range benchwork.LargeRegimeSizes {
+		reg = append(reg, benchmark{
+			fmt.Sprintf("BenchmarkLargeRegime/N=%d/C=%d", sz.N, sz.C),
+			benchwork.LargeRegime(sz.N, sz.C),
+		})
+	}
+	return reg
 }
 
 // loadReport reads a benchjson report back with the repo's usual JSON
@@ -193,14 +204,21 @@ func runDiff(args []string, out io.Writer) error {
 	fs.SetOutput(out)
 	threshold := fs.Float64("threshold", 0.10,
 		"tolerated fractional ns/op slowdown before a benchmark counts as regressed")
+	allocSlack := fs.Int64("allocs", 0,
+		"tolerated absolute allocs/op increase; single-run benchmarks amortize their "+
+			"O(N) setup over an iteration count that varies with machine speed, so "+
+			"cross-machine diffs need a small absolute slack (same-machine diffs keep 0)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *threshold < 0 {
 		return fmt.Errorf("-threshold %v, want a non-negative fraction", *threshold)
 	}
+	if *allocSlack < 0 {
+		return fmt.Errorf("-allocs %v, want a non-negative count", *allocSlack)
+	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: benchjson diff [-threshold 0.10] old.json new.json")
+		return fmt.Errorf("usage: benchjson diff [-threshold 0.10] [-allocs 0] old.json new.json")
 	}
 	oldRep, err := loadReport(fs.Arg(0))
 	if err != nil {
@@ -235,7 +253,7 @@ func runDiff(args []string, out io.Writer) error {
 		if delta > *threshold {
 			verdict = "SLOWER"
 		}
-		if n.AllocsPerOp > o.AllocsPerOp {
+		if n.AllocsPerOp > o.AllocsPerOp+*allocSlack {
 			if verdict == "ok" {
 				verdict = "MORE ALLOCS"
 			} else {

@@ -71,6 +71,15 @@ func TestDiffFlagsRegressions(t *testing.T) {
 	if !strings.Contains(out.String(), "MORE ALLOCS") {
 		t.Fatalf("output does not name the alloc regression:\n%s", out.String())
 	}
+	// An explicit -allocs slack absorbs a small absolute increase (amortized
+	// setup noise on single-run benchmarks) but not one beyond the slack.
+	if err := runDiff([]string{"-allocs", "1", old, writeReport(t, allocs)}, new(bytes.Buffer)); err != nil {
+		t.Fatalf("+1 alloc failed under -allocs 1: %v", err)
+	}
+	allocs.Benchmarks[1].AllocsPerOp = 5
+	if err := runDiff([]string{"-allocs", "1", old, writeReport(t, allocs)}, new(bytes.Buffer)); err == nil {
+		t.Fatal("+5 allocs passed under -allocs 1")
+	}
 
 	vanished := baseReport()
 	vanished.Benchmarks = vanished.Benchmarks[:1]
@@ -107,6 +116,7 @@ func TestDiffUsageErrors(t *testing.T) {
 		{path},
 		{path, path, path},
 		{"-threshold", "-0.5", path, path},
+		{"-allocs", "-3", path, path},
 		{filepath.Join(t.TempDir(), "missing.json"), path},
 	} {
 		if err := runDiff(args, new(bytes.Buffer)); err == nil {

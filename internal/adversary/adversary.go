@@ -86,6 +86,18 @@ func (j *SweepJammer) Observe(radio.RoundObservation) {}
 type GreedyJammer struct {
 	T int
 	C int
+
+	// Per-round scratch, reused across rounds so planning allocates only
+	// on the first call even on wide (C in the hundreds) spectra.
+	info  []chanInfo
+	order []int
+	out   []radio.Transmission
+}
+
+// chanInfo is GreedyJammer's per-channel tally of the pending round.
+type chanInfo struct {
+	transmitters int
+	listeners    int
 }
 
 var (
@@ -99,11 +111,13 @@ func (j *GreedyJammer) Plan(int) []radio.Transmission { return nil }
 
 // PlanOmniscient implements radio.OmniscientAdversary.
 func (j *GreedyJammer) PlanOmniscient(_ int, pending []radio.NodeAction) []radio.Transmission {
-	type chanInfo struct {
-		transmitters int
-		listeners    int
+	if cap(j.info) < j.C {
+		j.info = make([]chanInfo, j.C)
+		j.order = make([]int, j.C)
+		j.out = make([]radio.Transmission, 0, j.T)
 	}
-	info := make([]chanInfo, j.C)
+	info := j.info[:j.C]
+	clear(info)
 	for _, a := range pending {
 		switch a.Op {
 		case radio.OpTransmit:
@@ -123,12 +137,20 @@ func (j *GreedyJammer) PlanOmniscient(_ int, pending []radio.NodeAction) []radio
 		}
 		return 0
 	}
-	order := make([]int, j.C)
+	order := j.order[:j.C]
 	for i := range order {
 		order[i] = i
 	}
-	// Selection sort by score (C is tiny).
-	for i := 0; i < len(order); i++ {
+	// Partial selection sort by score: only the first T positions are ever
+	// emitted, and selection sort fixes order[i] permanently at step i, so
+	// stopping after T steps yields exactly the full sort's prefix — the
+	// planning cost is O(C*t), not O(C^2), which matters once C is in the
+	// hundreds.
+	limit := j.T
+	if limit > len(order) {
+		limit = len(order)
+	}
+	for i := 0; i < limit; i++ {
 		best := i
 		for k := i + 1; k < len(order); k++ {
 			if score(order[k]) > score(order[best]) {
@@ -137,13 +159,14 @@ func (j *GreedyJammer) PlanOmniscient(_ int, pending []radio.NodeAction) []radio
 		}
 		order[i], order[best] = order[best], order[i]
 	}
-	out := make([]radio.Transmission, 0, j.T)
-	for i := 0; i < j.T && i < len(order); i++ {
+	out := j.out[:0]
+	for i := 0; i < limit; i++ {
 		if score(order[i]) == 0 {
 			break
 		}
 		out = append(out, radio.Transmission{Channel: order[i]})
 	}
+	j.out = out
 	return out
 }
 

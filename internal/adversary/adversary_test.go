@@ -1,6 +1,7 @@
 package adversary
 
 import (
+	"math/rand"
 	"testing"
 
 	"securadio/internal/radio"
@@ -212,5 +213,78 @@ func TestGreedyJammerCannotBlockAll(t *testing.T) {
 	}
 	if total != rounds { // exactly one channel survives each round
 		t.Fatalf("got %d total deliveries over %d rounds, want exactly %d", total, rounds, rounds)
+	}
+}
+
+// referenceGreedyPlan is the pre-optimization planner: a full O(C^2)
+// selection sort over all channels, taking the top-t positive scores. The
+// shipping planner sorts only the first t positions; selection sort fixes
+// position i permanently at step i, so the two must agree exactly.
+func referenceGreedyPlan(t, c int, pending []radio.NodeAction) []radio.Transmission {
+	info := make([]chanInfo, c)
+	for _, a := range pending {
+		switch a.Op {
+		case radio.OpTransmit:
+			info[a.Channel].transmitters++
+		case radio.OpListen:
+			info[a.Channel].listeners++
+		}
+	}
+	score := func(ch int) int {
+		if info[ch].transmitters == 1 {
+			return 1 + info[ch].listeners
+		}
+		return 0
+	}
+	order := make([]int, c)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < len(order); i++ {
+		best := i
+		for k := i + 1; k < len(order); k++ {
+			if score(order[k]) > score(order[best]) {
+				best = k
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	out := make([]radio.Transmission, 0, t)
+	for i := 0; i < t && i < len(order); i++ {
+		if score(order[i]) == 0 {
+			break
+		}
+		out = append(out, radio.Transmission{Channel: order[i]})
+	}
+	return out
+}
+
+func TestGreedyJammerWideSpectrumMatchesReference(t *testing.T) {
+	// Randomized wide-spectrum rounds, including heavy score ties (many
+	// single-transmitter channels with equal listener counts), replayed
+	// through one jammer instance so scratch reuse is exercised too.
+	const c, budget, n = 200, 20, 160
+	j := &GreedyJammer{T: budget, C: c}
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 50; round++ {
+		pending := make([]radio.NodeAction, n)
+		for i := range pending {
+			ch := rng.Intn(c / 2) // crowd half the spectrum to force ties
+			if rng.Intn(3) == 0 {
+				pending[i] = radio.NodeAction{Op: radio.OpTransmit, Channel: ch}
+			} else {
+				pending[i] = radio.NodeAction{Op: radio.OpListen, Channel: ch}
+			}
+		}
+		got := j.PlanOmniscient(round, pending)
+		want := referenceGreedyPlan(budget, c, pending)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: planned %d transmissions, reference %d", round, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Channel != want[i].Channel {
+				t.Fatalf("round %d: plan[%d] = ch %d, reference ch %d", round, i, got[i].Channel, want[i].Channel)
+			}
+		}
 	}
 }

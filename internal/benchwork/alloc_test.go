@@ -17,6 +17,11 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 		{"disabled", RadioSteadyState},
 		{"jam", RadioSteadyStateJam},
 		{"faulted", RadioSteadyStateFaulted},
+		// The wide cells assert the same budget past 64 channels, where
+		// the adversary clip and the fault masks switch to their pooled
+		// multi-word bitset paths.
+		{"jam-wide", RadioSteadyStateJamWide},
+		{"faulted-wide", RadioSteadyStateFaultedWide},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			res := testing.Benchmark(tc.fn)

@@ -82,6 +82,88 @@ func RadioSteadyStateFaulted(b *testing.B) {
 	b.ReportMetric(float64(n), "node-rounds/op")
 }
 
+// RadioSteadyStateJamWide is RadioSteadyStateJam on a C=512 spectrum:
+// the adversary clip takes the wide (bitset scratch) path instead of the
+// single-register one, and the engine's touched-channel bookkeeping runs
+// with random traffic scattered across hundreds of mostly-idle channels.
+// Like every steady-state cell it must hold 0 allocs/op.
+func RadioSteadyStateJamWide(b *testing.B) {
+	const n, c, t = 32, 512, 8
+	jam := &reusedPlanJammer{}
+	for ch := 0; ch < t; ch++ {
+		jam.plan = append(jam.plan, radio.Transmission{Channel: ch * 61, Msg: "jam"})
+	}
+	b.ReportAllocs()
+	cfg := radio.Config{N: n, C: c, T: t, Seed: 42, Adversary: jam, MaxRounds: b.N + 1}
+	if _, err := radio.Run(cfg, steadyStateProcs(n, b.N)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(n), "node-rounds/op")
+}
+
+// RadioSteadyStateFaultedWide is RadioSteadyStateFaulted on a C=128
+// spectrum: the churn, fade and drop masks are multi-word bitsets, so
+// this cell pins the pooled mask scratch at 0 allocs/op beyond 64
+// channels.
+func RadioSteadyStateFaultedWide(b *testing.B) {
+	const n, c = 32, 128
+	plan, err := fault.Compile(fault.Profile{
+		CrashFrac: 0.125, RecoverFrac: 0.0625, LateFrac: 0.0625,
+		Loss: &fault.LossModel{PGoodBad: 0.1, PBadGood: 0.3, DropGood: 0.01, DropBad: 0.7},
+	}, n, c, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	cfg := radio.Config{N: n, C: c, T: 1, Seed: 42, MaxRounds: b.N + 1, Faults: plan}
+	if _, err := radio.Run(cfg, steadyStateProcs(n, b.N)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(n), "node-rounds/op")
+}
+
+// LargeRegimeSizes is the (N, C) grid BenchmarkLargeRegime and the
+// committed BENCH_9.json cover: N in the thousands crossed with C in the
+// hundreds, plus narrow-spectrum reference cells (C=8) at the same N so
+// the per-node-round cost of a wide silent spectrum can be compared
+// directly against the equivalent small-C run.
+var LargeRegimeSizes = []struct{ N, C int }{
+	{1024, 8}, {1024, 128}, {1024, 512},
+	{4096, 8}, {4096, 128}, {4096, 512},
+}
+
+// LargeRegime returns the steady-state workload for one large-regime
+// cell: sparse traffic (a handful of beacon transmitters, everyone else
+// listening) across a spectrum that is mostly silent — the shape the
+// paper's many-node low-power setting produces, where per-round cost
+// must track active transmissions, not C. Deterministic schedules (no
+// per-node RNG draws) keep the measurement pure engine cost.
+func LargeRegime(n, c int) func(b *testing.B) {
+	return func(b *testing.B) {
+		const beacons = 8
+		procs := make([]radio.Process, n)
+		rounds := b.N
+		for j := 0; j < n; j++ {
+			j := j
+			procs[j] = func(e radio.Env) {
+				for r := 0; r < rounds; r++ {
+					if j < beacons {
+						e.Transmit((j*37+r)%c, j)
+					} else {
+						e.Listen((j + r) % c)
+					}
+				}
+			}
+		}
+		b.ReportAllocs()
+		cfg := radio.Config{N: n, C: c, T: 1, Seed: 42, MaxRounds: b.N + 1}
+		if _, err := radio.Run(cfg, procs); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(n), "node-rounds/op")
+	}
+}
+
 // steadyStateProcs builds the shared workload: n nodes, each taking
 // exactly rounds actions (even IDs transmit, odd IDs listen, channels
 // drawn from the node's private RNG).

@@ -1,0 +1,107 @@
+package bitset
+
+import "testing"
+
+func TestNilSetReadsAllFalse(t *testing.T) {
+	var s Set
+	for _, i := range []int{0, 1, 63, 64, 1000} {
+		if s.Get(i) {
+			t.Fatalf("nil set: Get(%d) = true", i)
+		}
+	}
+	if s.Count() != 0 {
+		t.Fatalf("nil set: Count() = %d", s.Count())
+	}
+	s.ClearAll() // must not panic
+}
+
+func TestWords(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3}, {512, 8},
+	}
+	for _, tc := range cases {
+		if got := Words(tc.n); got != tc.want {
+			t.Errorf("Words(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	const n = 200 // multi-word, non-multiple of 64
+	s := New(n)
+	ref := make([]bool, n)
+	// A deterministic scatter across word boundaries.
+	for i := 0; i < n; i += 3 {
+		s.Add(i)
+		ref[i] = true
+	}
+	for i := 0; i < n; i += 7 {
+		s.Remove(i)
+		ref[i] = false
+	}
+	for i := 0; i < n; i++ {
+		s.SetTo(i, ref[i])
+	}
+	want := 0
+	for i := 0; i < n; i++ {
+		if s.Get(i) != ref[i] {
+			t.Fatalf("bit %d: got %v, want %v", i, s.Get(i), ref[i])
+		}
+		if ref[i] {
+			want++
+		}
+	}
+	if got := s.Count(); got != want {
+		t.Fatalf("Count() = %d, want %d", got, want)
+	}
+	if s.Get(n + 100) {
+		t.Fatal("Get past allocated words = true")
+	}
+	s.ClearAll()
+	if s.Count() != 0 {
+		t.Fatalf("after ClearAll: Count() = %d", s.Count())
+	}
+}
+
+func TestSetFirst(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 127, 128, 130} {
+		s := New(130)
+		// Pre-dirty every bit so SetFirst must also clear the tail.
+		for i := 0; i < 130; i++ {
+			s.Add(i)
+		}
+		s.SetFirst(n)
+		for i := 0; i < 130; i++ {
+			want := i < n
+			if s.Get(i) != want {
+				t.Fatalf("SetFirst(%d): bit %d = %v, want %v", n, i, s.Get(i), want)
+			}
+		}
+		if s.Count() != n {
+			t.Fatalf("SetFirst(%d): Count() = %d", n, s.Count())
+		}
+	}
+}
+
+func TestSizedReusesCapacity(t *testing.T) {
+	s := New(512)
+	s.Add(5)
+	s.Add(500)
+	got := Sized(s, 128)
+	if len(got) != Words(128) {
+		t.Fatalf("len = %d, want %d", len(got), Words(128))
+	}
+	if &got[0] != &s[0] {
+		t.Fatal("Sized reallocated despite sufficient capacity")
+	}
+	if got.Count() != 0 {
+		t.Fatal("Sized did not clear reused words")
+	}
+	grown := Sized(got, 4096)
+	if len(grown) != Words(4096) {
+		t.Fatalf("grown len = %d, want %d", len(grown), Words(4096))
+	}
+	if grown.Count() != 0 {
+		t.Fatal("grown set not cleared")
+	}
+}

@@ -34,6 +34,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"securadio/internal/bitset"
 )
 
 // DefaultHorizon is the round window churn events are scheduled in when
@@ -216,23 +218,31 @@ type Plan struct {
 	profile Profile
 
 	// Compiled churn schedule: node id -> [from, to) silence window.
+	// churned lists exactly the nodes with a window, so BeginRound's churn
+	// step costs O(churned nodes) instead of O(n) — nodes without a window
+	// can never change state.
 	downFrom, downTo []int32
+	churned          []int32
 	churn            bool
 	lost             int // permanent crashes
 
 	// Compiled loss model.
 	hasLoss bool
 	loss    LossModel
-	badInit []bool // initial fade states (len 1 when correlated)
-	rngInit uint64 // rng state right after compilation
+	states  int        // fade-state count: c, or 1 when correlated
+	badInit bitset.Set // initial fade states
+	rngInit uint64     // rng state right after compilation
 
-	// Runtime state, rewound by Reset.
+	// Runtime state, rewound by Reset. The masks are multi-word bitsets
+	// (shared with the radio engine's observation surface), so a
+	// hundreds-of-channels spectrum costs a handful of words per mask and
+	// the correlated wideband fade is a word fill, not a per-channel loop.
 	rng        splitmix64
-	bad        []bool // current fade states
-	fade       []bool // per-channel view of bad (len c)
-	down       []bool // per-node silence mask for the current round
-	drop       []bool // per-channel drop decision for the current round
-	applied    []bool // per-channel: a delivery was actually dropped
+	bad        bitset.Set // current fade states
+	fade       bitset.Set // per-channel view of bad (c bits)
+	down       bitset.Set // per-node silence mask for the current round
+	drop       bitset.Set // per-channel drop decision for the current round
+	applied    bitset.Set // per-channel: a delivery was actually dropped
 	downCount  int
 	badCount   int
 	roundDrops int
@@ -304,31 +314,36 @@ func Compile(p Profile, n, c int, seed int64) (*Plan, error) {
 			pl.downFrom[id] = 0
 			pl.downTo[id] = int32(1 + rng.intn(h/4)) // joins by h/4
 		}
+		for i, from := range pl.downFrom {
+			if from != neverDown {
+				pl.churned = append(pl.churned, int32(i))
+			}
+		}
 	}
 	pl.counters.NodesLost = pl.lost
 
 	if p.Loss != nil {
 		pl.hasLoss = true
 		pl.loss = *p.Loss
-		states := c
+		pl.states = c
 		if pl.loss.Correlated {
-			states = 1
+			pl.states = 1
 		}
-		pl.badInit = make([]bool, states)
+		pl.badInit = bitset.New(pl.states)
 		// Warm start: draw each fade state from its stationary
 		// distribution so short runs see representative loss.
 		if denom := pl.loss.PGoodBad + pl.loss.PBadGood; denom > 0 {
 			piBad := pl.loss.PGoodBad / denom
-			for s := range pl.badInit {
-				pl.badInit[s] = rng.float64() < piBad
+			for s := 0; s < pl.states; s++ {
+				pl.badInit.SetTo(s, rng.float64() < piBad)
 			}
 		}
-		pl.bad = make([]bool, states)
-		pl.fade = make([]bool, c)
-		pl.drop = make([]bool, c)
-		pl.applied = make([]bool, c)
+		pl.bad = bitset.New(pl.states)
+		pl.fade = bitset.New(c)
+		pl.drop = bitset.New(c)
+		pl.applied = bitset.New(c)
 	}
-	pl.down = make([]bool, n)
+	pl.down = bitset.New(n)
 	pl.rngInit = rng.state
 	pl.Reset()
 	return pl, nil
@@ -362,10 +377,10 @@ func (pl *Plan) Profile() Profile { return pl.profile }
 func (pl *Plan) Reset() {
 	pl.rng.state = pl.rngInit
 	copy(pl.bad, pl.badInit)
-	clear(pl.down)
-	clear(pl.fade)
-	clear(pl.drop)
-	clear(pl.applied)
+	pl.down.ClearAll()
+	pl.fade.ClearAll()
+	pl.drop.ClearAll()
+	pl.applied.ClearAll()
 	pl.downCount, pl.badCount = 0, 0
 	pl.roundDrops, pl.deaths, pl.recoveries = 0, 0, 0
 	pl.counters = Counters{NodesLost: pl.lost}
@@ -381,76 +396,81 @@ func (pl *Plan) Reset() {
 func (pl *Plan) BeginRound(round int) {
 	pl.deaths, pl.recoveries, pl.roundDrops = 0, 0, 0
 	if pl.churn {
-		n := 0
-		for i := range pl.down {
-			d := pl.downFrom[i] != neverDown && int32(round) >= pl.downFrom[i] && int32(round) < pl.downTo[i]
-			if d != pl.down[i] {
+		// Only scheduled nodes can transition, so the scan is over the
+		// churned list, and the down population updates incrementally from
+		// the transitions — identical to recounting the whole mask.
+		for _, id := range pl.churned {
+			i := int(id)
+			d := int32(round) >= pl.downFrom[i] && int32(round) < pl.downTo[i]
+			if d != pl.down.Get(i) {
 				if d {
 					pl.deaths++
 				} else {
 					pl.recoveries++
 				}
-				pl.down[i] = d
-			}
-			if d {
-				n++
+				pl.down.SetTo(i, d)
 			}
 		}
-		pl.downCount = n
+		pl.downCount += pl.deaths - pl.recoveries
 	}
 	if pl.hasLoss {
 		n := 0
-		for s := range pl.bad {
+		for s := 0; s < pl.states; s++ {
 			u := pl.rng.float64()
-			if pl.bad[s] {
+			b := pl.bad.Get(s)
+			if b {
 				if u < pl.loss.PBadGood {
-					pl.bad[s] = false
+					b = false
+					pl.bad.SetTo(s, false)
 				}
 			} else if u < pl.loss.PGoodBad {
-				pl.bad[s] = true
+				b = true
+				pl.bad.SetTo(s, true)
 			}
-			if pl.bad[s] {
+			if b {
 				n++
 			}
 		}
 		pl.badCount = n
 		if pl.loss.Correlated {
 			pl.syncFade()
-			if pl.bad[0] {
+			if pl.bad.Get(0) {
 				pl.badCount = pl.c
 			}
 		} else {
-			copy(pl.fade, pl.bad)
+			copy(pl.fade, pl.bad) // word-for-word: states == c here
 		}
 		for c := 0; c < pl.c; c++ {
 			dp := pl.loss.DropGood
-			if pl.fade[c] {
+			if pl.fade.Get(c) {
 				dp = pl.loss.DropBad
 			}
-			pl.drop[c] = dp > 0 && pl.rng.float64() < dp
-			pl.applied[c] = false
+			pl.drop.SetTo(c, dp > 0 && pl.rng.float64() < dp)
 		}
+		pl.applied.ClearAll()
 	}
 }
 
 // syncFade mirrors the single correlated fade state across the
-// per-channel view.
+// per-channel view — a word fill either way, not a per-channel loop.
 func (pl *Plan) syncFade() {
-	for c := range pl.fade {
-		pl.fade[c] = pl.bad[0]
+	if pl.bad.Get(0) {
+		pl.fade.SetFirst(pl.c)
+	} else {
+		pl.fade.ClearAll()
 	}
 }
 
 // NodeDown reports whether the node's radio is silenced this round.
-func (pl *Plan) NodeDown(id int) bool { return pl.down[id] }
+func (pl *Plan) NodeDown(id int) bool { return pl.down.Get(id) }
 
 // DropNow reports this round's loss-model drop decision for the channel.
-func (pl *Plan) DropNow(c int) bool { return pl.hasLoss && pl.drop[c] }
+func (pl *Plan) DropNow(c int) bool { return pl.hasLoss && pl.drop.Get(c) }
 
 // ApplyDrop records that the channel's delivery was actually dropped this
 // round.
 func (pl *Plan) ApplyDrop(c int) {
-	pl.applied[c] = true
+	pl.applied.Add(c)
 	pl.roundDrops++
 }
 
@@ -470,7 +490,7 @@ func (pl *Plan) EndRound() {
 // DownMask returns the per-node silence mask for the current round (nil
 // when the profile has no churn). The engine exposes it to observers;
 // callers must not retain it across rounds.
-func (pl *Plan) DownMask() []bool {
+func (pl *Plan) DownMask() bitset.Set {
 	if !pl.churn {
 		return nil
 	}
@@ -479,7 +499,7 @@ func (pl *Plan) DownMask() []bool {
 
 // FadeMask returns the per-channel bad-state mask for the current round
 // (nil without a loss model).
-func (pl *Plan) FadeMask() []bool {
+func (pl *Plan) FadeMask() bitset.Set {
 	if !pl.hasLoss {
 		return nil
 	}
@@ -488,7 +508,7 @@ func (pl *Plan) FadeMask() []bool {
 
 // DropMask returns the per-channel applied-drop mask for the current
 // round (nil without a loss model).
-func (pl *Plan) DropMask() []bool {
+func (pl *Plan) DropMask() bitset.Set {
 	if !pl.hasLoss {
 		return nil
 	}

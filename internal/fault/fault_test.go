@@ -26,7 +26,7 @@ func trajectory(pl *Plan, rounds int) string {
 			switch {
 			case pl.DropNow(c):
 				b.WriteByte('x')
-			case pl.hasLoss && pl.fade[c]:
+			case pl.hasLoss && pl.fade.Get(c):
 				b.WriteByte('~')
 			default:
 				b.WriteByte('-')
@@ -168,9 +168,9 @@ func TestCorrelatedFadesShareState(t *testing.T) {
 	sawBad := false
 	for r := 0; r < 200; r++ {
 		pl.BeginRound(r)
-		first := pl.fade[0]
+		first := pl.fade.Get(0)
 		for c := 1; c < 8; c++ {
-			if pl.fade[c] != first {
+			if pl.fade.Get(c) != first {
 				t.Fatalf("round %d: correlated fade states diverged across channels", r)
 			}
 		}

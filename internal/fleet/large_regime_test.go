@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"securadio/internal/core"
+)
+
+// largeRegimeBase is the sweep template for the large-regime coverage
+// tests: a thousand-node f-AME network on a hundred-channel spectrum in
+// the 2t^2 regime, with no interference so each run's cost is dominated
+// by the sparse round-resolution core rather than the game length.
+func largeRegimeBase() Scenario {
+	return Scenario{
+		Name: "large-base", Proto: ProtoFame,
+		N: 1024, C: 128, T: 8, Pairs: 20, Span: 64,
+		Regime: core.Regime2T2, Adversary: "none",
+	}
+}
+
+// TestRegistryLargeRegime pins that the registry actually carries the
+// large-regime entries — N in the thousands, C in the hundreds — so the
+// sparse resolution core is exercised by every campaign smoke, not only
+// by dedicated benchmarks.
+func TestRegistryLargeRegime(t *testing.T) {
+	var n, c int
+	for _, s := range Scenarios() {
+		if s.N > n {
+			n = s.N
+		}
+		if s.C > c {
+			c = s.C
+		}
+	}
+	if n < 1024 {
+		t.Errorf("registry max N = %d, want >= 1024", n)
+	}
+	if c < 128 {
+		t.Errorf("registry max C = %d, want >= 128", c)
+	}
+	for _, name := range []string{"fame-wide", "fame-large"} {
+		s, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("large-regime scenario %q missing from registry", name)
+		}
+		// The legacy PairSpan default caps the pair universe at 12 nodes,
+		// which would make a thousand-node scenario a 12-node workload
+		// with spectators; the large entries must pin Span explicitly.
+		if s.Span == 0 {
+			t.Errorf("scenario %q relies on the legacy PairSpan default", name)
+		}
+	}
+}
+
+// TestSweepLargeRegime runs a C axis across the large regime and checks
+// the matrix is byte-identical across worker counts — the determinism
+// contract must survive N=1024 cells, whose runs are long enough to
+// complete out of order — and that a cell below the model's node bound
+// surfaces as a skip, not a failure.
+func TestSweepLargeRegime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-regime sweep skipped in -short mode")
+	}
+	// C=256 at t=8 needs MinNodes = 3168 > 1024, so that cell must skip.
+	sweep := Sweep{
+		Name: "large-regime",
+		Base: largeRegimeBase(),
+		C:    []int{128, 256},
+		Runs: 2,
+		Seed: 11,
+	}
+	var blobs [][]byte
+	var last *SweepResult
+	for _, workers := range []int{1, 4} {
+		s := sweep
+		s.Workers = workers
+		res, err := RunSweep(context.Background(), s)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		blob, err := res.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+		last = res
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Fatalf("large-regime sweep JSON differs between worker counts:\n%s\nvs\n%s", blobs[0], blobs[1])
+	}
+
+	if len(last.Cells) != 2 {
+		t.Fatalf("%d cells, want 2", len(last.Cells))
+	}
+	wide := last.Cells[0]
+	if wide.Skip != "" || wide.Agg == nil {
+		t.Fatalf("c=128 cell did not run: skip=%q", wide.Skip)
+	}
+	if wide.Agg.Runs != 2 || wide.Agg.Failures != 0 {
+		t.Fatalf("c=128 cell ran %d runs with %d failures, want 2 and 0", wide.Agg.Runs, wide.Agg.Failures)
+	}
+	if wide.Agg.Rounds.P50 <= 0 {
+		t.Fatalf("c=128 cell reports %v median rounds, want > 0 (the game must actually play)", wide.Agg.Rounds.P50)
+	}
+	skipped := last.Cells[1]
+	if skipped.Skip == "" || skipped.Agg != nil {
+		t.Fatalf("c=256 cell ran below the node bound: %+v", skipped)
+	}
+	if !strings.Contains(skipped.Skip, "below the model bound") {
+		t.Fatalf("c=256 skip reason %q does not name the node bound", skipped.Skip)
+	}
+}

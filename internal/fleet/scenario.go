@@ -534,6 +534,20 @@ var registry = []Scenario{
 		Name: "secure-fading", Desc: "full stack over bursty Gilbert-Elliott fading channels",
 		Proto: ProtoSecureGroup, N: 20, C: 3, T: 1, EmRounds: 4, Adversary: "none", Loss: 0.05,
 	},
+	// The large-regime entries put N in the thousands and C in the hundreds
+	// through the sparse resolution core (2t^2 regime: 2t^2 <= C, C/t >= 2t,
+	// n >= MinNodes). Span widens the pair universe past the legacy
+	// PairSpan default so the workload actually spans the big network, and
+	// Pairs is sized so the initial pair set is NOT already t-disruptable
+	// (vertex cover > t) — otherwise the game terminates in zero moves.
+	{
+		Name: "fame-wide", Desc: "f-AME at N=1024 across a 128-channel spectrum vs hopping jammer",
+		Proto: ProtoFame, N: 1024, C: 128, T: 8, Pairs: 24, Span: 64, Regime: core.Regime2T2, Adversary: "hop",
+	},
+	{
+		Name: "fame-large", Desc: "f-AME at N=4096 across a 512-channel spectrum vs random jammer",
+		Proto: ProtoFame, N: 4096, C: 512, T: 16, Pairs: 28, Span: 128, Regime: core.Regime2T2, Adversary: "jam",
+	},
 }
 
 // Scenarios returns the built-in scenarios in definition order.

@@ -39,16 +39,37 @@
 //     each reading its own delivery directly from the per-channel slots,
 //     which stay stable until every node has arrived for the next round.
 //
+// Resolution is sparse, so the large regime (N in the thousands, C in
+// the hundreds) is first-class:
+//
+//   - a touched-channel list records which channels saw a transmission
+//     this round; delivery, fault drops and the per-channel clear all
+//     iterate that list, making the channel phases O(active
+//     transmissions) rather than O(C). The clear is deferred to the
+//     start of the NEXT round's resolution because followers read their
+//     delivery slots after the generation publish;
+//   - a live-node roster, compacted in place as nodes finish (stable, so
+//     ascending-ID iteration order is preserved), keeps the per-round
+//     action scan proportional to nodes still running. A node downed by
+//     fault churn stays on the roster — down is not done;
+//   - channel masks past 64 channels (adversary budget clipping, the
+//     fault layer's down/fade/drop masks, RoundObservation) are
+//     multi-word bitsets (internal/bitset) pooled with the rest of the
+//     engine scratch, so crossing the 64-channel boundary changes
+//     neither semantics nor the allocation budget.
+//
 // The barrier has two drive modes with byte-identical observable behavior
 // (the golden equivalence suite pins both against the seed engine's
 // traces). On a multi-core runtime, node Processes run on goroutines that
 // park on the barrier and the last arrival leads the resolution. On a
 // single-P runtime (GOMAXPROCS=1), where goroutine parking only buys
 // scheduler overhead, Processes run as coroutines resumed in ID order
-// from Run's own goroutine — no parking at all. The steady-state round
-// loop performs zero heap allocations in either mode, and engine scratch
-// (slots, buffers, per-node RNG state) is recycled across runs, so
-// campaign-scale callers do not churn the GC.
+// from Run's own goroutine — no parking at all. Both drive modes share
+// the same resolution core. The steady-state round loop performs zero
+// heap allocations in either mode on both sides of the 64-channel
+// boundary, and engine scratch (slots, buffers, touched list, roster,
+// per-node RNG state) is recycled across runs, so campaign-scale callers
+// do not churn the GC.
 //
 // Teardown is uniform: aborts (round budget, invalid actions, checkpoint
 // violations) unwind every node and Run never leaks goroutines. Panics in

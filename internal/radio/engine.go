@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"securadio/internal/bitset"
 	"securadio/internal/fault"
 )
 
@@ -85,20 +86,36 @@ type engine struct {
 
 	// Resolution state, owned by the current round's leader.
 	round       int
-	live        int
 	res         Result
 	err         error
 	finished    bool
 	leaderPanic any // panic recovered from adversary/trace code, re-raised by Run
 
 	// Per-node and per-channel slots.
+	//
+	// roster is the live-node list: the IDs of every node that has not yet
+	// finished its program, ascending. Resolution scans the roster instead
+	// of testing all N slots, so a round costs O(live nodes); finished
+	// nodes are compacted out in place, which keeps the scan in ID order
+	// (error attribution and checkpoint semantics depend on it). Churn-down
+	// nodes STAY on the roster — "down" is a fault-layer condition that can
+	// recover, "done" is protocol completion.
+	//
+	// touched lists the channels the CURRENT resolved round wrote
+	// (delivered/transmitters/fromAdversary). The slots it names are
+	// cleared lazily at the start of the NEXT round's resolution — they
+	// must survive the inter-round window because followers read their
+	// deliveries from the slots after the leader publishes the generation.
+	// All other channel slots hold their zero value as an invariant, so
+	// phases 1–3 cost O(active transmissions), not O(C).
 	actions       []NodeAction
-	done          []bool
+	roster        []int32
 	delivered     []Message
 	transmitters  []int
 	fromAdversary []bool
+	touched       []int32
 	advClip       []Transmission
-	usedWide      []bool // C > 64 fallback for clipAdversary
+	usedWide      bitset.Set // C > 64 fallback scratch for clipAdversary
 
 	// Pump-mode state (see pump.go).
 	exited   []bool // coroutine has returned
@@ -138,17 +155,24 @@ func newEngine(cfg *Config, adv Adversary, maxRounds int) *engine {
 	}
 
 	eng.actions = sized(eng.actions, cfg.N)
-	eng.done = sized(eng.done, cfg.N)
+	eng.roster = sized(eng.roster, cfg.N)
+	for i := range eng.roster {
+		eng.roster[i] = int32(i)
+	}
 	eng.delivered = sized(eng.delivered, cfg.C)
 	eng.transmitters = sized(eng.transmitters, cfg.C)
 	eng.fromAdversary = sized(eng.fromAdversary, cfg.C)
+	if cap(eng.touched) < cfg.C {
+		eng.touched = make([]int32, 0, cfg.C)
+	}
+	eng.touched = eng.touched[:0]
 	if cap(eng.advClip) < cfg.T {
 		eng.advClip = make([]Transmission, 0, cfg.T)
 	}
 	eng.advClip = eng.advClip[:0]
-	if cap(eng.usedWide) >= cfg.C {
-		eng.usedWide = eng.usedWide[:cfg.C]
-		clear(eng.usedWide)
+	if w := bitset.Words(cfg.C); cap(eng.usedWide) >= w {
+		eng.usedWide = eng.usedWide[:w]
+		eng.usedWide.ClearAll()
 	} else {
 		eng.usedWide = nil // re-made on demand by clipAdversary's wide path
 	}
@@ -158,7 +182,6 @@ func newEngine(cfg *Config, adv Adversary, maxRounds int) *engine {
 	}
 	eng.abort = false
 	eng.round = 0
-	eng.live = cfg.N
 	eng.res = Result{}
 	eng.err = nil
 	eng.finished = false
@@ -447,7 +470,7 @@ func (eng *engine) resolveRound() {
 	// locked generation check; delivered stays untouched until every live
 	// node has arrived again, so followers read their deliveries without
 	// further coordination.
-	eng.needed.Store(int32(eng.live))
+	eng.needed.Store(int32(len(eng.roster)))
 	eng.arrived.Store(0)
 	eng.mu.Lock()
 	eng.gen.Store(int64(round) + 1)
@@ -486,30 +509,41 @@ func (eng *engine) resolveCommitted() bool {
 		eng.flt.BeginRound(round)
 	}
 
-	// Phase 1: collect the committed actions (ID order) and tally the
-	// honest transmitters in the same pass. The per-channel scratch may
-	// fill before validation finishes, but the Result counters fold in
-	// only once the whole round has validated, so an aborted round
-	// contributes nothing to the returned statistics.
-	for c := 0; c < cfg.C; c++ {
+	// Lazily clear the channel slots the PREVIOUS round touched. The clear
+	// cannot happen when that round resolves — followers read their
+	// deliveries from the slots after the generation publish — but by the
+	// time this round's leader runs, every live node has arrived again, so
+	// the slots are free. Every other channel already holds its zero value
+	// (the invariant touched maintains), making this pass O(previous
+	// round's active channels) instead of O(C).
+	touched := eng.touched
+	for _, c := range touched {
 		delivered[c] = nil
 		transmitters[c] = 0
 		fromAdversary[c] = false
 	}
+	touched = touched[:0]
+
+	// Phase 1: collect the committed actions (ID order) and tally the
+	// honest transmitters in the same pass, compacting finished nodes out
+	// of the roster as they are discovered. In-place compaction preserves
+	// ascending-ID iteration, which error attribution (first offender in ID
+	// order) and checkpoint tag-precedence depend on. The per-channel
+	// scratch may fill before validation finishes, but the Result counters
+	// fold in only once the whole round has validated, so an aborted round
+	// contributes nothing to the returned statistics.
 	sawCheckpoint, sawOther := false, false
 	checkpointTag := ""
-	active, honestTx := 0, 0
-	for id := 0; id < cfg.N; id++ {
-		if eng.done[id] {
-			continue
-		}
+	honestTx := 0
+	roster := eng.roster
+	w := 0
+	for _, id32 := range roster {
+		id := int(id32)
 		a := &actions[id]
 		switch a.Op {
 		case opDone:
-			eng.done[id] = true
 			*a = NodeAction{} // finished nodes observe as zero actions
-			eng.live--
-			continue
+			continue          // drops the node from the roster
 		case OpTransmit, OpListen:
 			if a.Channel < 0 || a.Channel >= cfg.C {
 				eng.fail(fmt.Errorf("%w: node %d round %d: channel %d out of range [0,%d)", ErrBadAction, id, round, a.Channel, cfg.C))
@@ -520,6 +554,9 @@ func (eng *engine) resolveCommitted() bool {
 					// A down node's transmission never reaches the air.
 					eng.flt.NoteSuppressed()
 				} else {
+					if transmitters[a.Channel] == 0 {
+						touched = append(touched, int32(a.Channel))
+					}
 					transmitters[a.Channel]++
 					delivered[a.Channel] = a.Msg
 					honestTx++
@@ -539,9 +576,11 @@ func (eng *engine) resolveCommitted() bool {
 			eng.fail(fmt.Errorf("%w: node %d round %d: unknown op %v", ErrBadAction, id, round, a.Op))
 			return false
 		}
-		active++
+		roster[w] = id32
+		w++
 	}
-	if active == 0 {
+	eng.roster = roster[:w]
+	if w == 0 {
 		// Every node finished without starting this round: the run is
 		// complete, and no waiter is parked (they all exited).
 		eng.finished = true
@@ -566,30 +605,36 @@ func (eng *engine) resolveCommitted() bool {
 		}
 		advTx = eng.clipAdversary(advTx)
 		for _, tx := range advTx {
+			if transmitters[tx.Channel] == 0 {
+				touched = append(touched, int32(tx.Channel))
+			}
 			transmitters[tx.Channel]++
 			delivered[tx.Channel] = tx.Msg
 			fromAdversary[tx.Channel] = true
 			eng.res.AdversarialTransmissions++
 		}
 	}
+	eng.touched = touched
 
-	// Phase 3: resolve collision semantics. On silent runs fromAdversary
-	// is all-false (cleared in phase 1, never set), so the spoof arm is
-	// naturally dead. With a fault plan active, the loss model erases a
-	// would-be delivery after collision resolution and before spoof
-	// accounting: a dropped spoof never reached any radio, so it does not
-	// count as delivered.
+	// Phase 3: resolve collision semantics over the touched channels only
+	// — every untouched channel has zero transmitters by the invariant
+	// above, so skipping it is not an approximation. On silent runs
+	// fromAdversary is all-false (never set), so the spoof arm is naturally
+	// dead. With a fault plan active, the loss model erases a would-be
+	// delivery after collision resolution and before spoof accounting: a
+	// dropped spoof never reached any radio, so it does not count as
+	// delivered.
 	if eng.faulty {
 		flt := eng.flt
-		for c := 0; c < cfg.C; c++ {
+		for _, c := range touched {
 			switch {
 			case transmitters[c] > 1:
 				delivered[c] = nil
 				eng.res.Collisions++
 			case transmitters[c] == 1:
-				if delivered[c] != nil && flt.DropNow(c) {
+				if delivered[c] != nil && flt.DropNow(int(c)) {
 					delivered[c] = nil
-					flt.ApplyDrop(c)
+					flt.ApplyDrop(int(c))
 				} else if fromAdversary[c] {
 					eng.res.SpoofDeliveries++
 				}
@@ -597,7 +642,7 @@ func (eng *engine) resolveCommitted() bool {
 		}
 		flt.EndRound()
 	} else {
-		for c := 0; c < cfg.C; c++ {
+		for _, c := range touched {
 			switch {
 			case transmitters[c] > 1:
 				delivered[c] = nil
@@ -646,8 +691,13 @@ func (eng *engine) resolveCommitted() bool {
 // (the adversary only harms itself by wasting budget). The result is
 // staged in an engine-owned buffer — never the adversary's slice — that
 // is reused across rounds, so clipping allocates nothing on the steady
-// path: channel de-duplication uses a uint64 bitmask for C <= 64 and a
-// reusable []bool for wider spectra.
+// path regardless of spectrum width: channel de-duplication uses a single
+// uint64 register for C <= 64 and the engine's pooled bitset.Set scratch
+// for wider spectra. The wide scratch is allocated at most once per
+// engine checkout (newEngine keeps it across pool round-trips when its
+// capacity covers the new C), and is left all-zero after every call by
+// undoing exactly the bits the accepted transmissions set — an O(T) sweep
+// rather than an O(C) clear.
 func (eng *engine) clipAdversary(txs []Transmission) []Transmission {
 	if len(txs) == 0 {
 		return nil
@@ -671,21 +721,21 @@ func (eng *engine) clipAdversary(txs []Transmission) []Transmission {
 	} else {
 		used := eng.usedWide
 		if used == nil {
-			used = make([]bool, cfg.C)
+			used = bitset.New(cfg.C)
 			eng.usedWide = used
 		}
 		for _, tx := range txs {
 			if len(out) >= cfg.T {
 				break
 			}
-			if tx.Channel < 0 || tx.Channel >= cfg.C || used[tx.Channel] {
+			if tx.Channel < 0 || tx.Channel >= cfg.C || used.Get(tx.Channel) {
 				continue
 			}
-			used[tx.Channel] = true
+			used.Add(tx.Channel)
 			out = append(out, tx)
 		}
-		for _, tx := range out { // leave the scratch clean for the next round
-			used[tx.Channel] = false
+		for _, tx := range out { // leave the scratch all-zero for the next round
+			used.Remove(tx.Channel)
 		}
 	}
 	eng.advClip = out

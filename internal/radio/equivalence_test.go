@@ -26,10 +26,17 @@ import (
 	"strings"
 	"testing"
 
+	"securadio/internal/bitset"
+	"securadio/internal/fault"
 	"securadio/internal/radio"
 )
 
 var update = flag.Bool("update", false, "rewrite testdata/equivalence.golden from the current engine")
+
+// maskBit reads one bit of a fault mask, treating an absent mask as
+// all-false — exactly bitset.Set's nil-safe Get, so the digest bytes are
+// unchanged from the []bool-mask era.
+func maskBit(m bitset.Set, i int) bool { return m.Get(i) }
 
 // digestTrace canonically encodes one round observation into the digest.
 func digestObservation(h hash.Hash, o radio.RoundObservation) {
@@ -42,6 +49,18 @@ func digestObservation(h hash.Hash, o radio.RoundObservation) {
 	}
 	for c, m := range o.Delivered {
 		fmt.Fprintf(h, "  del[%d]=%v n=%d\n", c, m, o.Transmitters[c])
+	}
+	// Fault observability is digested only when a fault plan is active, so
+	// the fault-free cells keep the exact digests captured from the seed
+	// engine (which predates the fault layer).
+	if o.Down != nil || o.Faded != nil || o.Dropped != nil {
+		fmt.Fprintf(h, "  faults drops=%d deaths=%d rec=%d\n", o.FaultDrops, o.Deaths, o.Recoveries)
+		for id := range o.Actions {
+			fmt.Fprintf(h, "  down[%d]=%v\n", id, maskBit(o.Down, id))
+		}
+		for c := range o.Delivered {
+			fmt.Fprintf(h, "  ch[%d] faded=%v dropped=%v\n", c, maskBit(o.Faded, c), maskBit(o.Dropped, c))
+		}
 	}
 }
 
@@ -83,13 +102,14 @@ func (o *omniJammer) PlanOmniscient(round int, pending []radio.NodeAction) []rad
 	return nil
 }
 
-// equivCase is one cell of the (N, C, T, adversary, seed) grid.
+// equivCase is one cell of the (N, C, T, adversary, faults, seed) grid.
 type equivCase struct {
 	name      string
 	n, c, t   int
 	seed      int64
 	rounds    int
 	adversary func(h hash.Hash) radio.Adversary // nil => no interference
+	faults    func(tc equivCase) *fault.Plan    // nil => fault-free
 	procs     func(tc equivCase) []radio.Process
 }
 
@@ -180,6 +200,22 @@ func equivGrid() []equivCase {
 		}
 	}
 	omni := func(h hash.Hash) radio.Adversary { return &omniJammer{h: h} }
+	// churnLoss compiles a wide churn + independent-fade loss plan for the
+	// cell; correlatedLoss drives every channel from one shared fade state.
+	// Both are pure functions of the cell, so each runDigest call gets an
+	// equivalent freshly compiled plan.
+	churnLoss := func(tc equivCase) *fault.Plan {
+		return fault.MustCompile(fault.Profile{
+			CrashFrac: 0.2, RecoverFrac: 0.15, LateFrac: 0.1, Horizon: 40,
+			Loss: &fault.LossModel{PGoodBad: 0.2, PBadGood: 0.4, DropGood: 0.02, DropBad: 0.8},
+		}, tc.n, tc.c, tc.seed+0x66)
+	}
+	correlatedLoss := func(tc equivCase) *fault.Plan {
+		return fault.MustCompile(fault.Profile{
+			LateFrac: 0.3, Horizon: 30,
+			Loss: &fault.LossModel{PGoodBad: 0.3, PBadGood: 0.3, DropBad: 0.9, Correlated: true},
+		}, tc.n, tc.c, tc.seed+0x77)
+	}
 	return []equivCase{
 		{name: "solo/N=1", n: 1, c: 2, t: 0, seed: 3, rounds: 10, procs: mixedProcs},
 		{name: "mixed/N=8/C=3/T=1/silent", n: 8, c: 3, t: 1, seed: 1, rounds: 40, procs: mixedProcs},
@@ -192,6 +228,11 @@ func equivGrid() []equivCase {
 		{name: "spoof/N=5/C=4/T=3/jam", n: 5, c: 4, t: 3, seed: 17, rounds: 30, adversary: jam(3, 4, 1005), procs: listenerProcs},
 		{name: "wide/N=6/C=70/T=10/jam", n: 6, c: 70, t: 10, seed: 19, rounds: 25, adversary: jam(10, 70, 1006), procs: mixedProcs},
 		{name: "wide/N=4/C=96/T=40/jam", n: 4, c: 96, t: 40, seed: 23, rounds: 20, adversary: jam(40, 96, 1007), procs: listenerProcs},
+		{name: "wide/N=6/C=128/T=12/jam", n: 6, c: 128, t: 12, seed: 29, rounds: 24, adversary: jam(12, 128, 1008), procs: mixedProcs},
+		{name: "wide/N=5/C=512/T=64/jam", n: 5, c: 512, t: 64, seed: 31, rounds: 16, adversary: jam(64, 512, 1009), procs: listenerProcs},
+		{name: "wide/N=8/C=200/T=20/omni", n: 8, c: 200, t: 20, seed: 37, rounds: 20, adversary: omni, procs: mixedProcs},
+		{name: "faulted/N=12/C=96/T=8/jam", n: 12, c: 96, t: 8, seed: 41, rounds: 60, adversary: jam(8, 96, 1010), faults: churnLoss, procs: mixedProcs},
+		{name: "faulted/N=10/C=80/T=0/correlated", n: 10, c: 80, t: 0, seed: 43, rounds: 50, faults: correlatedLoss, procs: mixedProcs},
 	}
 }
 
@@ -205,6 +246,9 @@ func runDigest(tc equivCase) (string, error) {
 	}
 	if tc.adversary != nil {
 		cfg.Adversary = tc.adversary(h)
+	}
+	if tc.faults != nil {
+		cfg.Faults = tc.faults(tc)
 	}
 	res, err := radio.Run(cfg, tc.procs(tc))
 	fmt.Fprintf(h, "result=%+v err=%v\n", res, err)

@@ -134,14 +134,14 @@ func TestFaultObservationFields(t *testing.T) {
 	cfg := radio.Config{
 		N: 2, C: 2, T: 0, Seed: 4, Faults: plan,
 		Trace: func(o radio.RoundObservation) {
-			if len(o.Down) != 2 || len(o.Faded) != 2 || len(o.Dropped) != 2 {
-				t.Errorf("round %d: fault masks missing or missized: down=%d faded=%d dropped=%d",
-					o.Round, len(o.Down), len(o.Faded), len(o.Dropped))
+			if o.Down == nil || o.Faded == nil || o.Dropped == nil {
+				t.Errorf("round %d: fault masks missing: down=%v faded=%v dropped=%v",
+					o.Round, o.Down, o.Faded, o.Dropped)
 			}
-			if o.Round == 0 && o.Down[0] && o.Down[1] && o.Deaths == 2 {
+			if o.Round == 0 && o.Down.Get(0) && o.Down.Get(1) && o.Deaths == 2 {
 				sawDown = true
 			}
-			if o.Dropped[0] {
+			if o.Dropped.Get(0) {
 				sawDrop = true
 				if o.FaultDrops == 0 {
 					t.Errorf("round %d: Dropped set but FaultDrops = 0", o.Round)
@@ -237,11 +237,11 @@ func faultedDigest(t *testing.T, seed int64) string {
 func digestFaultObservation(h hash.Hash, o radio.RoundObservation) {
 	fmt.Fprintf(h, "round=%d drops=%d deaths=%d rec=%d\n", o.Round, o.FaultDrops, o.Deaths, o.Recoveries)
 	for id, a := range o.Actions {
-		fmt.Fprintf(h, "  act[%d]=%d ch=%d msg=%v down=%v\n", id, int(a.Op), a.Channel, a.Msg, len(o.Down) > id && o.Down[id])
+		fmt.Fprintf(h, "  act[%d]=%d ch=%d msg=%v down=%v\n", id, int(a.Op), a.Channel, a.Msg, o.Down.Get(id))
 	}
 	for c, m := range o.Delivered {
 		fmt.Fprintf(h, "  del[%d]=%v n=%d faded=%v dropped=%v\n", c, m, o.Transmitters[c],
-			len(o.Faded) > c && o.Faded[c], len(o.Dropped) > c && o.Dropped[c])
+			o.Faded.Get(c), o.Dropped.Get(c))
 	}
 }
 

@@ -102,12 +102,12 @@ func (eng *engine) runPump(procs []Process) (Result, error) {
 			eng.err = fmt.Errorf("%w (%d rounds)", ErrMaxRounds, eng.maxRounds)
 			break
 		}
-		// Collect: resume every live node until it commits its next
+		// Collect: resume every roster node until it commits its next
 		// action (or its Process returns, which commits the done marker).
-		for id := 0; id < n; id++ {
-			if eng.done[id] {
-				continue
-			}
+		// The roster is compacted by resolveCommitted, never here, so the
+		// iteration is stable while coroutines run; a node that finishes
+		// leaves the roster when the round it finished in resolves.
+		for _, id := range eng.roster {
 			resuming = true
 			_, ok := next[id]()
 			resuming = false

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"securadio/internal/bitset"
 	"securadio/internal/fault"
 )
 
@@ -91,21 +92,23 @@ type RoundObservation struct {
 	// (honest plus adversarial).
 	Transmitters []int
 
-	// Fault observability. The slices are nil and the counts zero unless
+	// Fault observability. The masks are nil and the counts zero unless
 	// the run has an active fault plan (Config.Faults); like the other
 	// observation slices they are engine-owned and valid only during the
-	// call.
+	// call. The masks are multi-word bitsets so a wide spectrum costs a
+	// few words, not a bool per channel; bitset.Set.Get is nil-safe, so
+	// reading an absent mask simply reports false everywhere.
 
 	// Down holds, per node, whether churn silenced the node this round.
-	Down []bool
+	Down bitset.Set
 
 	// Faded holds, per channel, whether the loss model was in its bad
 	// (bursty) state this round.
-	Faded []bool
+	Faded bitset.Set
 
 	// Dropped holds, per channel, whether a delivery was erased by the
 	// loss model this round.
-	Dropped []bool
+	Dropped bitset.Set
 
 	// FaultDrops is the number of deliveries lost to faults this round
 	// (suppressed transmissions of down nodes plus loss-model drops).

@@ -155,20 +155,12 @@ func (a *eventAdapter) observe(o radio.RoundObservation) {
 		ch.Collision = o.Transmitters[c] > 1
 		ch.Delivered = o.Delivered[c] != nil
 		ch.Spoofed = ch.Delivered && o.Transmitters[c] == 1 && ch.Jammed
-		if o.Faded != nil {
-			ch.Faded = o.Faded[c]
-		}
-		if o.Dropped != nil {
-			ch.Dropped = o.Dropped[c]
-		}
+		// Get on an absent (nil) mask reads false, so no nil guard needed.
+		ch.Faded = o.Faded.Get(c)
+		ch.Dropped = o.Dropped.Get(c)
 	}
 
-	down := 0
-	for _, d := range o.Down {
-		if d {
-			down++
-		}
-	}
+	down := o.Down.Count()
 
 	a.ev.Round = o.Round
 	a.ev.Phase = a.phase
