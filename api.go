@@ -8,6 +8,7 @@ import (
 	"securadio/internal/fault"
 	"securadio/internal/graph"
 	"securadio/internal/radio"
+	"securadio/internal/transport/udp"
 )
 
 // Pair is an ordered (sender, receiver) pair of node IDs — one entry of
@@ -90,6 +91,40 @@ func (o Options) fameParams(net Network) core.Params {
 		Kappa:   o.Kappa,
 		Cleanup: o.Cleanup,
 	}
+}
+
+// Transport abstracts the physical layer of the radio model: the engine
+// keeps the round lock-step, validation and the adversary budget, and
+// the transport resolves what each channel actually carried — in memory
+// (the default) or over real sockets. Install one on a Runner with
+// WithTransport; NewUDPTransport builds the socket backend. Determinism
+// over a real medium is weaker than in memory: injected degradation is
+// a pure function of (seed, round, channel, origin) and reproduces
+// exactly, while datagrams the medium genuinely loses are environmental
+// and surface in the reports' FaultDrops rather than silently skewing
+// results.
+type Transport = radio.Transport
+
+// UDPConfig tunes the socket-backed transport: injected datagram-loss
+// probability, jam windows, the receive-window cutoff, and the socket
+// buffer size. The zero value is a lossless, jam-free medium.
+type UDPConfig = udp.Config
+
+// UDPJamWindow jams one channel for a half-open round interval (see
+// UDPConfig.Jam).
+type UDPJamWindow = udp.JamWindow
+
+// NewUDPTransport returns the socket-backed Transport: every logical
+// channel becomes one UDP socket on 127.0.0.1, each committed
+// transmission one datagram. The returned error matches ErrBadParams
+// semantics for malformed tuning (loss outside [0, 1], negative window,
+// inverted jam interval).
+func NewUDPTransport(cfg UDPConfig) (Transport, error) {
+	t, err := udp.New(cfg)
+	if err != nil {
+		return nil, &ParamError{Op: "configure udp transport", Err: err}
+	}
+	return t, nil
 }
 
 // FaultProfile declares deterministic environmental fault injection:

@@ -314,6 +314,9 @@ func runCampaign(ctx context.Context, args []string, out io.Writer) error {
 		format        = fs.String("format", "table", "report format: table | json | csv")
 		outPath       = fs.String("out", "", "write the report to a file instead of stdout")
 		timeout       = fs.Duration("timeout", 0, "abort the campaign after this duration (0 = none)")
+		trans         = fs.String("transport", "mem", "radio transport backend: mem | udp (loopback sockets)")
+		tLoss         = fs.Float64("transport-loss", 0, "udp: injected datagram-loss probability in [0, 1]")
+		tWindow       = fs.Duration("transport-window", 0, "udp: receive-window cutoff (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -334,6 +337,20 @@ func runCampaign(ctx context.Context, args []string, out io.Writer) error {
 	sc, ok := lookupScenario(catalog, *campaign)
 	if !ok {
 		return fmt.Errorf("unknown campaign %q (see fleetsim list)", *campaign)
+	}
+	switch *trans {
+	case "mem":
+		if *tLoss != 0 || *tWindow != 0 {
+			return errors.New("-transport-loss and -transport-window require -transport udp")
+		}
+	case "udp":
+		tr, terr := securadio.NewUDPTransport(securadio.UDPConfig{Loss: *tLoss, Window: *tWindow})
+		if terr != nil {
+			return terr
+		}
+		sc.Transport = tr
+	default:
+		return fmt.Errorf("unknown transport %q (want mem or udp)", *trans)
 	}
 	if err := checkFormat(*format); err != nil {
 		return err

@@ -91,11 +91,39 @@ func TestRunRejections(t *testing.T) {
 		{"sweep", "-sweep", "spectrum-grid", "-scenarios", fixturePath, "-base", "fame-jam"}, // mutually exclusive
 		{"sweep", "-base", "fame-clear", "-em", "4,8"},                                       // em axis needs a secure-group base
 		{"sweep", "-base", "fame-clear", "-adv", "none,jma"},                                 // adversary typos fail fast
+		{"run", "-campaign", "fame-clear", "-transport", "bogus"},
+		{"run", "-campaign", "fame-clear", "-transport", "udp", "-transport-loss", "1.5"},
+		{"run", "-campaign", "fame-clear", "-transport", "udp", "-transport-loss", "-0.1"},
+		{"run", "-campaign", "fame-clear", "-transport", "udp", "-transport-window", "-1s"},
+		{"run", "-campaign", "fame-clear", "-transport-loss", "0.1"},  // tuning requires -transport udp
+		{"run", "-campaign", "fame-clear", "-transport-window", "1s"}, // tuning requires -transport udp
 	}
 	for _, args := range cases {
 		if err := run(context.Background(), args, &out); err == nil {
 			t.Fatalf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+// TestRunCampaignTransportUDP pins the cross-transport contract at the
+// CLI layer: a lossless campaign over loopback UDP must emit the exact
+// aggregate JSON of the in-memory run for the same seed grid.
+func TestRunCampaignTransportUDP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binds sockets per run")
+	}
+	campaign := func(extra ...string) string {
+		var out bytes.Buffer
+		args := append([]string{"run", "-campaign", "fame-clear", "-runs", "4", "-seed", "9", "-format", "json"}, extra...)
+		if err := run(context.Background(), args, &out); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		return out.String()
+	}
+	mem := campaign()
+	udp := campaign("-transport", "udp")
+	if mem != udp {
+		t.Fatalf("udp aggregate diverged from in-memory aggregate:\n  mem: %s\n  udp: %s", mem, udp)
 	}
 }
 

@@ -8,6 +8,7 @@
 //	radiosim -proto groupkey -n 40 -c 3 -t 2 -adv jam
 //	radiosim -proto gossip -n 16 -c 3 -t 1 -rounds 8000
 //	radiosim -proto fame -regime 2t -n 64 -c 4 -t 2 -pairs 12
+//	radiosim -proto fame -n 20 -c 2 -t 1 -transport udp -transport-loss 0.05
 package main
 
 import (
@@ -59,6 +60,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		regime  = fs.String("regime", "auto", "f-AME regime: auto | base | 2t | 2t2")
 		cleanup = fs.Int("cleanup", 0, "best-effort cleanup move budget (extension)")
 		kappa   = fs.Float64("kappa", 0, "whp repetition multiplier (0 = default)")
+		trans   = fs.String("transport", "mem", "radio transport backend: mem | udp (loopback sockets)")
+		tLoss   = fs.Float64("transport-loss", 0, "udp: injected datagram-loss probability in [0, 1]")
+		tWindow = fs.Duration("transport-window", 0, "udp: receive-window cutoff (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -81,14 +85,30 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("unknown regime %q", *regime)
 	}
 
-	net := securadio.Network{N: *n, C: *c, T: *t, Seed: *seed}
-	runner, err := securadio.NewRunner(net,
+	opts := []securadio.RunnerOption{
 		securadio.WithAdversary(*advName),
 		securadio.WithRegime(rgm),
 		securadio.WithKappa(*kappa),
 		securadio.WithCleanup(*cleanup),
 		securadio.WithDirect(*proto == "fame-direct"),
-	)
+	}
+	switch *trans {
+	case "mem":
+		if *tLoss != 0 || *tWindow != 0 {
+			return errors.New("-transport-loss and -transport-window require -transport udp")
+		}
+	case "udp":
+		tr, terr := securadio.NewUDPTransport(securadio.UDPConfig{Loss: *tLoss, Window: *tWindow})
+		if terr != nil {
+			return terr
+		}
+		opts = append(opts, securadio.WithTransport(tr))
+	default:
+		return fmt.Errorf("unknown transport %q (want mem or udp)", *trans)
+	}
+
+	net := securadio.Network{N: *n, C: *c, T: *t, Seed: *seed}
+	runner, err := securadio.NewRunner(net, opts...)
 	if err != nil {
 		return err
 	}
@@ -103,6 +123,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case "gossip", "gossip-det":
 		// The gossip baselines predate the paper's protocols and live
 		// outside the Runner's layer set; they still honor ctx.
+		if *trans != "mem" {
+			return fmt.Errorf("-transport %s is not supported for gossip protocols", *trans)
+		}
 		adv, aerr := securadio.NewAdversary(*advName, net, *seed+1)
 		if aerr != nil {
 			return aerr

@@ -110,6 +110,41 @@ func TestRunRejectsUnknownFlags(t *testing.T) {
 	}
 }
 
+// TestRunTransportFlags covers the -transport selector: the udp backend
+// must run every Runner protocol, and malformed tuning must be rejected
+// before any simulation starts.
+func TestRunTransportFlags(t *testing.T) {
+	t.Run("udp runs", func(t *testing.T) {
+		for _, proto := range []string{"fame", "fame-compact", "groupkey"} {
+			proto := proto
+			t.Run(proto, func(t *testing.T) {
+				t.Parallel()
+				var out bytes.Buffer
+				args := []string{"-proto", proto, "-pairs", "4", "-seed", "1", "-transport", "udp"}
+				if err := run(context.Background(), args, &out); err != nil {
+					t.Fatalf("run(%v): %v", args, err)
+				}
+			})
+		}
+	})
+	t.Run("rejections", func(t *testing.T) {
+		for _, args := range [][]string{
+			{"-transport", "bogus"},
+			{"-transport", "udp", "-transport-loss", "1.5"},
+			{"-transport", "udp", "-transport-loss", "-0.1"},
+			{"-transport", "udp", "-transport-window", "-1s"},
+			{"-transport-loss", "0.1"},                // tuning requires -transport udp
+			{"-transport-window", "1s"},               // tuning requires -transport udp
+			{"-proto", "gossip", "-transport", "udp"}, // gossip bypasses the Runner
+		} {
+			var out bytes.Buffer
+			if err := run(context.Background(), args, &out); err == nil {
+				t.Fatalf("run(%v) succeeded, want error", args)
+			}
+		}
+	})
+}
+
 // TestRunAbortsOnCancelledContext pins the signal path: main installs a
 // NotifyContext, so a cancelled context must abort every protocol at its
 // next round boundary with an error carrying the context's cancellation

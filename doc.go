@@ -50,6 +50,20 @@
 // hanging. Fleet scenarios and sweeps take the same knobs (Scenario
 // fault fields, churn / loss axes, the scenario-file "faults" stanza).
 //
+// A Runner built WithTransport swaps the physical layer itself: the
+// engine keeps the round lock-step, action validation and the adversary
+// budget, and a pluggable Transport resolves what each channel actually
+// carried. The default (nil) transport is the in-memory simulator;
+// NewUDPTransport runs the same protocols over real loopback sockets —
+// one UDP socket per channel, one datagram per committed transmission —
+// with seeded loss and jam-window injection (UDPConfig). A lossless
+// socket transport is an implementation detail the protocols cannot
+// observe: the cross-transport conformance suite pins every layer's
+// report byte-identical between memory and UDP. Degradation a real
+// medium introduces (injected or genuine) folds into the same
+// FaultDrops counters the fault layer uses, never silently skewing
+// results.
+//
 // The legacy one-shot functions (ExchangeMessages,
 // ExchangeMessagesCompact, EstablishGroupKey, RunSecureGroup) remain as
 // thin wrappers delegating to a Runner with an uncancellable context.

@@ -77,6 +77,22 @@ func (s Set) Count() int {
 // ClearAll clears every bit.
 func (s Set) ClearAll() { clear(s) }
 
+// OrOf sets s to the word-wise union of a and b. Either operand may be
+// shorter than s (including nil); words past an operand's length read as
+// zero, so a nil "absent mask" unions as all-false.
+func (s Set) OrOf(a, b Set) {
+	for i := range s {
+		var w uint64
+		if i < len(a) {
+			w = a[i]
+		}
+		if i < len(b) {
+			w |= b[i]
+		}
+		s[i] = w
+	}
+}
+
 // SetFirst sets bits [0, n) and clears every bit above — the wideband
 // broadcast the fault layer's correlated fade mode uses to mirror one
 // shared fade state across all channels.

@@ -119,6 +119,11 @@ type Params struct {
 	// ground truth, so a crashed node surfaces as failed pairs, never as
 	// ErrInconsistent.
 	Faults *fault.Plan
+
+	// Transport, when non-nil, routes the run's physical layer through a
+	// pluggable backend (see radio.Transport). nil selects the native
+	// in-memory medium.
+	Transport radio.Transport
 }
 
 // Errors reported by the protocol.

@@ -73,7 +73,7 @@ func ExchangeContext(ctx context.Context, p Params, pairs []graph.Edge, values m
 		procs[i] = Proc(p, pairs, myValues, &results[i])
 	}
 
-	cfg := radio.Config{N: p.N, C: p.C, T: p.T, Seed: seed, Adversary: adv, Trace: p.Trace, Faults: p.Faults}
+	cfg := radio.Config{N: p.N, C: p.C, T: p.T, Seed: seed, Adversary: adv, Trace: p.Trace, Faults: p.Faults, Transport: p.Transport}
 	radioRes, err := radio.RunContext(ctx, cfg, procs)
 	if err != nil {
 		return nil, fmt.Errorf("core: radio run: %w", err)

@@ -94,6 +94,14 @@ type Scenario struct {
 	// with its own seed, so fault schedules vary across the grid exactly
 	// like every other randomness.
 	Faults *fault.Profile
+
+	// Transport, when non-nil, routes every run's physical layer through
+	// a pluggable backend (see radio.Transport) instead of the native
+	// in-memory medium. Not serializable: scenario files cannot name a
+	// transport; callers wire one programmatically (CLI flags, the
+	// testnet harness). Transport-layer drops fold into the run's
+	// FaultDrops accounting.
+	Transport radio.Transport `json:"-"`
 }
 
 // AdversaryFactory builds a fresh interferer for one run. Adversaries are
@@ -195,9 +203,10 @@ func (s Scenario) fameParams() core.Params {
 	}
 	return core.Params{
 		N: s.N, C: s.C, T: s.T,
-		Mode:    mode,
-		Regime:  s.Regime,
-		Cleanup: s.Cleanup,
+		Mode:      mode,
+		Regime:    s.Regime,
+		Cleanup:   s.Cleanup,
+		Transport: s.Transport,
 	}
 }
 
@@ -253,6 +262,11 @@ type runState struct {
 	// rebinds it per run; the nil default keeps the engine's zero-cost
 	// no-trace fast path.
 	trace func(radio.RoundObservation)
+
+	// transportDrops carries the current run's transport-layer drop
+	// count from the protocol execution to the degradation accounting
+	// in execute; reset at every run start.
+	transportDrops int
 }
 
 func newRunState() *runState {
@@ -290,6 +304,7 @@ func (s Scenario) Execute(ctx context.Context, run int, seed int64) RunResult {
 // runner's per-worker runState).
 func (s Scenario) execute(ctx context.Context, run int, seed int64, st *runState) RunResult {
 	res := RunResult{Run: run, Seed: seed}
+	st.transportDrops = 0
 	adv, err := NewAdversary(s.Adversary, s.T, s.C, seed+1)
 	var plan *fault.Plan
 	if err == nil {
@@ -313,6 +328,10 @@ func (s Scenario) execute(ctx context.Context, run int, seed int64, st *runState
 		c := plan.Counters()
 		res.FaultDrops, res.NodesLost, res.DegradedRounds = c.Drops, c.NodesLost, c.DegradedRounds
 	}
+	// Transport-layer erasures (socket loss, jam windows) degrade
+	// delivery exactly like fault-plan drops, so they fold into the same
+	// counter; the native medium contributes zero.
+	res.FaultDrops += st.transportDrops
 	if err != nil {
 		res.Err = err.Error()
 		res.Canceled = errors.Is(err, radio.ErrCanceled)
@@ -361,6 +380,7 @@ func (s Scenario) executeFame(ctx context.Context, adv radio.Adversary, plan *fa
 	if err != nil {
 		return err
 	}
+	st.transportDrops = out.Radio.TransportDrops
 	res.Rounds = out.Rounds
 	res.Attempted = len(pairs)
 	res.Delivered = len(pairs) - len(out.Disruption.Edges())
@@ -382,6 +402,7 @@ func (s Scenario) executeCompact(ctx context.Context, adv radio.Adversary, plan 
 	if err != nil {
 		return err
 	}
+	st.transportDrops = out.Radio.TransportDrops
 	res.Rounds = out.Rounds
 	res.Attempted = len(pairs)
 	res.Delivered = len(pairs) - len(out.Disruption.Edges())
@@ -390,11 +411,12 @@ func (s Scenario) executeCompact(ctx context.Context, adv radio.Adversary, plan 
 }
 
 func (s Scenario) executeGroupKey(ctx context.Context, adv radio.Adversary, plan *fault.Plan, seed int64, st *runState, res *RunResult) error {
-	p := groupkey.Params{N: s.N, C: s.C, T: s.T, Regime: s.Regime, Faults: plan, Trace: st.trace}
+	p := groupkey.Params{N: s.N, C: s.C, T: s.T, Regime: s.Regime, Faults: plan, Trace: st.trace, Transport: s.Transport}
 	out, err := groupkey.EstablishContext(ctx, p, adv, seed)
 	if err != nil {
 		return err
 	}
+	st.transportDrops = out.Radio.TransportDrops
 	res.Rounds = out.Rounds
 	res.Attempted = s.N
 	res.Delivered = out.Agreed
@@ -438,7 +460,7 @@ func (s Scenario) executeSecureGroup(ctx context.Context, adv radio.Adversary, p
 			}
 		}
 	}
-	cfg := radio.Config{N: s.N, C: s.C, T: s.T, Seed: seed, Adversary: adv, Faults: plan, Trace: st.trace}
+	cfg := radio.Config{N: s.N, C: s.C, T: s.T, Seed: seed, Adversary: adv, Faults: plan, Trace: st.trace, Transport: s.Transport}
 	radioRes, err := radio.RunContext(ctx, cfg, procs)
 	if err != nil {
 		return err
@@ -452,6 +474,7 @@ func (s Scenario) executeSecureGroup(ctx context.Context, adv radio.Adversary, p
 		return fmt.Errorf("fleet: secure-group setup missed quorum: %d of %d nodes hold the key, need n-t = %d",
 			holders, s.N, s.N-s.T)
 	}
+	st.transportDrops = radioRes.TransportDrops
 	res.Rounds = radioRes.Rounds
 	res.Attempted = attempted
 	for _, n := range received {

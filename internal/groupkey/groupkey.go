@@ -64,6 +64,11 @@ type Params struct {
 	// node simply ends setup keyless — the same tolerated, quorum-counted
 	// outcome as a node the agreement phase excluded.
 	Faults *fault.Plan
+
+	// Transport, when non-nil, routes the run's physical layer through a
+	// pluggable backend (see radio.Transport). nil selects the native
+	// in-memory medium.
+	Transport radio.Transport
 }
 
 // ErrBadParams reports an invalid configuration.

@@ -51,7 +51,7 @@ func EstablishContext(ctx context.Context, p Params, adv radio.Adversary, seed i
 	for i := 0; i < p.N; i++ {
 		procs[i] = Proc(p, &results[i])
 	}
-	cfg := radio.Config{N: p.N, C: p.C, T: p.T, Seed: seed, Adversary: adv, Trace: p.Trace, Faults: p.Faults}
+	cfg := radio.Config{N: p.N, C: p.C, T: p.T, Seed: seed, Adversary: adv, Trace: p.Trace, Faults: p.Faults, Transport: p.Transport}
 	radioRes, err := radio.RunContext(ctx, cfg, procs)
 	if err != nil {
 		return nil, fmt.Errorf("groupkey: radio run: %w", err)

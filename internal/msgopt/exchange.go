@@ -30,6 +30,9 @@ type Outcome struct {
 
 	// MaxChains is the largest reconstruction-chain count any node saw.
 	MaxChains int
+
+	// Radio carries the raw engine statistics.
+	Radio radio.Result
 }
 
 // Exchange runs the complete Section 5.6 protocol on a fresh network.
@@ -65,7 +68,8 @@ func ExchangeContext(ctx context.Context, p Params, pairs []graph.Edge, values m
 	callerTrace := p.Fame.Trace
 	cfg := radio.Config{
 		N: p.Fame.N, C: p.Fame.C, T: p.Fame.T, Seed: seed, Adversary: adv,
-		Faults: p.Fame.Faults,
+		Faults:    p.Fame.Faults,
+		Transport: p.Fame.Transport,
 		Trace: func(obs radio.RoundObservation) {
 			for _, m := range obs.Delivered {
 				if m == nil {
@@ -85,6 +89,7 @@ func ExchangeContext(ctx context.Context, p Params, pairs []graph.Edge, values m
 		return nil, fmt.Errorf("msgopt: radio run: %w", err)
 	}
 	out.Rounds = radioRes.Rounds
+	out.Radio = radioRes
 	for i := range results {
 		if results[i].Err != nil {
 			// Any node may abort its local protocol mid-run once faults are

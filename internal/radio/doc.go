@@ -76,4 +76,25 @@
 // adversary or Trace callbacks propagate to Run's caller; panics in node
 // Processes crash the process, exactly as when each node owned a
 // goroutine.
+//
+// # Transports
+//
+// The medium itself is pluggable behind the Transport interface
+// (Config.Transport): per round, the engine hands the transport the
+// complete committed transmission set — honest and adversarial — and
+// the transport returns one ChannelOutcome per channel that carried
+// traffic; the engine then applies the model's collision, spoof and
+// fault-drop semantics to those survivors. The contract a backend must
+// honor: outcomes only for channels in the committed set, Transmitters
+// and Msg describe traffic that SURVIVED the medium, Dropped marks a
+// channel-round on which the medium erased at least one transmission
+// (surfacing in Result.TransportDrops, never silently), and Close must
+// unblock a Commit in flight — the engine cancels mid-round by closing
+// the connection. A nil Config.Transport selects the native in-memory
+// path, byte-identical to the pre-seam engine; the Loopback transport
+// routes Commit through the same exported resolution the native path
+// uses (ResolveLocal), which is what the byte-identity tests pin.
+// Backends live in internal/transport (udp: real loopback sockets with
+// seeded loss/jam injection; testnet: multi-process lockstep
+// replication).
 package radio

@@ -117,6 +117,21 @@ type engine struct {
 	advClip       []Transmission
 	usedWide      bitset.Set // C > 64 fallback scratch for clipAdversary
 
+	// Transport state (Config.Transport != nil): the run's bound Conn,
+	// the per-round wire buffer the committed transmissions are staged
+	// in, the transport's per-round degradation masks (cleared lazily
+	// through touched, like the channel slots), and merge scratch for
+	// observations that must union a fault plan's masks with the
+	// transport's. All nil/empty on native runs, which keeps the
+	// in-memory medium on its original instruction stream.
+	xconn       Conn
+	wireTxs     []WireTx
+	xDropped    bitset.Set
+	xFaded      bitset.Set
+	obsDropped  bitset.Set
+	obsFaded    bitset.Set
+	xRoundDrops int
+
 	// Pump-mode state (see pump.go).
 	exited   []bool // coroutine has returned
 	pumpNext []func() (struct{}, bool)
@@ -176,6 +191,13 @@ func newEngine(cfg *Config, adv Adversary, maxRounds int) *engine {
 	} else {
 		eng.usedWide = nil // re-made on demand by clipAdversary's wide path
 	}
+	eng.xconn = nil // bound by RunContext after Open
+	eng.xRoundDrops = 0
+	if cfg.Transport != nil {
+		eng.wireTxs = eng.wireTxs[:0]
+		eng.xDropped = bitset.Sized(eng.xDropped, cfg.C)
+		eng.xFaded = bitset.Sized(eng.xFaded, cfg.C)
+	}
 
 	if eng.cond.L == nil {
 		eng.cond.L = &eng.mu
@@ -228,6 +250,10 @@ func (eng *engine) recycle() {
 	eng.advClip = eng.advClip[:cap(eng.advClip)]
 	clear(eng.advClip)
 	eng.advClip = eng.advClip[:0]
+	eng.xconn = nil
+	eng.wireTxs = eng.wireTxs[:cap(eng.wireTxs)]
+	clear(eng.wireTxs) // scrub payload references
+	eng.wireTxs = eng.wireTxs[:0]
 	enginePool.Put(eng)
 }
 
@@ -375,8 +401,42 @@ func RunContext(ctx context.Context, cfg Config, procs []Process) (Result, error
 	if done := ctx.Done(); done != nil {
 		eng.ctx, eng.ctxDone = ctx, done
 	}
+	var conn Conn
+	if cfg.Transport != nil {
+		c, terr := cfg.Transport.Open(cfg)
+		if terr != nil {
+			eng.recycle()
+			return Result{}, fmt.Errorf("%w: open %s: %w", ErrTransport, cfg.Transport.Name(), terr)
+		}
+		conn = c
+		eng.xconn = c
+		// Close is idempotent by contract; the deferred call is the
+		// leak guard for panic unwinds (adversary/trace panics escape
+		// through runPump and the re-raise below), while the explicit
+		// closeConn folds a Close error into the run's result.
+		defer conn.Close()
+		// The engine observes cancellation at round granularity, which
+		// is not enough once a Commit can block on a real medium: a
+		// canceled run must not wait out a receive window (or a hung
+		// peer) before tearing down. The watcher closes the Conn the
+		// moment the context fires — Close unblocks an in-flight Commit
+		// by contract — and resolveTransport maps the resulting Commit
+		// error back to ErrCanceled.
+		if done := ctx.Done(); done != nil {
+			stop := make(chan struct{})
+			go func() {
+				select {
+				case <-done:
+					conn.Close()
+				case <-stop:
+				}
+			}()
+			defer close(stop)
+		}
+	}
 	if usePump() {
 		res, err := eng.runPump(procs)
+		err = closeConn(conn, err)
 		eng.recycle()
 		return res, err
 	}
@@ -388,12 +448,25 @@ func RunContext(ctx context.Context, cfg Config, procs []Process) (Result, error
 	wg.Wait()
 
 	res, err := eng.res, eng.err
+	err = closeConn(conn, err)
 	if p := eng.leaderPanic; p != nil {
 		eng.recycle()
 		panic(p) // re-raise an adversary/trace panic on the caller, like the seed engine
 	}
 	eng.recycle()
 	return res, err
+}
+
+// closeConn closes a run's transport Conn (nil-safe) and folds a close
+// failure into the run's error unless the run already failed.
+func closeConn(conn Conn, err error) error {
+	if conn == nil {
+		return err
+	}
+	if cerr := conn.Close(); cerr != nil && err == nil {
+		return fmt.Errorf("%w: close: %w", ErrTransport, cerr)
+	}
+	return err
 }
 
 // runNode wraps a node's Process, recovering the engine's abort signal and
@@ -517,6 +590,14 @@ func (eng *engine) resolveCommitted() bool {
 	// (the invariant touched maintains), making this pass O(previous
 	// round's active channels) instead of O(C).
 	touched := eng.touched
+	if eng.xconn != nil {
+		for _, c := range touched {
+			eng.xDropped.Remove(int(c))
+			eng.xFaded.Remove(int(c))
+		}
+		clear(eng.wireTxs) // scrub the previous round's payload references
+		eng.wireTxs = eng.wireTxs[:0]
+	}
 	for _, c := range touched {
 		delivered[c] = nil
 		transmitters[c] = 0
@@ -553,6 +634,11 @@ func (eng *engine) resolveCommitted() bool {
 				if eng.faulty && eng.flt.NodeDown(id) {
 					// A down node's transmission never reaches the air.
 					eng.flt.NoteSuppressed()
+				} else if eng.xconn != nil {
+					// Transport runs stage the transmission for Commit
+					// instead of writing the channel slots directly.
+					eng.wireTxs = append(eng.wireTxs, WireTx{From: id, Channel: a.Channel, Msg: a.Msg})
+					honestTx++
 				} else {
 					if transmitters[a.Channel] == 0 {
 						touched = append(touched, int32(a.Channel))
@@ -604,14 +690,21 @@ func (eng *engine) resolveCommitted() bool {
 			advTx = eng.adv.Plan(round)
 		}
 		advTx = eng.clipAdversary(advTx)
-		for _, tx := range advTx {
-			if transmitters[tx.Channel] == 0 {
-				touched = append(touched, int32(tx.Channel))
+		if eng.xconn != nil {
+			for _, tx := range advTx {
+				eng.wireTxs = append(eng.wireTxs, WireTx{From: AdversaryOrigin, Channel: tx.Channel, Msg: tx.Msg})
+				eng.res.AdversarialTransmissions++
 			}
-			transmitters[tx.Channel]++
-			delivered[tx.Channel] = tx.Msg
-			fromAdversary[tx.Channel] = true
-			eng.res.AdversarialTransmissions++
+		} else {
+			for _, tx := range advTx {
+				if transmitters[tx.Channel] == 0 {
+					touched = append(touched, int32(tx.Channel))
+				}
+				transmitters[tx.Channel]++
+				delivered[tx.Channel] = tx.Msg
+				fromAdversary[tx.Channel] = true
+				eng.res.AdversarialTransmissions++
+			}
 		}
 	}
 	eng.touched = touched
@@ -623,8 +716,18 @@ func (eng *engine) resolveCommitted() bool {
 	// dead. With a fault plan active, the loss model erases a would-be
 	// delivery after collision resolution and before spoof accounting: a
 	// dropped spoof never reached any radio, so it does not count as
-	// delivered.
-	if eng.faulty {
+	// delivered. On transport runs the medium resolves collisions itself
+	// (resolveTransport), and the fault plan's loss model still applies on
+	// top of whatever the medium delivered, so a fault profile means the
+	// same thing over every backend.
+	if eng.xconn != nil {
+		if !eng.resolveTransport(round) {
+			return false
+		}
+		if eng.faulty {
+			eng.flt.EndRound()
+		}
+	} else if eng.faulty {
 		flt := eng.flt
 		for _, c := range touched {
 			switch {
@@ -674,6 +777,14 @@ func (eng *engine) resolveCommitted() bool {
 			obs.Deaths = flt.RoundDeaths()
 			obs.Recoveries = flt.RoundRecoveries()
 		}
+		if eng.xconn != nil {
+			// Transport-layer degradation (socket loss, jam windows)
+			// surfaces through the same masks and counters the fault
+			// layer uses, so observers see one uniform picture.
+			obs.Dropped = mergeMask(&eng.obsDropped, obs.Dropped, eng.xDropped)
+			obs.Faded = mergeMask(&eng.obsFaded, obs.Faded, eng.xFaded)
+			obs.FaultDrops += eng.xRoundDrops
+		}
 		if !eng.silent {
 			eng.adv.Observe(obs)
 		}
@@ -684,6 +795,93 @@ func (eng *engine) resolveCommitted() bool {
 	eng.res.Rounds++
 	eng.round++
 	return true
+}
+
+// resolveTransport runs a transport round: it hands the staged wire
+// transmissions to the backend and writes the medium's authoritative
+// outcome into the engine's channel slots. Collision counting follows
+// the medium's view (a datagram the medium lost does not collide with
+// anything), transport drops and fades feed the engine's degradation
+// masks, and the fault plan's loss model applies on top of whatever the
+// medium delivered.
+func (eng *engine) resolveTransport(round int) bool {
+	outs, err := eng.xconn.Commit(round, eng.wireTxs)
+	if err != nil {
+		// A canceled run closes the Conn out from under an in-flight
+		// Commit (see the watcher in RunContext); attribute that error
+		// to the cancellation, not the transport.
+		if eng.ctxDone != nil {
+			select {
+			case <-eng.ctxDone:
+				eng.fail(fmt.Errorf("%w after %d rounds: %w", ErrCanceled, eng.res.Rounds, context.Cause(eng.ctx)))
+				return false
+			default:
+			}
+		}
+		eng.fail(fmt.Errorf("%w: round %d commit: %w", ErrTransport, round, err))
+		return false
+	}
+	eng.xRoundDrops = 0
+	touched := eng.touched
+	delivered, transmitters, fromAdversary := eng.delivered, eng.transmitters, eng.fromAdversary
+	for i := range outs {
+		oc := &outs[i]
+		c := oc.Channel
+		if c < 0 || c >= eng.cfg.C {
+			eng.fail(fmt.Errorf("%w: round %d: outcome channel %d out of range [0,%d)", ErrTransport, round, c, eng.cfg.C))
+			return false
+		}
+		touched = append(touched, int32(c))
+		transmitters[c] = oc.Transmitters
+		if oc.Transmitters > 1 {
+			eng.res.Collisions++
+		}
+		if oc.Faded {
+			eng.xFaded.Add(c)
+		}
+		if oc.Dropped {
+			// The medium erased traffic on this channel. Transmitters
+			// and Msg already describe the surviving transmissions, so
+			// the drop only feeds the degradation accounting.
+			eng.xDropped.Add(c)
+			eng.xRoundDrops++
+			eng.res.TransportDrops++
+		}
+		if oc.Transmitters != 1 {
+			continue // silence (all erased, or a jam marker) or collision
+		}
+		// Single uncontested transmission: the fault plan's loss model
+		// applies on top of the medium exactly as it does natively — a
+		// delivery (non-nil payload) may be dropped; a nil-payload
+		// occupation (pure jam) cannot be, and still counts as a spoof
+		// when the occupier was the adversary, mirroring the native
+		// resolution arms.
+		if oc.Msg != nil && eng.faulty && eng.flt.DropNow(c) {
+			eng.flt.ApplyDrop(c)
+			continue
+		}
+		delivered[c] = oc.Msg
+		if oc.From == AdversaryOrigin {
+			fromAdversary[c] = true
+			eng.res.SpoofDeliveries++
+		}
+	}
+	eng.touched = touched
+	return true
+}
+
+// mergeMask returns the union of a fault-plan mask and a transport mask
+// for one observation, reusing the engine-owned scratch when both are
+// present. A nil base (no fault plan) hands the transport mask through
+// directly — engine-owned and stable until the next round resolves,
+// exactly like the plan's masks.
+func mergeMask(scratch *bitset.Set, base, transport bitset.Set) bitset.Set {
+	if base == nil {
+		return transport
+	}
+	*scratch = bitset.Sized(*scratch, 64*len(transport))
+	scratch.OrOf(base, transport)
+	return *scratch
 }
 
 // clipAdversary enforces the model's budget: at most T transmissions, each

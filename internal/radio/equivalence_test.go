@@ -251,7 +251,16 @@ func runDigest(tc equivCase) (string, error) {
 		cfg.Faults = tc.faults(tc)
 	}
 	res, err := radio.Run(cfg, tc.procs(tc))
-	fmt.Fprintf(h, "result=%+v err=%v\n", res, err)
+	// The Result fields are enumerated (in their original declaration
+	// order) rather than rendered with %+v so that adding fields to
+	// radio.Result does not silently invalidate the stored seed-engine
+	// digests. Transport drops are asserted zero instead of hashed: the
+	// equivalence grid runs only the native medium.
+	if res.TransportDrops != 0 {
+		err = fmt.Errorf("native run reported %d transport drops", res.TransportDrops)
+	}
+	fmt.Fprintf(h, "result={Rounds:%d HonestTransmissions:%d AdversarialTransmissions:%d Collisions:%d SpoofDeliveries:%d} err=%v\n",
+		res.Rounds, res.HonestTransmissions, res.AdversarialTransmissions, res.Collisions, res.SpoofDeliveries, err)
 	return hex.EncodeToString(h.Sum(nil)), err
 }
 

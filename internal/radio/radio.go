@@ -245,6 +245,13 @@ type Config struct {
 	// engine resets its runtime state at run start). nil injects nothing
 	// and leaves every run byte-identical to the fault-free engine.
 	Faults *fault.Plan
+
+	// Transport, when non-nil, routes the physical layer through a
+	// pluggable backend (see Transport): the engine keeps the round
+	// lock-step, validation, churn and the adversary budget, and the
+	// backend resolves what each channel carried. nil selects the native
+	// in-memory medium — the engine's own resolution core, unchanged.
+	Transport Transport
 }
 
 // DefaultMaxRounds is the runaway-protocol guard used when
@@ -272,6 +279,12 @@ type Result struct {
 	// listeners' radios (whether any protocol accepted it is up to the
 	// protocol).
 	SpoofDeliveries int
+
+	// TransportDrops counts channel-rounds on which the transport layer
+	// erased traffic — injected socket loss or datagrams the real medium
+	// lost. Always zero on the native in-memory medium (Transport nil);
+	// fault-plan drops are counted by the plan, not here.
+	TransportDrops int
 }
 
 // Validation and runtime errors returned by Run.
@@ -281,6 +294,11 @@ var (
 	// error, so errors.Is(err, context.Canceled) and
 	// errors.Is(err, context.DeadlineExceeded) keep working up the stack.
 	ErrCanceled = errors.New("radio: run canceled")
+
+	// ErrTransport reports a transport-backend failure: Open failed, a
+	// per-round Commit errored, the backend returned a malformed outcome,
+	// or Close failed after an otherwise clean run.
+	ErrTransport = errors.New("radio: transport failure")
 
 	ErrMaxRounds    = errors.New("radio: protocol exceeded the configured round budget")
 	ErrBadConfig    = errors.New("radio: invalid configuration")

@@ -1,0 +1,118 @@
+package testnet_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"securadio/internal/fleet"
+	"securadio/internal/transport/testnet"
+)
+
+// TestMain routes self-exec'd worker processes into RunWorker before
+// the test framework parses argv — the same dispatch pattern as the
+// sweep fabric's distributed test.
+func TestMain(m *testing.M) {
+	if len(os.Args) > 2 && os.Args[1] == testnet.WorkerArg {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		if err := testnet.RunWorker(ctx, os.Args[2]); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestFourProcessMatchesSingleProcess is the headline smoke: a
+// 4-process UDP run of the fame-clear scenario must produce the exact
+// RunResult of the single-process in-memory run for the same seed.
+func TestFourProcessMatchesSingleProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	const seed = 42
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	got, err := testnet.Run(ctx, testnet.Config{Workers: 4, Scenario: "fame-clear", Seed: seed})
+	if err != nil {
+		t.Fatalf("testnet run: %v", err)
+	}
+
+	scen, ok := fleet.Lookup("fame-clear")
+	if !ok {
+		t.Fatal("fame-clear not registered")
+	}
+	want := scen.Execute(ctx, 0, seed)
+	want.Elapsed = 0
+
+	a, _ := json.Marshal(want)
+	b, _ := json.Marshal(got)
+	if string(a) != string(b) {
+		t.Fatalf("4-process result diverged from single-process run:\n  single: %s\n  testnet: %s", a, b)
+	}
+	if got.Err != "" {
+		t.Fatalf("run failed: %s", got.Err)
+	}
+	if got.Delivered == 0 {
+		t.Fatal("run delivered nothing")
+	}
+}
+
+// TestSeededLossDeterministic pins the injected-loss tier: two harness
+// invocations with the same seed and loss rate must agree byte for
+// byte, and the drops must surface in the degradation counters.
+func TestSeededLossDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	cfg := testnet.Config{Workers: 2, Scenario: "fame-clear", Seed: 7, Loss: 0.05}
+	run := func() fleet.RunResult {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		res, err := testnet.Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("testnet run: %v", err)
+		}
+		return res
+	}
+	first, second := run(), run()
+	a, _ := json.Marshal(first)
+	b, _ := json.Marshal(second)
+	if string(a) != string(b) {
+		t.Fatalf("seeded loss run not reproducible:\n  first:  %s\n  second: %s", a, b)
+	}
+	if first.FaultDrops == 0 {
+		t.Fatal("5% injected loss produced no FaultDrops")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  testnet.Config
+		want string
+	}{
+		{"zero workers", testnet.Config{Workers: 0, Scenario: "fame-clear"}, "workers"},
+		{"unknown scenario", testnet.Config{Workers: 2, Scenario: "no-such-scenario"}, "unknown scenario"},
+		{"loss above one", testnet.Config{Workers: 2, Scenario: "fame-clear", Loss: 1.5}, "loss"},
+		{"negative window", testnet.Config{Workers: 2, Scenario: "fame-clear", Window: -time.Second}, "window"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+			if _, runErr := testnet.Run(context.Background(), tc.cfg); runErr == nil {
+				t.Fatal("Run accepted a malformed config")
+			}
+		})
+	}
+}

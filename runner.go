@@ -32,10 +32,11 @@ import (
 // the same code path — as are fleet campaigns, which share the internal
 // protocol entrypoints the Runner calls.
 type Runner struct {
-	net    Network
-	opts   Options
-	obs    Observer
-	faults *fault.Profile
+	net       Network
+	opts      Options
+	obs       Observer
+	faults    *fault.Profile
+	transport Transport
 }
 
 // RunnerOption configures a Runner at construction time.
@@ -90,6 +91,17 @@ func WithFaults(p FaultProfile) RunnerOption {
 		r.faults = &p
 		return nil
 	}
+}
+
+// WithTransport routes every run's physical layer through a pluggable
+// backend (see Transport) — for example NewUDPTransport — instead of
+// the native in-memory medium. The engine keeps the round lock-step,
+// validation and the adversary budget either way; the backend resolves
+// what each channel carried, and its injected or genuine datagram loss
+// folds into the report's FaultDrops. A nil transport selects the
+// native medium (the default).
+func WithTransport(t Transport) RunnerOption {
+	return func(r *Runner) error { r.transport = t; return nil }
 }
 
 // WithAdversary installs the interferer, overriding Network.Adversary. It
@@ -151,6 +163,7 @@ func withOptions(opts Options) RunnerOption {
 func (r *Runner) Exchange(ctx context.Context, pairs []Pair, payloads map[Pair]Message) (*ExchangeReport, error) {
 	p := r.opts.fameParams(r.net)
 	p.Trace = r.trace()
+	p.Transport = r.transport
 	plan, err := r.faultPlan()
 	if err != nil {
 		return nil, err
@@ -168,6 +181,7 @@ func (r *Runner) Exchange(ctx context.Context, pairs []Pair, payloads map[Pair]M
 		GameRounds:      out.GameRounds,
 	}
 	setFaultCounters(plan, &report.FaultDrops, &report.NodesLost, &report.DegradedRounds)
+	report.FaultDrops += out.Radio.TransportDrops
 	for _, e := range pairs {
 		if !out.Disruption.Has(e) {
 			report.Delivered[e] = out.PerNode[e.Dst].Delivered[e]
@@ -208,6 +222,7 @@ func setFaultCounters(plan *fault.Plan, drops, lost, degraded *int) {
 func (r *Runner) ExchangeCompact(ctx context.Context, pairs []Pair, payloads map[Pair]string) (*ExchangeReport, error) {
 	p := msgopt.Params{Fame: r.opts.fameParams(r.net), EpochKappa: r.opts.Kappa}
 	p.Fame.Trace = r.trace()
+	p.Fame.Transport = r.transport
 	plan, err := r.faultPlan()
 	if err != nil {
 		return nil, err
@@ -224,6 +239,7 @@ func (r *Runner) ExchangeCompact(ctx context.Context, pairs []Pair, payloads map
 		Rounds:          out.Rounds,
 	}
 	setFaultCounters(plan, &report.FaultDrops, &report.NodesLost, &report.DegradedRounds)
+	report.FaultDrops += out.Radio.TransportDrops
 	for _, e := range pairs {
 		if !out.Disruption.Has(e) {
 			report.Delivered[e] = string(out.PerNode[e.Dst].Delivered[e])
@@ -238,6 +254,7 @@ func (r *Runner) ExchangeCompact(ctx context.Context, pairs []Pair, payloads map
 func (r *Runner) GroupKey(ctx context.Context) (*GroupKeyReport, error) {
 	p := r.groupKeyParams()
 	p.Trace = r.trace()
+	p.Transport = r.transport
 	plan, err := r.faultPlan()
 	if err != nil {
 		return nil, err
@@ -257,6 +274,7 @@ func (r *Runner) GroupKey(ctx context.Context) (*GroupKeyReport, error) {
 		Rounds: out.Rounds,
 	}
 	setFaultCounters(plan, &report.FaultDrops, &report.NodesLost, &report.DegradedRounds)
+	report.FaultDrops += out.Radio.TransportDrops
 	for i := range out.PerNode {
 		if k := out.PerNode[i].GroupKey; k != nil && out.PerNode[i].Leader == out.Leader {
 			kk := [32]byte(*k)
@@ -311,6 +329,7 @@ func (r *Runner) SecureGroup(ctx context.Context, app SecureGroupApp) (*SecureGr
 	cfg := radio.Config{
 		N: net.N, C: net.C, T: net.T, Seed: net.Seed,
 		Adversary: net.Adversary, Trace: r.trace(), Faults: plan,
+		Transport: r.transport,
 	}
 	radioRes, err := radio.RunContext(ctx, cfg, procs)
 	if err != nil {
@@ -318,6 +337,7 @@ func (r *Runner) SecureGroup(ctx context.Context, app SecureGroupApp) (*SecureGr
 	}
 	report.TotalRounds = radioRes.Rounds
 	setFaultCounters(plan, &report.FaultDrops, &report.NodesLost, &report.DegradedRounds)
+	report.FaultDrops += radioRes.TransportDrops
 
 	// A node-local setup failure leaves that node keyless, exactly like a
 	// node the agreement phase excluded: both are tolerated, idle through
